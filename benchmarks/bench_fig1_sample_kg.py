@@ -1,0 +1,35 @@
+"""fig1 — Figure 1: the sample knowledge graph.
+
+Regenerates the paper's six-triple example KG and times store construction
+plus freezing (the load path every experiment depends on).
+"""
+
+from conftest import print_artifact
+
+from repro.kg.paper_example import paper_kg
+from repro.storage.store import TripleStore
+
+
+def build_store():
+    store = TripleStore("Figure1")
+    for triple in paper_kg():
+        store.add(triple)
+    return store.freeze()
+
+
+def test_fig1_sample_kg(benchmark):
+    store = benchmark(build_store)
+
+    assert len(store) == 6
+    rows = ["Subject                Predicate    Object",
+            "-------                ---------    ------"]
+    for record in store.records():
+        triple = record.triple
+        rows.append(
+            f"{triple.s.n3():<22} {triple.p.n3():<12} {triple.o.n3()}"
+        )
+    print_artifact("Figure 1: Sample knowledge graph", "\n".join(rows))
+
+    rendered = {r.triple.n3() for r in store.records()}
+    assert "AlbertEinstein bornIn Ulm" in rendered
+    assert "PrincetonUniversity member IvyLeague" in rendered

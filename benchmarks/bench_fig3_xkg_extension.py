@@ -1,0 +1,47 @@
+"""fig3 — Figure 3: the sample XKG extension.
+
+Regenerates the paper's token triples by actually running the Open IE
+extractor on the sentences the paper quotes, and times extraction.
+"""
+
+from conftest import print_artifact
+
+from repro.openie.reverb import ReverbExtractor
+
+SENTENCES = [
+    "Einstein won a Nobel for his discovery of the photoelectric effect",
+    "The IAS institute is housed in Princeton University",
+    "Einstein lectured at Princeton University",
+    "Einstein met his teacher Prof Kleiner",
+]
+
+
+def test_fig3_extraction(benchmark):
+    extractor = ReverbExtractor()
+
+    def extract_all():
+        return [extractor.extract(s) for s in SENTENCES]
+
+    per_sentence = benchmark(extract_all)
+
+    rows = ["Subject            Predicate            Object"]
+    rows.append("-------            ---------            ------")
+    flat = [e for extractions in per_sentence for e in extractions]
+    for extraction in flat:
+        rows.append(
+            f"{extraction.subject:<18} '{extraction.relation}'"
+            f"{'':<2} {extraction.object}  (conf {extraction.confidence:.2f})"
+        )
+    print_artifact(
+        "Figure 3: Sample knowledge graph extension (ReVerb output)",
+        "\n".join(rows),
+    )
+
+    tuples = {e.as_tuple() for e in flat}
+    # The paper's headline extraction, recovered verbatim from the sentence.
+    assert any(
+        s == "Einstein" and "won a Nobel for" in r for s, r, _o in tuples
+    )
+    assert any("housed in" in r for _s, r, _o in tuples)
+    assert any("lectured at" in r for _s, r, _o in tuples)
+    assert any("met" in r for _s, r, _o in tuples)

@@ -1,0 +1,67 @@
+"""fig4 — Figure 4: relaxation rules, mined from the XKG.
+
+The paper shows four example rules (granularity repair, inversion, chain
+expansion into the XKG, predicate→token rewrite).  This bench mines rules
+from the generated XKG and shows that all four *shapes* arise from data,
+with weights in the right regime.  Times the full §3 mining pass.
+"""
+
+from conftest import print_artifact
+
+from repro.core.terms import Resource
+from repro.relax.mining import mine_arg_overlap_rules, mine_chain_expansion_rules
+from repro.relax.structural import granularity_rules, inversion_rules
+
+
+def test_fig4_rule_shapes(benchmark, small_harness):
+    statistics = small_harness.engine.statistics
+
+    def mine_all():
+        return {
+            "rewrite": mine_arg_overlap_rules(statistics, min_support=2),
+            "chain": mine_chain_expansion_rules(statistics, min_support=2),
+            "inversion": inversion_rules(statistics, min_support=2, min_weight=0.15),
+            "granularity": granularity_rules(
+                statistics,
+                type_predicate=Resource("type"),
+                containment_predicate=Resource("locatedIn"),
+                fine_class=Resource("city"),
+                coarse_class=Resource("country"),
+            ),
+        }
+
+    mined = benchmark(mine_all)
+
+    rows = ["#  shape         example rule"]
+    rows.append("-  -----         ------------")
+    examples = [
+        ("1", "granularity", mined["granularity"]),
+        ("2", "inversion", mined["inversion"]),
+        ("3", "chain", mined["chain"]),
+        ("4", "rewrite", [
+            r for r in mined["rewrite"]
+            if any(t.is_token for p in r.replacement for t in p.terms())
+        ]),
+    ]
+    for number, shape, rules in examples:
+        example = rules[0].n3() if rules else "(none mined)"
+        rows.append(f"{number}  {shape:<12}  {example}")
+    print_artifact(
+        "Figure 4: Relaxation rule shapes mined from the XKG", "\n".join(rows)
+    )
+
+    # All four shapes must arise from the data.
+    for _number, shape, rules in examples:
+        assert rules, f"no {shape} rules mined"
+    # Granularity repairs are exact (weight 1.0), like the paper's rule 1.
+    assert mined["granularity"][0].weight == 1.0
+    # Mined inversions connect the advisor-relation family (rule 2's shape);
+    # each paraphrase template only covers part of the relation, so weights
+    # sit below the paper's 1.0 for the hand-stated rule.
+    top_inversion = mined["inversion"][0]
+    assert top_inversion.weight > 0.3
+    inversion_text = " ".join(r.n3() for r in mined["inversion"])
+    assert "hasStudent" in inversion_text or "studied under" in inversion_text
+    # KG→token rewrites are attenuated (< 1 typical), like rules 3-4.
+    token_rules = examples[3][2]
+    assert all(0.0 < r.weight <= 1.0 for r in token_rules)

@@ -1,0 +1,68 @@
+"""tab-suggest — Section 5's query suggestion, quantified.
+
+"When TriniT determines that matches for these tokens have a significant
+overlap with matches for highly related KG resources, these resources are
+suggested to the user for use in future queries."
+
+Protocol: for each KG predicate that has token paraphrases in the corpus
+(worksAt → 'works at'/'is affiliated with', ...), issue a query using the
+*phrase*, collect suggestions, and check whether the canonical predicate is
+suggested (and at which rank).  Reports suggestion precision@1 and hit rate.
+"""
+
+from conftest import print_artifact
+
+from repro.core.parser import parse_query
+
+#: (query phrase, canonical KG predicate expected as a suggestion)
+PROBES = [
+    ("works at", "affiliation"),
+    ("is affiliated with", "affiliation"),
+    ("was employed by", "affiliation"),
+    ("graduated from", "graduatedFrom"),
+    ("studied at", "graduatedFrom"),
+    ("was born in", "bornIn"),
+    ("died in", "diedIn"),
+    ("is located in", "locatedIn"),
+    ("married", "marriedTo"),
+    ("is a member of", "member"),
+]
+
+
+def test_suggestion_quality_table(benchmark, small_harness):
+    suggester = small_harness.engine.suggester
+
+    def suggest_all():
+        results = []
+        for phrase, _expected in PROBES:
+            query = parse_query(f"?x '{phrase}' ?y")
+            results.append(suggester.resource_suggestions(query))
+        return results
+
+    all_suggestions = benchmark(suggest_all)
+
+    rows = ["token phrase             expected        rank  top suggestion"]
+    rows.append("------------             --------        ----  --------------")
+    hits_at_1 = hits = 0
+    for (phrase, expected), suggestions in zip(PROBES, all_suggestions):
+        replacements = [s.replacement for s in suggestions]
+        rank = replacements.index(expected) + 1 if expected in replacements else 0
+        if rank == 1:
+            hits_at_1 += 1
+        if rank:
+            hits += 1
+        top = replacements[0] if replacements else "(none)"
+        rows.append(
+            f"'{phrase}'".ljust(25)
+            + f"{expected:<15} {rank or '-':<5} {top}"
+        )
+    rows.append("")
+    rows.append(
+        f"hit rate: {hits}/{len(PROBES)}   precision@1: {hits_at_1}/{len(PROBES)}"
+    )
+    print_artifact(
+        "Table (tab-suggest): token→resource suggestion quality", "\n".join(rows)
+    )
+
+    assert hits >= 0.7 * len(PROBES)
+    assert hits_at_1 >= 0.5 * len(PROBES)

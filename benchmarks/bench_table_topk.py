@@ -1,0 +1,71 @@
+"""tab-topk — Section 4: adaptive top-k avoids exploring the rewrite space.
+
+"It is crucial to avoid exploring the entire space of possible rewritings,
+as this can be prohibitively expensive. ... query processing utilizes
+incremental merging of triple patterns and their relaxed forms, invoking a
+relaxation only when it can contribute to the top-k answers."
+
+This bench compares the adaptive processor against reference exhaustive
+evaluation over the same store and rules, for k ∈ {1, 5, 10, 20}: sorted
+accesses, relaxations invoked vs considered, and wall time.  The shape:
+adaptive work grows with k and stays below exhaustive, while answers remain
+identical (verified continuously by the test suite).
+"""
+
+import time
+
+from conftest import print_artifact
+
+from repro.core.parser import parse_query
+
+
+def _workload(harness):
+    world = harness.world
+    queries = []
+    for person in world.people[:6]:
+        queries.append(parse_query(f"{person.id} affiliation ?x"))
+    for org in world.universities[:3]:
+        queries.append(parse_query(f"?x affiliation {org.id}"))
+    queries.append(parse_query("?x 'works at' ?y"))
+    return queries
+
+
+def test_topk_efficiency_table(benchmark, small_harness):
+    engine = small_harness.engine
+    exhaustive = engine.variant(exhaustive=True)
+    queries = _workload(small_harness)
+
+    def run_adaptive_k5():
+        return [engine.ask(q, k=5) for q in queries]
+
+    benchmark(run_adaptive_k5)
+
+    rows = [
+        "k   mode        sorted-acc  relax-invoked/considered  time(ms)",
+        "--  ----------  ----------  ------------------------  --------",
+    ]
+    summary = {}
+    for k in (1, 5, 10, 20):
+        for mode, processor in (("adaptive", engine), ("exhaustive", exhaustive)):
+            accesses = invoked = considered = 0
+            started = time.perf_counter()
+            for query in queries:
+                answers = processor.ask(query, k=k)
+                accesses += answers.stats.sorted_accesses
+                invoked += answers.stats.relaxations_invoked
+                considered += answers.stats.relaxations_considered
+            elapsed_ms = (time.perf_counter() - started) * 1000
+            summary[(k, mode)] = accesses
+            rows.append(
+                f"{k:<3} {mode:<11} {accesses:>10}  "
+                f"{invoked:>10}/{considered:<13} {elapsed_ms:>8.1f}"
+            )
+    print_artifact(
+        "Table (tab-topk): adaptive top-k vs exhaustive evaluation",
+        "\n".join(rows),
+    )
+
+    for k in (1, 5, 10, 20):
+        assert summary[(k, "adaptive")] <= summary[(k, "exhaustive")]
+    # Smaller k must allow earlier termination (weakly monotone work).
+    assert summary[(1, "adaptive")] <= summary[(20, "adaptive")]

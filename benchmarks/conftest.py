@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one exhibit of the paper (see DESIGN.md's
+experiment index).  Benches print their artifact — run with ``-s`` to see the
+regenerated tables/screens — and time the core operation via
+pytest-benchmark.  The expensive harness profiles are session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import EvalHarness
+from repro.kg.paper_example import paper_engine
+
+
+@pytest.fixture(scope="session")
+def small_harness() -> EvalHarness:
+    harness = EvalHarness("small")
+    _ = harness.engine  # force the expensive build once
+    return harness
+
+
+@pytest.fixture(scope="session")
+def medium_harness() -> EvalHarness:
+    harness = EvalHarness("medium")
+    _ = harness.xkg_store
+    return harness
+
+
+@pytest.fixture(scope="session")
+def paper() :
+    return paper_engine()
+
+
+def print_artifact(title: str, body: str) -> None:
+    """Uniform rendering of regenerated exhibits (visible with -s)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,74 @@
+"""The full XKG construction pipeline, step by step.
+
+Section 2 of the paper: run Open IE over Web text, link arguments to KG
+entities, and pour curated facts plus extractions into one extended store.
+This example makes every stage visible:
+
+    world  →  (incomplete) KG  →  text corpus  →  ReVerb extractions
+           →  NED linking      →  XKG store    →  save / reload
+
+Run:  python examples/build_xkg_from_corpus.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.kg.generator import KgGenerator
+from repro.kg.world import World, WorldConfig
+from repro.openie.corpus import CorpusConfig, CorpusGenerator
+from repro.openie.ned import EntityLinker
+from repro.openie.reverb import ReverbExtractor
+from repro.storage.persistence import load_store, save_store
+from repro.xkg.builder import XkgBuilder
+
+
+def main() -> None:
+    # 1. A complete hidden world, and the lossy KG sampled from it.
+    world = World.generate(WorldConfig(num_people=120, seed=42))
+    kg = KgGenerator(world).generate()
+    print(f"world: {len(world.facts)} facts over {len(world.entities)} entities")
+    print(f"KG:    {len(kg.triples)} triples "
+          f"(e.g. worksAt coverage {kg.coverage_of('worksAt'):.0%}, "
+          f"lecturedAt coverage {kg.coverage_of('lecturedAt'):.0%})")
+
+    # 2. A Web-style corpus verbalising the world (including what the KG dropped).
+    documents = CorpusGenerator(
+        world, CorpusConfig(num_popularity_documents=250, seed=42)
+    ).generate()
+    print(f"corpus: {len(documents)} documents")
+    print(f"  sample: \"{documents[0].sentences[0].text}\"")
+
+    # 3. Open IE on one sentence, to see what the extractor produces.
+    extractor = ReverbExtractor()
+    sample = documents[0].sentences[0].text
+    for extraction in extractor.extract(sample):
+        print(f"  ReVerb: {extraction.as_tuple()}  conf={extraction.confidence}")
+
+    # 4. Entity linking quality against the corpus's gold annotations.
+    linker = EntityLinker(world)
+    ned_metrics = linker.evaluate(documents[:100])
+    print(f"NED: precision {ned_metrics['precision']:.2f}, "
+          f"recall {ned_metrics['recall']:.2f}")
+
+    # 5. The XKG: curated KG + extractions, with provenance and confidence.
+    store, report = XkgBuilder(linker=linker).build(kg.triples, documents)
+    print(f"XKG: {report.summary()}")
+
+    # 6. Persistence round-trip.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "xkg.jsonl"
+        written = save_store(store, path)
+        reloaded = load_store(path)
+        print(f"saved {written} triples to JSONL and reloaded "
+              f"{len(reloaded)} — identical: {len(reloaded) == len(store)}")
+
+    # 7. One token triple with its provenance, end to end.
+    token_records = [r for r in store.records() if r.triple.is_token_triple]
+    best = max(token_records, key=lambda r: r.count)
+    print(f"\nmost-observed extraction: {best.triple.n3()}  [x{best.count}]")
+    for provenance in best.provenances[:2]:
+        print(f"  - {provenance.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Plugging in custom relaxation rules and rule-generating operators.
+
+Section 3: "relaxation rules can be specified manually, or automatically
+obtained using rule mining ... TriniT has an API for relaxation operators,
+which administrators and advanced users can use to plug in their code for
+generating relaxation rules and their weights."
+
+This example shows all three extension points:
+  1. a manual rule in the textual syntax,
+  2. a custom operator registered *before* engine construction,
+  3. rules added interactively at runtime.
+
+Run:  python examples/custom_relaxation_rules.py
+"""
+
+from repro.core.engine import TriniT
+from repro.core.terms import Resource, Variable
+from repro.core.triples import TriplePattern
+from repro.kg.paper_example import paper_store
+from repro.relax.operators import OperatorContext, OperatorRegistry, operator
+from repro.relax.rules import RelaxationRule
+
+
+def main() -> None:
+    registry = OperatorRegistry()
+
+    # -- extension point 2: a custom rule-generating operator ---------------
+    # Suppose our deployment knows that 'member' relations are often queried
+    # with the word 'partOf'.  An operator can derive such rules from any
+    # statistics it likes; here it inspects which predicates exist.
+    @operator(registry, "house-style-aliases",
+              description="deployment-specific predicate aliases")
+    def house_style(context: OperatorContext):
+        x, y = Variable("x"), Variable("y")
+        rules = []
+        if Resource("member") in context.statistics.predicates():
+            rules.append(
+                RelaxationRule(
+                    original=(TriplePattern(x, Resource("partOf"), y),),
+                    replacement=(TriplePattern(x, Resource("member"), y),),
+                    weight=0.9,
+                    origin="house-style",
+                    label="partOf is our house style for member",
+                )
+            )
+        return rules
+
+    engine = TriniT(paper_store(), registry=registry)
+    print(f"engine built with {len(engine.rules)} rules")
+    print("operators:", ", ".join(name for name, _e, _d in engine.registry.describe()))
+
+    # The operator's alias works immediately:
+    answers = engine.ask("?x partOf IvyLeague")
+    print("\n?x partOf IvyLeague  ->")
+    for answer in answers:
+        print(f"  {answer.render()}")
+
+    # -- extension point 1+3: manual rules at runtime -----------------------
+    print("\nBefore the manual rule:")
+    print("  AlbertEinstein employer ?x ->",
+          [a.render() for a in engine.ask("AlbertEinstein employer ?x")])
+
+    engine.add_rule("?x employer ?y => ?x affiliation ?y @ 0.95")
+    print("After engine.add_rule('?x employer ?y => ?x affiliation ?y @ 0.95'):")
+    answers = engine.ask("AlbertEinstein employer ?x")
+    for answer in answers:
+        print(f"  {answer.render()}")
+
+    # Every relaxed answer explains which rule produced it:
+    explanation = engine.explain(answers.top())
+    print("\n" + explanation.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""A join-intensive investigative session.
+
+Section 5: "TriniT is specifically geared for these join-intensive queries
+... Such queries typically arise in the advanced information needs of
+journalists, market analysts, and other knowledge workers."
+
+A journalist investigates a prize-winning scientist: who are they, where do
+they really work, who shaped their career, and which other people orbit the
+same institutions — chaining joins across the KG and the XKG, with
+explanations showing which facts came from text extraction.
+
+Run:  python examples/journalist_workflow.py
+"""
+
+from repro.eval.harness import EvalHarness
+
+
+def show(engine, title, query, k=5):
+    print(f"\n=== {title}")
+    print(f"    {query}")
+    answers = engine.ask(query, k=k)
+    if answers.is_empty:
+        print("    (no answers)")
+    for answer in answers:
+        flags = []
+        if answer.derivation.uses_relaxation:
+            flags.append("relaxed")
+        if answer.derivation.uses_xkg:
+            flags.append("via XKG")
+        note = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"    {answer.render()}{note}")
+    return answers
+
+
+def main() -> None:
+    harness = EvalHarness("small")
+    engine = harness.engine
+    world = harness.world
+
+    # Our subject: the most popular prize winner in the generated world.
+    subject = world.facts_of("wonPrize")[0].subject
+    surface = world.entity(subject).surface
+    print(f"Investigating: {surface} ({subject})")
+
+    show(engine, "What prizes did they win?", f"{subject} wonPrize ?x")
+
+    show(
+        engine,
+        "What was the prize for? (KG has no such predicate — XKG only)",
+        f"{subject} 'won a nobel for' ?x",
+    )
+
+    answers = show(
+        engine,
+        "Where do they work — and where do they merely lecture?",
+        f"{subject} affiliation ?x",
+    )
+    if not answers.is_empty:
+        print("\n    provenance of the top answer:")
+        explanation = engine.explain(answers.top(), answers.query)
+        for line in explanation.render().splitlines():
+            print(f"    | {line}")
+
+    show(
+        engine,
+        "Who shaped their career? (advisor, via the user's vocabulary)",
+        f"{subject} hasAdvisor ?x",
+    )
+
+    # The join-intensive finale: colleagues at organisations in the same
+    # city — no single document contains this; it needs joins.
+    city = world.objects_of("orgInCity", world.objects_of("worksAt", subject)[0])
+    if city:
+        show(
+            engine,
+            f"Who else works at an organisation in {world.entity(city[0]).surface}?",
+            f"SELECT ?p WHERE ?p affiliation ?o ; ?o locatedIn {city[0]}",
+            k=8,
+        )
+
+    # Close the loop: let TriniT teach the journalist better vocabulary.
+    print("\n=== What TriniT suggests for future queries")
+    query = engine.parse(f"{subject} 'works at' ?x")
+    for suggestion in engine.suggest(query, engine.ask(query)):
+        print(f"    [{suggestion.kind}] {suggestion.text}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""An exploratory session: from vague tokens to canonical queries.
+
+Section 5, Query Suggestion: "This helps the user to learn more about the
+structure and node/edge labels of the underlying KG, making future queries
+easier to formulate."
+
+The scripted session mimics a user who knows *no* KG vocabulary: they start
+with free-text phrases, read TriniT's suggestions, and reformulate — ending
+with a well-aligned canonical query.
+
+Run:  python examples/query_suggestion_session.py
+"""
+
+from repro.eval.harness import EvalHarness
+
+
+def step(engine, number, description, query_text, k=5):
+    print(f"\n--- step {number}: {description}")
+    print(f"    query: {query_text}")
+    answers = engine.ask(query_text, k=k)
+    for answer in answers:
+        print(f"      {answer.render()}")
+    if answers.is_empty:
+        print("      (no answers)")
+    suggestions = engine.suggest(engine.parse(query_text), answers)
+    for suggestion in suggestions[:4]:
+        print(f"    suggest [{suggestion.kind}]: {suggestion.text}")
+    return answers, suggestions
+
+
+def main() -> None:
+    harness = EvalHarness("small")
+    engine = harness.engine
+    world = harness.world
+
+    org = world.universities[0]
+    print(f"Goal: find out who works at {org.surface} — knowing zero schema.")
+
+    # 1. Pure text query: phrases in the predicate slot.
+    _answers, suggestions = step(
+        engine, 1, "free-text attempt", f"?x 'works at' {org.id}"
+    )
+
+    # 2. The user adopts the suggested canonical predicate.
+    canonical = next(
+        (s.replacement for s in suggestions if s.kind == "resource"),
+        "affiliation",
+    )
+    step(
+        engine,
+        2,
+        f"adopting suggested predicate '{canonical}'",
+        f"?x {canonical} {org.id}",
+    )
+
+    # 3. Drilling deeper with a join — now fluent in the schema.
+    step(
+        engine,
+        3,
+        "join: where did those people study?",
+        f"SELECT ?p ?u WHERE ?p {canonical} {org.id} ; ?p graduatedFrom ?u",
+        k=6,
+    )
+
+    # 4. Auto-completion also guides typing (the Figure 5 input aids).
+    from repro.demo.autocomplete import AutoCompleter
+
+    completer = AutoCompleter(engine.store)
+    prefix = org.id[:4]
+    print(f"\nauto-completion for '{prefix}': "
+          f"{completer.complete_resource(prefix, limit=5)}")
+    print(f"auto-completion for \"'lect\": {completer.complete(chr(39) + 'lect')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""TriniT — exploratory querying of extended knowledge graphs.
+
+A faithful reproduction of *"Exploratory Querying of Extended Knowledge
+Graphs"* (Yahya, Berberich, Ramanath, Weikum — PVLDB 9(13), 2016) and the
+system machinery it demonstrates: extended knowledge graphs that combine a
+curated KG with Open IE token triples, an extended triple-pattern query
+language, weighted query relaxation, query-likelihood answer scoring, and
+adaptive top-k query processing with incremental merging — plus answer
+explanation and query suggestion.
+
+Quickstart::
+
+    from repro import TriniT
+
+    engine = TriniT.from_triples(kg_triples, extension_triples)
+    answers = engine.ask("SELECT ?x WHERE AlbertEinstein affiliation ?x")
+    print(answers.render_table())
+"""
+
+from repro.core import (
+    Answer,
+    AnswerSet,
+    EngineConfig,
+    Explanation,
+    Literal,
+    Provenance,
+    Query,
+    QuerySuggester,
+    Resource,
+    Suggestion,
+    Term,
+    TextToken,
+    TriniT,
+    Triple,
+    TriplePattern,
+    Variable,
+    parse_pattern,
+    parse_query,
+    parse_rule,
+    term_from_text,
+)
+from repro.errors import TrinitError
+from repro.relax import RelaxationRule, RuleSet
+from repro.storage import TripleStore, load_store, save_store
+from repro.topk import ProcessorConfig, TopKProcessor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TriniT",
+    "EngineConfig",
+    "ProcessorConfig",
+    "TopKProcessor",
+    "TripleStore",
+    "save_store",
+    "load_store",
+    "Term",
+    "Resource",
+    "Literal",
+    "TextToken",
+    "Variable",
+    "term_from_text",
+    "Triple",
+    "TriplePattern",
+    "Provenance",
+    "Query",
+    "parse_query",
+    "parse_pattern",
+    "parse_rule",
+    "Answer",
+    "AnswerSet",
+    "Explanation",
+    "Suggestion",
+    "QuerySuggester",
+    "RelaxationRule",
+    "RuleSet",
+    "TrinitError",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""The system protocol shared by TriniT and every baseline."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.query import Query
+from repro.core.terms import Term, Variable
+
+
+class System(Protocol):
+    """Anything the evaluation runner can score.
+
+    ``rank`` returns the system's ranked terms for the benchmark query's
+    target variable — the entity (or phrase) answers graded against the
+    world-derived judgments.
+    """
+
+    name: str
+
+    def rank(self, query: Query, target: Variable, k: int) -> list[Term]: ...

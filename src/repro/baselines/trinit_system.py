@@ -1,0 +1,29 @@
+"""TriniT wrapped in the evaluation System protocol."""
+
+from __future__ import annotations
+
+from repro.core.engine import TriniT
+from repro.core.query import Query
+from repro.core.terms import Term, Variable
+
+
+class TrinitSystem:
+    """Adapter: a (possibly ablated) TriniT engine as an evaluation system."""
+
+    def __init__(self, engine: TriniT, name: str = "trinit"):
+        self.engine = engine
+        self.name = name
+
+    def rank(self, query: Query, target: Variable, k: int) -> list[Term]:
+        answers = self.engine.ask(query, k)
+        ranked: list[Term] = []
+        seen: set[Term] = set()
+        for answer in answers:
+            try:
+                term = answer.value(target)
+            except KeyError:
+                continue
+            if term not in seen:
+                seen.add(term)
+                ranked.append(term)
+        return ranked[:k]

@@ -1,0 +1,42 @@
+"""Core data model and engine facade for TriniT.
+
+The submodules here define the RDF-style data model (terms, triples,
+patterns), the extended query language and its parser, answer objects with
+provenance-based explanations, query suggestion, and the :class:`TriniT`
+engine facade that ties storage, relaxation, scoring and top-k processing
+together.
+"""
+
+from repro.core.terms import Literal, Resource, Term, TextToken, Variable, term_from_text
+from repro.core.triples import Provenance, Triple, TriplePattern
+from repro.core.query import Query
+from repro.core.parser import parse_query, parse_pattern, parse_rule
+from repro.core.results import Answer, AnswerSet, Derivation
+from repro.core.explanation import Explanation, explain_answer
+from repro.core.suggestion import QuerySuggester, Suggestion
+from repro.core.engine import TriniT, EngineConfig
+
+__all__ = [
+    "Term",
+    "Resource",
+    "Literal",
+    "TextToken",
+    "Variable",
+    "term_from_text",
+    "Triple",
+    "TriplePattern",
+    "Provenance",
+    "Query",
+    "parse_query",
+    "parse_pattern",
+    "parse_rule",
+    "Answer",
+    "AnswerSet",
+    "Derivation",
+    "Explanation",
+    "explain_answer",
+    "QuerySuggester",
+    "Suggestion",
+    "TriniT",
+    "EngineConfig",
+]

@@ -1,0 +1,255 @@
+"""The TriniT engine facade — the library's primary public entry point.
+
+Wires together storage, statistics, rule mining (through the relaxation
+operator registry), scoring, top-k processing, explanation and suggestion::
+
+    from repro import TriniT, Triple, Resource
+
+    engine = TriniT.from_triples(kg_triples, extension_triples)
+    answers = engine.ask("SELECT ?x WHERE AlbertEinstein affiliation ?x", k=5)
+    print(answers.render_table())
+    print(engine.explain(answers.top()).render())
+    for suggestion in engine.suggest("?x 'born in' Germany"):
+        print(suggestion.text)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.core.explanation import Explanation, explain_answer
+from repro.core.parser import parse_query, parse_rule
+from repro.core.query import Query
+from repro.core.results import Answer, AnswerSet
+from repro.core.suggestion import QuerySuggester, Suggestion
+from repro.core.triples import Provenance, Triple
+from repro.errors import TrinitError
+from repro.relax.amie import mine_amie_rules
+from repro.relax.esa import esa_rules
+from repro.relax.mining import mine_arg_overlap_rules, mine_chain_expansion_rules
+from repro.relax.operators import OperatorContext, OperatorRegistry
+from repro.relax.rules import RelaxationRule, RuleSet
+from repro.relax.structural import inversion_rules
+from repro.scoring.language_model import PatternScorer, ScoringConfig
+from repro.storage.statistics import StoreStatistics
+from repro.storage.store import TripleStore
+from repro.storage.text_index import TokenMatcher
+from repro.topk.processor import ProcessorConfig, TopKProcessor
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level configuration.
+
+    Attributes
+    ----------
+    processor:
+        Top-k processing knobs (budgets, ablation switches).
+    scoring:
+        Language-model smoothing.
+    mine_arg_overlap, mine_chains, mine_inversions:
+        Default rule-mining operators to register and run at startup.
+    mine_amie, mine_esa:
+        Optional heavier miners (off by default; AMIE-style mining and ESA
+        relatedness are alternatives evaluated in the ablation benches).
+    mining_min_support, mining_min_weight:
+        Shared thresholds for the default miners.
+    suggestion_min_overlap:
+        Threshold for token→resource suggestions.
+    """
+
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    scoring: ScoringConfig = field(default_factory=ScoringConfig)
+    mine_arg_overlap: bool = True
+    mine_chains: bool = True
+    mine_inversions: bool = True
+    mine_amie: bool = False
+    mine_esa: bool = False
+    mining_min_support: int = 2
+    mining_min_weight: float = 0.1
+    suggestion_min_overlap: float = 0.25
+
+
+class TriniT:
+    """Exploratory querying over an extended knowledge graph.
+
+    Parameters
+    ----------
+    store:
+        The XKG triple store (frozen, or it will be frozen here).
+    config:
+        See :class:`EngineConfig`.
+    rules:
+        Extra relaxation rules to start from (e.g. hand-written ones).
+    registry:
+        A custom operator registry; defaults to the standard miners selected
+        by the config flags.  Administrators can pre-register their own
+        operators before constructing the engine.
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        *,
+        config: EngineConfig | None = None,
+        rules: Iterable[RelaxationRule] = (),
+        registry: OperatorRegistry | None = None,
+    ):
+        self.config = config if config is not None else EngineConfig()
+        if not store.is_frozen:
+            store.freeze()
+        self.store = store
+        self.statistics = StoreStatistics(store)
+        self.matcher = TokenMatcher(store)
+        self.scorer = PatternScorer(store, self.config.scoring)
+        self.rules = RuleSet(rules)
+        self.registry = registry if registry is not None else OperatorRegistry()
+        self._register_default_operators()
+        context = OperatorContext(self.store, self.statistics)
+        self.registry.run(context, into=self.rules)
+        self.processor = TopKProcessor(
+            store,
+            rules=self.rules,
+            scorer=self.scorer,
+            matcher=self.matcher,
+            config=self.config.processor,
+        )
+        self.suggester = QuerySuggester(
+            self.statistics,
+            self.matcher,
+            min_overlap=self.config.suggestion_min_overlap,
+        )
+
+    # -- construction helpers -----------------------------------------------------
+
+    @classmethod
+    def from_triples(
+        cls,
+        kg_triples: Sequence[Triple],
+        extension_triples: Sequence[tuple[Triple, Provenance, float]] = (),
+        **kwargs,
+    ) -> "TriniT":
+        """Build an engine from curated triples plus scored extractions.
+
+        ``extension_triples`` entries are (triple, provenance, confidence);
+        repeated statements accumulate observation counts.
+        """
+        store = TripleStore()
+        store.add_all(kg_triples)
+        for triple, provenance, confidence in extension_triples:
+            store.add(triple, provenance, confidence)
+        return cls(store.freeze(), **kwargs)
+
+    def _register_default_operators(self) -> None:
+        cfg = self.config
+
+        if cfg.mine_arg_overlap and "arg-overlap" not in self.registry:
+            self.registry.register(
+                "arg-overlap",
+                lambda ctx: mine_arg_overlap_rules(
+                    ctx.statistics,
+                    min_support=cfg.mining_min_support,
+                    min_weight=cfg.mining_min_weight,
+                ),
+                description="XKG arg-overlap predicate rewrites (paper §3)",
+            )
+        if cfg.mine_chains and "chain-expansion" not in self.registry:
+            self.registry.register(
+                "chain-expansion",
+                lambda ctx: mine_chain_expansion_rules(
+                    ctx.statistics,
+                    min_support=cfg.mining_min_support,
+                ),
+                description="two-hop chain expansions (Figure 4 rule 3 shape)",
+            )
+        if cfg.mine_inversions and "inversions" not in self.registry:
+            self.registry.register(
+                "inversions",
+                lambda ctx: inversion_rules(
+                    ctx.statistics, min_support=cfg.mining_min_support
+                ),
+                description="inverse-predicate rules (Figure 4 rule 2 shape)",
+            )
+        if cfg.mine_amie and "amie" not in self.registry:
+            self.registry.register(
+                "amie",
+                lambda ctx: mine_amie_rules(
+                    ctx.statistics, min_support=cfg.mining_min_support
+                ),
+                description="AMIE-style Horn rules with PCA confidence",
+            )
+        if cfg.mine_esa and "esa" not in self.registry:
+            self.registry.register(
+                "esa",
+                lambda ctx: esa_rules(ctx.statistics),
+                description="ESA relatedness predicate rewrites",
+            )
+
+    # -- querying -----------------------------------------------------------------
+
+    def parse(self, text: str) -> Query:
+        """Parse the textual query syntax."""
+        return parse_query(text)
+
+    def ask(self, query: Query | str, k: int | None = None) -> AnswerSet:
+        """Answer a query (textual or parsed) with top-k processing."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.processor.query(query, k)
+
+    def explain(self, answer: Answer, query: Query | None = None) -> Explanation:
+        """Explanation of an answer's provenance and relaxations."""
+        if answer is None:
+            raise TrinitError("Cannot explain None (empty answer set?)")
+        return explain_answer(answer, query)
+
+    def suggest(
+        self, query: Query | str, answers: AnswerSet | None = None
+    ) -> list[Suggestion]:
+        """Suggestions for better-aligned future queries."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.suggester.suggest(query, answers)
+
+    # -- rule management ------------------------------------------------------------
+
+    def add_rule(self, rule: RelaxationRule | str) -> RelaxationRule:
+        """Add one relaxation rule (object or textual ``lhs => rhs @ w``)."""
+        if isinstance(rule, str):
+            rule = parse_rule(rule)
+        self.processor.add_rules([rule])
+        return rule
+
+    def add_rules(self, rules: Iterable[RelaxationRule | str]) -> int:
+        parsed = [parse_rule(r) if isinstance(r, str) else r for r in rules]
+        return self.processor.add_rules(parsed)
+
+    # -- ablation variants ------------------------------------------------------------
+
+    def variant(self, **processor_overrides) -> "TriniT":
+        """A shallow engine sharing data/rules with different processor knobs.
+
+        Used by the evaluation harness for ablations, e.g.
+        ``engine.variant(use_relaxation=False)``.
+        """
+        clone = object.__new__(TriniT)
+        clone.config = replace(
+            self.config,
+            processor=replace(self.config.processor, **processor_overrides),
+        )
+        clone.store = self.store
+        clone.statistics = self.statistics
+        clone.matcher = self.matcher
+        clone.scorer = self.scorer
+        clone.rules = self.rules
+        clone.registry = self.registry
+        clone.processor = TopKProcessor(
+            self.store,
+            rules=self.rules,
+            scorer=self.scorer,
+            matcher=self.matcher,
+            config=clone.config.processor,
+        )
+        clone.suggester = self.suggester
+        return clone

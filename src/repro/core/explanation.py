@@ -1,0 +1,125 @@
+"""Answer explanations (Section 5, "Answer Explanation").
+
+An explanation shows the three pieces of information the paper names:
+
+(i)   the curated-KG triples that contributed to the answer,
+(ii)  the XKG extension triples that contributed, with their provenance
+      (source document, extraction sentence, extractor),
+(iii) the relaxation rules invoked to obtain the answer — both query-level
+      rewritings and pattern-level relaxations, plus fuzzy token matches.
+
+Everything is reconstructed from the answer's recorded best derivation; no
+re-execution is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import Query
+from repro.core.results import Answer
+from repro.storage.store import StoredTriple
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Structured explanation of one answer."""
+
+    answer: Answer
+    kg_triples: tuple[StoredTriple, ...]
+    xkg_triples: tuple[StoredTriple, ...]
+    rule_lines: tuple[str, ...]
+    token_lines: tuple[str, ...]
+    query: Query | None = None
+
+    @property
+    def used_relaxation(self) -> bool:
+        return bool(self.rule_lines)
+
+    @property
+    def used_xkg(self) -> bool:
+        return bool(self.xkg_triples)
+
+    def render(self) -> str:
+        """Multi-line plain-text rendering (the Figure 6 analogue)."""
+        lines: list[str] = []
+        binding = ", ".join(
+            f"{var.n3()} = {term.n3()}" for var, term in self.answer.binding
+        )
+        lines.append(f"Answer: {binding}")
+        lines.append(f"Score:  {self.answer.score:.4f}")
+        if self.query is not None:
+            lines.append(f"Query:  {self.query.n3()}")
+        if self.answer.num_derivations > 1:
+            lines.append(
+                f"Derivations: {self.answer.num_derivations} "
+                "(score is the maximum over all of them)"
+            )
+        lines.append("")
+        lines.append("KG triples contributing:")
+        if self.kg_triples:
+            for record in self.kg_triples:
+                lines.append(f"  {record.triple.n3()}")
+        else:
+            lines.append("  (none)")
+        lines.append("XKG triples contributing:")
+        if self.xkg_triples:
+            for record in self.xkg_triples:
+                lines.append(f"  {record.triple.n3()}  [x{record.count}]")
+                for provenance in record.provenances[:2]:
+                    lines.append(f"    - {provenance.describe()}")
+        else:
+            lines.append("  (none)")
+        lines.append("Relaxation rules invoked:")
+        if self.rule_lines:
+            for line in self.rule_lines:
+                lines.append(f"  {line}")
+        else:
+            lines.append("  (none — exact match)")
+        if self.token_lines:
+            lines.append("Token matches:")
+            for line in self.token_lines:
+                lines.append(f"  {line}")
+        return "\n".join(lines)
+
+
+def explain_answer(answer: Answer, query: Query | None = None) -> Explanation:
+    """Build the :class:`Explanation` for ``answer`` from its derivation."""
+    derivation = answer.derivation
+    kg_triples: list[StoredTriple] = []
+    xkg_triples: list[StoredTriple] = []
+    for record in derivation.triples_used():
+        is_extension = record.triple.is_token_triple or any(
+            p.is_extraction for p in record.provenances
+        )
+        target = xkg_triples if is_extension else kg_triples
+        if record not in target:
+            target.append(record)
+
+    rule_lines: list[str] = []
+    for application in derivation.rewriting:
+        rule_lines.append(f"[query rewrite] {application.describe()}")
+    for match in derivation.matches:
+        if match.rule is not None:
+            rule_lines.append(
+                f"[pattern relax] {match.rule.describe()} "
+                f"→ matched {match.pattern.n3()}"
+            )
+
+    token_lines: list[str] = []
+    for match in derivation.matches:
+        for token_match in match.token_matches:
+            if token_match.similarity < 1.0:
+                token_lines.append(
+                    f"matched {token_match.token.n3()} with similarity "
+                    f"{token_match.similarity:.2f}"
+                )
+
+    return Explanation(
+        answer=answer,
+        kg_triples=tuple(kg_triples),
+        xkg_triples=tuple(xkg_triples),
+        rule_lines=tuple(rule_lines),
+        token_lines=tuple(token_lines),
+        query=query,
+    )

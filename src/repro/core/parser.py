@@ -1,0 +1,172 @@
+"""Parser for the textual form of the extended query language.
+
+Grammar (whitespace-separated, case-sensitive keywords)::
+
+    query    :=  [ 'SELECT' var+ 'WHERE' ] pattern ( ';' pattern )* [ 'LIMIT' int ]
+    pattern  :=  term term term
+    term     :=  '?name'                 (variable)
+              |  'phrase with spaces'    (text token, single quotes)
+              |  "literal value"         (literal, double quotes)
+              |  bareword                (KG resource)
+    rule     :=  pattern ( ';' pattern )* '=>' pattern ( ';' pattern )* [ '@' weight ]
+
+Examples::
+
+    ?x bornIn Germany
+    SELECT ?x WHERE AlbertEinstein affiliation ?x ; ?x member IvyLeague
+    AlbertEinstein 'won nobel for' ?x LIMIT 5
+    ?x affiliation ?y => ?x 'lectured at' ?y @ 0.7
+"""
+
+from __future__ import annotations
+
+from repro.core.query import Query
+from repro.core.terms import Term, Variable, term_from_text
+from repro.core.triples import TriplePattern
+from repro.errors import ParseError
+
+
+def _lex(text: str) -> list[str]:
+    """Split query text into tokens, keeping quoted phrases intact.
+
+    ``;`` and ``.`` act as pattern separators and are emitted as their own
+    tokens even when glued to a term.
+    """
+    tokens: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c.isspace():
+            i += 1
+            continue
+        if c in ";.":
+            # A '.' inside a bareword (e.g. a decimal weight) is handled by
+            # the caller; at the top level '.' only appears as a separator.
+            tokens.append(";")
+            i += 1
+            continue
+        if c in "'\"":
+            end = text.find(c, i + 1)
+            if end == -1:
+                raise ParseError(f"Unterminated quote starting at offset {i}", text, i)
+            tokens.append(text[i : end + 1])
+            i = end + 1
+            continue
+        j = i
+        while j < n and not text[j].isspace() and text[j] not in ";":
+            j += 1
+        tokens.append(text[i:j])
+        i = j
+    return tokens
+
+
+def _parse_patterns(tokens: list[str], source: str) -> list[TriplePattern]:
+    """Parse a ';'-separated sequence of 3-term patterns."""
+    patterns: list[TriplePattern] = []
+    group: list[Term] = []
+    for tok in tokens:
+        if tok == ";":
+            if group:
+                patterns.append(_close_pattern(group, source))
+                group = []
+            continue
+        try:
+            group.append(term_from_text(tok))
+        except Exception as exc:  # TermError carries the detail
+            raise ParseError(f"Bad term {tok!r}: {exc}", source) from exc
+        if len(group) == 3:
+            # Patterns may also be separated by just starting the next triple.
+            pass
+    if group:
+        patterns.append(_close_pattern(group, source))
+    if not patterns:
+        raise ParseError("No triple patterns found", source)
+    return patterns
+
+
+def _close_pattern(group: list[Term], source: str) -> TriplePattern:
+    if len(group) != 3:
+        rendered = " ".join(t.n3() for t in group)
+        raise ParseError(
+            f"Triple pattern needs exactly 3 terms, got {len(group)}: {rendered!r}",
+            source,
+        )
+    return TriplePattern(group[0], group[1], group[2])
+
+
+def parse_pattern(text: str) -> TriplePattern:
+    """Parse a single triple pattern.
+
+    >>> parse_pattern("?x bornIn Germany")
+    TriplePattern(s=Variable('x'), p=Resource('bornIn'), o=Resource('Germany'))
+    """
+    tokens = _lex(text)
+    patterns = _parse_patterns(tokens, text)
+    if len(patterns) != 1:
+        raise ParseError(f"Expected one pattern, found {len(patterns)}", text)
+    return patterns[0]
+
+
+def parse_query(text: str, default_limit: int = 10) -> Query:
+    """Parse the full query syntax (see module docstring).
+
+    >>> q = parse_query("SELECT ?x WHERE AlbertEinstein affiliation ?x ; "
+    ...                 "?x member IvyLeague LIMIT 3")
+    >>> len(q.patterns), q.limit
+    (2, 3)
+    """
+    if not text or not text.strip():
+        raise ParseError("Empty query", text)
+    tokens = _lex(text)
+
+    limit = default_limit
+    if len(tokens) >= 2 and tokens[-2] == "LIMIT":
+        try:
+            limit = int(tokens[-1])
+        except ValueError as exc:
+            raise ParseError(f"Bad LIMIT value {tokens[-1]!r}", text) from exc
+        tokens = tokens[:-2]
+
+    projection: list[Variable] = []
+    if tokens and tokens[0] == "SELECT":
+        try:
+            where = tokens.index("WHERE")
+        except ValueError as exc:
+            raise ParseError("SELECT without WHERE", text) from exc
+        for tok in tokens[1:where]:
+            term = term_from_text(tok)
+            if not isinstance(term, Variable):
+                raise ParseError(f"SELECT clause admits only variables, got {tok!r}", text)
+            projection.append(term)
+        if not projection:
+            raise ParseError("Empty SELECT clause", text)
+        tokens = tokens[where + 1 :]
+
+    patterns = _parse_patterns(tokens, text)
+    return Query(patterns, projection, limit)
+
+
+def parse_rule(text: str):
+    """Parse a relaxation rule: ``lhs => rhs [@ weight]``.
+
+    Returns a :class:`repro.relax.rules.RelaxationRule`.  Declared here so
+    rules can be written in the same surface syntax as queries::
+
+        ?x hasAdvisor ?y => ?y hasStudent ?x @ 1.0
+        ?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y @ 0.8
+    """
+    from repro.relax.rules import RelaxationRule  # deferred: avoids cycle
+
+    if "=>" not in text:
+        raise ParseError("A rule needs '=>' between original and replacement", text)
+    lhs_text, rhs_text = text.split("=>", 1)
+    weight = 1.0
+    if "@" in rhs_text:
+        rhs_text, weight_text = rhs_text.rsplit("@", 1)
+        try:
+            weight = float(weight_text.strip())
+        except ValueError as exc:
+            raise ParseError(f"Bad rule weight {weight_text.strip()!r}", text) from exc
+    lhs = _parse_patterns(_lex(lhs_text), text)
+    rhs = _parse_patterns(_lex(rhs_text), text)
+    return RelaxationRule(tuple(lhs), tuple(rhs), weight, origin="manual")

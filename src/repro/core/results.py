@@ -1,0 +1,190 @@
+"""Answers, derivations, and answer sets.
+
+An :class:`Answer` is a binding of the query's projection variables, scored
+by the maximum over all of its derivations.  A :class:`Derivation` records
+*how* one way of obtaining the answer matched the (possibly rewritten) query:
+which stored triples matched which patterns, which query-level rule
+applications rewrote the query, which pattern-level rules and token
+expansions were used.  Explanations (Section 5) are rendered from this
+record, so every answer is explainable without re-running the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.query import Query
+from repro.core.terms import Term, Variable
+from repro.core.triples import TriplePattern
+from repro.relax.rules import RelaxationRule, RuleApplication
+from repro.storage.store import StoredTriple
+from repro.storage.text_index import TokenMatch
+
+#: A hashable binding: ((variable, term), ...) sorted by variable name.
+BindingKey = tuple[tuple[Variable, Term], ...]
+
+
+def binding_key(binding: Mapping[Variable, Term]) -> BindingKey:
+    """Canonical hashable form of a variable binding."""
+    return tuple(sorted(binding.items(), key=lambda kv: kv[0].name))
+
+
+@dataclass(frozen=True)
+class PatternMatchInfo:
+    """How a single evaluated pattern was matched.
+
+    Attributes
+    ----------
+    pattern:
+        The pattern as evaluated against the store (after rewriting, token
+        expansion, and pattern-level relaxation).
+    records:
+        The stored triple(s) that matched — one for a plain pattern, several
+        when a pattern-level rule expanded the pattern into a sub-join.
+    score:
+        The per-pattern score including all multipliers.
+    rule:
+        Pattern-level relaxation rule used, if any.
+    token_matches:
+        Token expansions applied (query phrase → stored phrase).
+    """
+
+    pattern: TriplePattern
+    records: tuple[StoredTriple, ...]
+    score: float
+    rule: RelaxationRule | None = None
+    token_matches: tuple[TokenMatch, ...] = ()
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One complete way an answer was obtained."""
+
+    matches: tuple[PatternMatchInfo, ...]
+    rewriting: tuple[RuleApplication, ...] = ()
+    rewriting_weight: float = 1.0
+
+    def rules_used(self) -> list[RelaxationRule]:
+        """Every distinct rule involved, query-level first."""
+        rules: list[RelaxationRule] = []
+        for app in self.rewriting:
+            if app.rule not in rules:
+                rules.append(app.rule)
+        for match in self.matches:
+            if match.rule is not None and match.rule not in rules:
+                rules.append(match.rule)
+        return rules
+
+    def triples_used(self) -> list[StoredTriple]:
+        """Every stored triple contributing, in pattern order."""
+        return [record for match in self.matches for record in match.records]
+
+    def token_matches_used(self) -> list[TokenMatch]:
+        return [tm for match in self.matches for tm in match.token_matches]
+
+    @property
+    def uses_relaxation(self) -> bool:
+        return bool(self.rewriting) or any(m.rule is not None for m in self.matches)
+
+    @property
+    def uses_xkg(self) -> bool:
+        """True when any contributing triple is an Open IE extension triple."""
+        return any(
+            record.triple.is_token_triple or
+            any(p.is_extraction for p in record.provenances)
+            for record in self.triples_used()
+        )
+
+
+@dataclass(frozen=True)
+class Answer:
+    """A scored projection-variable binding with its best derivation."""
+
+    binding: BindingKey
+    score: float
+    derivation: Derivation
+    num_derivations: int = 1
+
+    def value(self, variable: Variable | str) -> Term:
+        """The term bound to ``variable`` (by Variable or bare name)."""
+        name = variable.name if isinstance(variable, Variable) else variable
+        for var, term in self.binding:
+            if var.name == name:
+                return term
+        raise KeyError(f"No binding for variable ?{name}")
+
+    def as_dict(self) -> dict[Variable, Term]:
+        return dict(self.binding)
+
+    def render(self) -> str:
+        parts = ", ".join(f"{var.n3()}={term.n3()}" for var, term in self.binding)
+        return f"{parts}  (score {self.score:.4f})"
+
+
+@dataclass
+class QueryStats:
+    """Work counters filled in by the top-k processor (efficiency bench)."""
+
+    sorted_accesses: int = 0
+    cursors_opened: int = 0
+    relaxations_considered: int = 0
+    relaxations_invoked: int = 0
+    rewritings_enumerated: int = 0
+    rewritings_processed: int = 0
+    candidates_formed: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class AnswerSet:
+    """Ranked answers for one query, plus processing statistics."""
+
+    query: Query
+    answers: list[Answer] = field(default_factory=list)
+    k: int = 10
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __iter__(self) -> Iterator[Answer]:
+        return iter(self.answers)
+
+    def __getitem__(self, index: int) -> Answer:
+        return self.answers[index]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.answers
+
+    def top(self) -> Answer | None:
+        return self.answers[0] if self.answers else None
+
+    def bindings(self) -> list[dict[Variable, Term]]:
+        return [answer.as_dict() for answer in self.answers]
+
+    def terms_for(self, variable: Variable | str) -> list[Term]:
+        """The ranked terms bound to one projection variable."""
+        return [answer.value(variable) for answer in self.answers]
+
+    def render_table(self) -> str:
+        """Plain-text result table (used by the demo interface)."""
+        if not self.answers:
+            return "(no answers)"
+        headers = [var.n3() for var, _t in self.answers[0].binding] + ["score"]
+        rows = [
+            [term.n3() for _v, term in answer.binding] + [f"{answer.score:.4f}"]
+            for answer in self.answers
+        ]
+        widths = [
+            max(len(headers[col]), *(len(row[col]) for row in rows))
+            for col in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)

@@ -1,0 +1,282 @@
+"""RDF-style terms for the extended knowledge graph.
+
+The paper's data model distinguishes four kinds of term:
+
+* :class:`Resource` — a canonical KG node or edge label
+  (``AlbertEinstein``, ``bornIn``, ``city``).  Resources are what a curated
+  KG like Yago2s contains.
+* :class:`Literal` — a typed value (``'1879-03-14'``, ``42``, a plain
+  string).  Literals appear only in the object slot of curated facts.
+* :class:`TextToken` — a free-text phrase produced by Open IE
+  (``'won a Nobel for'``).  The XKG extension allows tokens in *any* of the
+  S, P, O slots; the extended query language does too.
+* :class:`Variable` — a query variable (``?x``); never stored in data.
+
+Terms are immutable, hashable, and totally ordered (by kind then lexical
+value) so index layouts and result orders are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Union
+
+from repro.errors import TermError
+from repro.util.text import match_key, normalize_phrase
+
+# Sort rank per term kind: resources < literals < tokens < variables.
+_KIND_RANK = {"resource": 0, "literal": 1, "token": 2, "variable": 3}
+
+
+@dataclass(frozen=True, slots=True)
+class Term:
+    """Abstract base for all term kinds.  Do not instantiate directly."""
+
+    def sort_key(self) -> tuple[int, str]:
+        """Total order over heterogeneous terms: kind rank, then lexical value."""
+        return (_KIND_RANK[self.kind], self.lexical())
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+    def lexical(self) -> str:
+        """The term's lexical value, without kind markers."""
+        raise NotImplementedError
+
+    def n3(self) -> str:
+        """Render in the textual syntax understood by the query parser."""
+        raise NotImplementedError
+
+    @property
+    def is_variable(self) -> bool:
+        return self.kind == "variable"
+
+    @property
+    def is_constant(self) -> bool:
+        return self.kind != "variable"
+
+    @property
+    def is_token(self) -> bool:
+        return self.kind == "token"
+
+    @property
+    def is_resource(self) -> bool:
+        return self.kind == "resource"
+
+    @property
+    def is_literal(self) -> bool:
+        return self.kind == "literal"
+
+    def __lt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+
+@dataclass(frozen=True, slots=True)
+class Resource(Term):
+    """A canonical KG resource: entity, class, or predicate.
+
+    Names follow the Yago convention of CamelCase identifiers without
+    whitespace (``AlbertEinstein``, ``bornIn``).  A name must be non-empty
+    and free of whitespace and quote characters.
+    """
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise TermError("Resource name must be non-empty")
+        if any(c.isspace() for c in self.name):
+            raise TermError(f"Resource name may not contain whitespace: {self.name!r}")
+        if "'" in self.name or '"' in self.name:
+            raise TermError(f"Resource name may not contain quotes: {self.name!r}")
+
+    @property
+    def kind(self) -> str:
+        return "resource"
+
+    def lexical(self) -> str:
+        return self.name
+
+    def n3(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Resource({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal(Term):
+    """A typed literal value: string, int, float, or ISO date.
+
+    Values are stored in canonical form; the datatype is derived from the
+    Python type rather than carried separately, mirroring how RDF literals
+    in the paper's examples are simple quoted values (``'1879-03-14'``).
+    """
+
+    value: Union[str, int, float, date]
+
+    def __post_init__(self):
+        if not isinstance(self.value, (str, int, float, date)):
+            raise TermError(f"Unsupported literal type: {type(self.value).__name__}")
+        if isinstance(self.value, bool):
+            raise TermError("Boolean literals are not part of the data model")
+
+    @property
+    def kind(self) -> str:
+        return "literal"
+
+    @property
+    def datatype(self) -> str:
+        """One of 'string', 'integer', 'double', 'date'."""
+        if isinstance(self.value, str):
+            return "string"
+        if isinstance(self.value, int):
+            return "integer"
+        if isinstance(self.value, float):
+            return "double"
+        return "date"
+
+    def lexical(self) -> str:
+        if isinstance(self.value, date):
+            return self.value.isoformat()
+        return str(self.value)
+
+    def n3(self) -> str:
+        return f'"{self.lexical()}"'
+
+    def __str__(self) -> str:
+        return self.n3()
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class TextToken(Term):
+    """A free-text phrase from Open IE, usable in any S/P/O slot.
+
+    The surface form is normalised on construction (whitespace collapsed,
+    lower-cased, punctuation stripped) so that two extractions of the same
+    phrase are the same term.  ``match_key(predicate=...)`` exposes the
+    stemmed content-token key used for fuzzy phrase matching.
+    """
+
+    text: str
+    # The normalised form is the identity; computed eagerly in __post_init__.
+    norm: str = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if not self.text or not self.text.strip():
+            raise TermError("TextToken must contain at least one character")
+        object.__setattr__(self, "norm", normalize_phrase(self.text))
+        if not self.norm:
+            raise TermError(f"TextToken normalises to nothing: {self.text!r}")
+
+    # Identity is the normalised form, not the raw surface string.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TextToken):
+            return NotImplemented
+        return self.norm == other.norm
+
+    def __hash__(self) -> int:
+        return hash(("token", self.norm))
+
+    @property
+    def kind(self) -> str:
+        return "token"
+
+    def lexical(self) -> str:
+        return self.norm
+
+    def match_key(self, *, predicate: bool = False) -> tuple[str, ...]:
+        """Stemmed content-token key for fuzzy matching (see util.text)."""
+        return match_key(self.norm, predicate=predicate)
+
+    def n3(self) -> str:
+        return f"'{self.norm}'"
+
+    def __str__(self) -> str:
+        return self.n3()
+
+    def __repr__(self) -> str:
+        return f"TextToken({self.norm!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(Term):
+    """A query variable such as ``?x``.  Only valid inside patterns."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise TermError("Variable name must be non-empty")
+        if not all(c.isalnum() or c == "_" for c in self.name):
+            raise TermError(f"Variable name must be alphanumeric: {self.name!r}")
+
+    @property
+    def kind(self) -> str:
+        return "variable"
+
+    def lexical(self) -> str:
+        return self.name
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+def term_from_text(text: str) -> Term:
+    """Parse a single term from its textual syntax.
+
+    * ``?x`` → :class:`Variable`
+    * ``'phrase here'`` → :class:`TextToken`
+    * ``"value"`` → :class:`Literal` (string; digits/dates auto-typed)
+    * anything else → :class:`Resource`
+
+    >>> term_from_text("?x")
+    Variable('x')
+    >>> term_from_text("'won nobel for'")
+    TextToken('won nobel for')
+    >>> term_from_text("AlbertEinstein")
+    Resource('AlbertEinstein')
+    """
+    text = text.strip()
+    if not text:
+        raise TermError("Empty term text")
+    if text.startswith("?"):
+        return Variable(text[1:])
+    if len(text) >= 2 and text[0] == "'" and text[-1] == "'":
+        return TextToken(text[1:-1])
+    if len(text) >= 2 and text[0] == '"' and text[-1] == '"':
+        return Literal(_auto_type(text[1:-1]))
+    return Resource(text)
+
+
+def _auto_type(raw: str) -> Union[str, int, float, date]:
+    """Best-effort typing of a quoted literal: date, int, float, else string."""
+    try:
+        return date.fromisoformat(raw)
+    except ValueError:
+        pass
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw

@@ -1,0 +1,14 @@
+"""The demonstration interface (Section 5) as a terminal application.
+
+The paper demonstrates TriniT through a browser UI (Figures 5–6 are
+screenshots of the query form and the answer-explanation view).  This
+package renders the same information as deterministic text screens —
+:mod:`interface` — with :mod:`autocomplete` supplying the input guidance the
+paper describes, and :mod:`cli` wiring both into an interactive terminal
+session over the paper's example data or a generated XKG.
+"""
+
+from repro.demo.autocomplete import AutoCompleter
+from repro.demo.interface import DemoSession
+
+__all__ = ["AutoCompleter", "DemoSession"]

@@ -1,0 +1,90 @@
+"""Auto-completion for the query interface.
+
+"User input is eased by auto-completion, guiding users towards meaningful
+query formulations.  Each of the SPO fields in a triple pattern accepts
+either a canonical KG resource or a textual token" — completion therefore
+covers both: resource names by prefix, and stored token phrases by prefix
+of any content word.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.core.terms import Resource, TextToken
+from repro.storage.store import TripleStore
+
+
+class AutoCompleter:
+    """Prefix completion over a frozen store's vocabulary."""
+
+    def __init__(self, store: TripleStore):
+        resources: set[str] = set()
+        phrases: set[str] = set()
+        for record in store.records():
+            for term in record.triple.terms():
+                if isinstance(term, Resource):
+                    resources.add(term.name)
+                elif isinstance(term, TextToken):
+                    phrases.add(term.norm)
+        self._resources = sorted(resources)
+        self._resources_lower = [name.lower() for name in self._resources]
+        self._phrases = sorted(phrases)
+        # word -> phrases containing it (for mid-phrase completion)
+        self._word_index: dict[str, list[str]] = {}
+        for phrase in self._phrases:
+            for word in phrase.split():
+                self._word_index.setdefault(word, []).append(phrase)
+
+    def complete_resource(self, prefix: str, limit: int = 10) -> list[str]:
+        """Resource names starting with ``prefix`` (case-insensitive).
+
+        >>> # e.g. complete_resource("Alb") -> ["AlbertEinstein", ...]
+        """
+        needle = prefix.lower()
+        start = bisect.bisect_left(self._resources_lower, needle)
+        results: list[str] = []
+        for index in range(start, len(self._resources)):
+            if not self._resources_lower[index].startswith(needle):
+                break
+            results.append(self._resources[index])
+            if len(results) >= limit:
+                break
+        return results
+
+    def complete_phrase(self, prefix: str, limit: int = 10) -> list[str]:
+        """Stored token phrases whose any word starts with ``prefix``."""
+        needle = prefix.lower().strip()
+        if not needle:
+            return self._phrases[:limit]
+        results: list[str] = []
+        for phrase in self._phrases:
+            if phrase.startswith(needle):
+                results.append(phrase)
+                if len(results) >= limit:
+                    return results
+        # Fall back to word-level prefix matches.
+        for word in sorted(self._word_index):
+            if word.startswith(needle):
+                for phrase in self._word_index[word]:
+                    if phrase not in results:
+                        results.append(phrase)
+                        if len(results) >= limit:
+                            return results
+        return results
+
+    def complete(self, fragment: str, limit: int = 10) -> list[str]:
+        """Completion for one SPO field: variables, resources, or phrases.
+
+        Fragments starting with ``?`` complete to nothing (variables are
+        free), ``'``-prefixed fragments complete against phrases (returned
+        quoted), everything else against resources.
+        """
+        if fragment.startswith("?"):
+            return []
+        if fragment.startswith("'"):
+            return [
+                f"'{phrase}'"
+                for phrase in self.complete_phrase(fragment[1:].rstrip("'"), limit)
+            ]
+        return self.complete_resource(fragment, limit)

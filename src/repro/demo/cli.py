@@ -1,0 +1,140 @@
+"""The ``trinit`` command-line demo.
+
+Examples::
+
+    trinit --query "?x bornIn Germany"
+    trinit --query "AlbertEinstein affiliation ?x ; ?x member IvyLeague" --explain
+    trinit --dataset generated --query "..." --k 5
+    trinit --interactive
+
+The default dataset is the paper's running example (Figures 1, 3, 4); the
+``generated`` dataset builds the small-profile synthetic XKG with mined
+rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.engine import TriniT
+from repro.demo.autocomplete import AutoCompleter
+from repro.demo.interface import DemoSession
+
+
+def _build_engine(dataset: str) -> TriniT:
+    if dataset == "paper":
+        from repro.kg.paper_example import paper_engine
+
+        return paper_engine()
+    if dataset == "generated":
+        from repro.eval.harness import EvalHarness
+
+        return EvalHarness("small").engine
+    raise SystemExit(f"Unknown dataset: {dataset!r} (use 'paper' or 'generated')")
+
+
+def _interactive(session: DemoSession, completer: AutoCompleter) -> int:
+    print("TriniT interactive demo.  Commands:")
+    print("  <query>            run a query (e.g.  ?x bornIn Germany )")
+    print("  :rule <rule>       add a relaxation rule (lhs => rhs @ w)")
+    print("  :explain <rank>    explain the i-th answer of the last query")
+    print("  :suggest           suggestions for the last query")
+    print("  :complete <frag>   auto-complete a term fragment")
+    print("  :quit")
+    last_query_text = ""
+    while True:
+        try:
+            line = input("trinit> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not line:
+            continue
+        if line in (":quit", ":q", "exit"):
+            return 0
+        try:
+            if line.startswith(":rule "):
+                added = session.add_user_rule(line[len(":rule "):])
+                print(f"added: {added}")
+            elif line.startswith(":explain"):
+                if session.last_answers is None or session.last_answers.is_empty:
+                    print("no answers to explain")
+                    continue
+                parts = line.split()
+                rank = int(parts[1]) if len(parts) > 1 else 1
+                answer = session.last_answers[rank - 1]
+                print(session.render_explanation_screen(answer))
+            elif line == ":suggest":
+                if not last_query_text:
+                    print("run a query first")
+                    continue
+                print(session.render_suggestion_screen(last_query_text))
+            elif line.startswith(":complete "):
+                for option in completer.complete(line[len(":complete "):]):
+                    print(f"  {option}")
+            else:
+                last_query_text = line
+                print(session.render_query_screen(line))
+        except Exception as exc:  # demo shell: show, don't crash
+            print(f"error: {exc}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="trinit",
+        description="TriniT demo: exploratory querying of extended knowledge graphs",
+    )
+    parser.add_argument(
+        "--dataset",
+        default="paper",
+        choices=("paper", "generated"),
+        help="data to query: the paper's Figures 1+3 example, or a generated XKG",
+    )
+    parser.add_argument("--query", help="query in the textual syntax")
+    parser.add_argument("--k", type=int, default=10, help="number of answers")
+    parser.add_argument(
+        "--explain", action="store_true", help="also explain the top answer"
+    )
+    parser.add_argument(
+        "--suggest", action="store_true", help="also print query suggestions"
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=[],
+        help="add a relaxation rule (repeatable): 'lhs => rhs @ w'",
+    )
+    parser.add_argument(
+        "--interactive", action="store_true", help="interactive shell"
+    )
+    args = parser.parse_args(argv)
+
+    engine = _build_engine(args.dataset)
+    session = DemoSession(engine)
+    for rule_text in args.rule:
+        session.add_user_rule(rule_text)
+
+    if args.interactive:
+        return _interactive(session, AutoCompleter(engine.store))
+
+    if not args.query:
+        parser.print_help()
+        return 2
+
+    print(session.render_query_screen(args.query, args.k))
+    if args.explain and session.last_answers and not session.last_answers.is_empty:
+        print()
+        print(
+            session.render_explanation_screen(
+                session.last_answers[0], session.last_answers.query
+            )
+        )
+    if args.suggest:
+        print()
+        print(session.render_suggestion_screen(args.query))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Text renderings of the demo's two screens (Figures 5 and 6).
+
+:class:`DemoSession` wraps an engine and produces deterministic plain-text
+"screenshots": the query screen shows the triple-pattern form, the user's
+relaxation rules and the ranked answers (Figure 5); the explanation screen
+shows one answer's provenance (Figure 6).  The CLI and the fig5/fig6 benches
+render through this module, so the paper's screens are regenerable
+artifacts.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.core.engine import TriniT
+from repro.core.query import Query
+from repro.core.results import Answer, AnswerSet
+
+_WIDTH = 74
+
+
+def _box(title: str, body_lines: list[str]) -> str:
+    top = f"+-- {title} " + "-" * max(0, _WIDTH - len(title) - 6) + "+"
+    bottom = "+" + "-" * (_WIDTH - 2) + "+"
+    inner = _WIDTH - 4
+    framed = [top]
+    for line in body_lines:
+        # Word-wrap long lines (continuations indented) rather than
+        # truncating: explanations must stay readable in full.
+        wrapped = textwrap.wrap(
+            line,
+            width=inner,
+            subsequent_indent="    ",
+            drop_whitespace=False,
+            break_long_words=False,
+        ) or [""]
+        for chunk in wrapped:
+            framed.append(f"| {chunk[:inner].ljust(inner)} |")
+    framed.append(bottom)
+    return "\n".join(framed)
+
+
+class DemoSession:
+    """One interactive TriniT session with rendered screens."""
+
+    def __init__(self, engine: TriniT):
+        self.engine = engine
+        self.user_rules: list[str] = []
+        self.last_answers: AnswerSet | None = None
+
+    # -- user actions ------------------------------------------------------------
+
+    def add_user_rule(self, rule_text: str) -> str:
+        """Register an interactively supplied relaxation rule."""
+        rule = self.engine.add_rule(rule_text)
+        self.user_rules.append(rule.n3())
+        return rule.n3()
+
+    def run(self, query_text: str, k: int = 10) -> AnswerSet:
+        self.last_answers = self.engine.ask(query_text, k)
+        return self.last_answers
+
+    # -- screens ------------------------------------------------------------
+
+    def render_query_screen(self, query_text: str, k: int = 10) -> str:
+        """The Figure 5 analogue: query form, user rules, ranked answers."""
+        query = self.engine.parse(query_text)
+        answers = self.run(query_text, k)
+        body: list[str] = ["TriniT - Exploratory Querying of Extended Knowledge Graphs", ""]
+        body.append("Triple patterns:")
+        for index, pattern in enumerate(query.patterns, start=1):
+            body.append(f"  [{index}]  S: {pattern.s.n3():<24} "
+                        f"P: {pattern.p.n3():<20} O: {pattern.o.n3()}")
+        body.append(f"Results requested: {k}")
+        body.append("")
+        body.append("User relaxation rules:")
+        if self.user_rules:
+            for rule in self.user_rules:
+                body.append(f"  - {rule}")
+        else:
+            body.append("  (none - automatic relaxation only)")
+        body.append("")
+        body.append("Answers:")
+        if answers.is_empty:
+            body.append("  (no answers)")
+        else:
+            for rank, answer in enumerate(answers, start=1):
+                binding = ", ".join(
+                    f"{var.n3()}={term.n3()}" for var, term in answer.binding
+                )
+                marker = "*" if answer.derivation.uses_relaxation else " "
+                body.append(f"  {rank:>2}.{marker} {binding}  [{answer.score:.4f}]")
+            body.append("")
+            body.append("  (* = obtained through relaxation; select an answer")
+            body.append("   and press 'e' for its explanation)")
+        return _box("Query Interface", body)
+
+    def render_explanation_screen(self, answer: Answer, query: Query | None = None) -> str:
+        """The Figure 6 analogue: one answer's provenance."""
+        explanation = self.engine.explain(answer, query)
+        return _box("Answer Explanation", explanation.render().splitlines())
+
+    def render_suggestion_screen(self, query_text: str) -> str:
+        """Query suggestions for the last/given query."""
+        query = self.engine.parse(query_text)
+        suggestions = self.engine.suggest(query, self.last_answers)
+        body = [f"Suggestions for: {query.n3()}", ""]
+        if not suggestions:
+            body.append("(no suggestions)")
+        for suggestion in suggestions:
+            body.append(f"[{suggestion.kind}] ({suggestion.score:.2f})")
+            body.append(f"  {suggestion.text}")
+        return _box("Query Suggestions", body)

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the TriniT reproduction.
+
+All library-specific errors derive from :class:`TrinitError` so callers can
+catch one base class.  Subclasses exist per subsystem so tests and
+applications can discriminate failure modes precisely.
+"""
+
+from __future__ import annotations
+
+
+class TrinitError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TermError(TrinitError):
+    """An RDF-style term was constructed or combined incorrectly."""
+
+
+class PatternError(TrinitError):
+    """A triple pattern is malformed (e.g. no variable and no constant)."""
+
+
+class QueryError(TrinitError):
+    """A query is malformed (empty, disconnected projection, ...)."""
+
+
+class ParseError(QueryError):
+    """The textual query syntax could not be parsed.
+
+    Attributes
+    ----------
+    text:
+        The offending input fragment.
+    position:
+        Character offset of the error within the full input, if known.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class StorageError(TrinitError):
+    """The triple store was used inconsistently (unknown id, frozen store...)."""
+
+
+class DictionaryError(StorageError):
+    """Term dictionary lookup failed for an unknown id or term."""
+
+
+class PersistenceError(StorageError):
+    """Saving or loading a store failed or the on-disk format is invalid."""
+
+
+class RelaxationError(TrinitError):
+    """A relaxation rule or operator is invalid."""
+
+
+class OperatorError(RelaxationError):
+    """A relaxation operator was registered or invoked incorrectly."""
+
+
+class ScoringError(TrinitError):
+    """Scoring parameters are invalid (e.g. smoothing weight out of range)."""
+
+
+class TopKError(TrinitError):
+    """Top-k processing was configured incorrectly (k < 1, bad budget...)."""
+
+
+class ExtractionError(TrinitError):
+    """Open IE extraction failed on malformed input."""
+
+
+class EvaluationError(TrinitError):
+    """The evaluation harness was configured incorrectly."""

@@ -1,0 +1,48 @@
+"""Evaluation harness: the 70-query benchmark, judgments, metrics, runner.
+
+Reproduces the evaluation reported in Section 4 of the demo paper: "On a
+challenging set of 70 entity-relationship queries, we achieve an average
+NDCG at rank 5 of 0.775, with the next best state-of-the-art system
+achieving 0.419."  Queries span the mismatch classes the paper motivates
+(Figure 2); graded relevance judgments derive from the hidden world model;
+systems are compared on NDCG@k, MAP, P@5 and MRR.
+"""
+
+from repro.eval.metrics import (
+    average_precision,
+    mean,
+    ndcg_at_k,
+    precision_at_k,
+    reciprocal_rank,
+)
+from repro.eval.judgments import Judgments, grade_of
+from repro.eval.benchmark import (
+    Benchmark,
+    BenchmarkConfig,
+    BenchmarkQuery,
+    QUERY_CLASSES,
+    generate_benchmark,
+)
+from repro.eval.harness import EvalHarness, HarnessConfig, SCALE_PROFILES
+from repro.eval.runner import EvalReport, SystemResult, evaluate_systems
+
+__all__ = [
+    "ndcg_at_k",
+    "precision_at_k",
+    "average_precision",
+    "reciprocal_rank",
+    "mean",
+    "Judgments",
+    "grade_of",
+    "Benchmark",
+    "BenchmarkConfig",
+    "BenchmarkQuery",
+    "QUERY_CLASSES",
+    "generate_benchmark",
+    "EvalHarness",
+    "HarnessConfig",
+    "SCALE_PROFILES",
+    "EvalReport",
+    "SystemResult",
+    "evaluate_systems",
+]

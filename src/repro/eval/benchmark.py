@@ -1,0 +1,507 @@
+"""The 70-query entity-relationship benchmark.
+
+Seven query classes, ten queries each, mirroring the mismatch taxonomy the
+paper's motivation builds on (Figure 2) plus the join-intensive queries
+Section 5 says TriniT is specifically geared for:
+
+==============  =============================================================
+class           what the user does
+==============  =============================================================
+direct          well-formed KG query (control: everyone should do well)
+synonym         writes the predicate as a text phrase ("works at")
+misnomer        guesses a predicate name the KG does not have (worksFor)
+inversion       uses the advisor relation from the student's side (user B)
+granularity     constrains to a country where the KG stores cities (user A)
+incomplete      asks for knowledge the KG vocabulary lacks entirely (user D)
+join            multi-pattern queries joining 2–3 relations (user C's shape)
+==============  =============================================================
+
+Every query records its *intent* — the world-level semantics fixed at
+generation time — from which graded judgments are computed.  Constants are
+chosen deterministically among those with at least one exact answer, so no
+query is unanswerable by construction.
+
+The benchmark also ships the PATTY-style *user-vocabulary alias repository*
+(:func:`user_alias_rules`) that relaxation-capable systems (TriniT, QaRS)
+receive — the paper's "paraphrase repositories" rule source plus its
+manually-specified rules (Figure 4 rule 2 is exactly such an alias).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.parser import parse_query
+from repro.core.query import Query
+from repro.core.terms import Variable
+from repro.eval.judgments import GRADE_EXACT, GRADE_NEAR, Judgments
+from repro.kg.world import World
+from repro.relax.paraphrase import predicate_alias_rules
+from repro.relax.rules import RelaxationRule
+from repro.util.rand import SeededRng
+
+QUERY_CLASSES = (
+    "direct",
+    "synonym",
+    "misnomer",
+    "inversion",
+    "granularity",
+    "incomplete",
+    "join",
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """One benchmark query with its judgments."""
+
+    qid: str
+    query_class: str
+    text: str
+    target: str
+    intent: str
+    judgments: Judgments
+
+    def parse(self) -> Query:
+        return parse_query(self.text)
+
+    @property
+    def target_variable(self) -> Variable:
+        return Variable(self.target)
+
+
+@dataclass
+class Benchmark:
+    """The full query set."""
+
+    queries: list[BenchmarkQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def of_class(self, query_class: str) -> list[BenchmarkQuery]:
+        return [q for q in self.queries if q.query_class == query_class]
+
+    def classes(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for query in self.queries:
+            seen.setdefault(query.query_class, None)
+        return list(seen)
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Benchmark generation parameters (70 = 7 classes × 10 by default)."""
+
+    seed: int = 37
+    queries_per_class: int = 10
+
+
+def user_alias_rules() -> list[RelaxationRule]:
+    """The PATTY-style predicate alias repository given to TriniT and QaRS.
+
+    (user guess, canonical target, alignment score, arguments inverted)
+    """
+    return predicate_alias_rules(
+        [
+            ("hasAdvisor", "hasStudent", 1.0, True),
+            ("advisorOf", "hasStudent", 0.95, False),
+            ("worksFor", "affiliation", 0.9, False),
+            ("employedBy", "affiliation", 0.85, False),
+            ("almaMater", "graduatedFrom", 0.9, False),
+            ("spouse", "marriedTo", 0.95, False),
+            ("birthPlace", "bornIn", 0.95, False),
+            ("deathPlace", "diedIn", 0.9, False),
+        ]
+    )
+
+
+class _Generator:
+    """Internal: builds queries per class from the world."""
+
+    def __init__(self, world: World, config: BenchmarkConfig):
+        self.world = world
+        self.config = config
+        self.rng = SeededRng(config.seed)
+        self._counter = 0
+
+    # -- judgment helpers ------------------------------------------------------
+
+    def _judge_pairs(
+        self,
+        exact: set[str],
+        near: set[str] = frozenset(),
+    ) -> Judgments:
+        judgments = Judgments()
+        for entity in sorted(exact):
+            judgments.add(self.world, entity, GRADE_EXACT)
+        for entity in sorted(near - exact):
+            judgments.add(self.world, entity, GRADE_NEAR)
+        return judgments
+
+    def _make(
+        self,
+        query_class: str,
+        text: str,
+        target: str,
+        intent: str,
+        judgments: Judgments,
+    ) -> BenchmarkQuery:
+        self._counter += 1
+        return BenchmarkQuery(
+            qid=f"q{self._counter:03d}",
+            query_class=query_class,
+            text=text,
+            target=target,
+            intent=intent,
+            judgments=judgments,
+        )
+
+    def _pick(self, candidates: list, count: int) -> list:
+        """Deterministic, spread-out choice of ``count`` candidates."""
+        pool = list(candidates)
+        self.rng.shuffle(pool)
+        return pool[:count]
+
+    # -- per-class generators ------------------------------------------------------
+
+    def direct(self, n: int) -> list[BenchmarkQuery]:
+        """Well-formed KG queries, rotating over four shapes."""
+        world = self.world
+        queries: list[BenchmarkQuery] = []
+        shapes = []
+        for city in world.cities:
+            born = world.subjects_of("bornInCity", city.id)
+            if len(born) >= 2:
+                shapes.append(
+                    (
+                        f"?x bornIn {city.id}",
+                        "x",
+                        f"people born in {city.surface}",
+                        self._judge_pairs(set(born)),
+                    )
+                )
+        for org in world.organizations():
+            staff = world.subjects_of("worksAt", org.id)
+            if len(staff) >= 2:
+                near = set(world.subjects_of("lecturedAt", org.id))
+                shapes.append(
+                    (
+                        f"?x affiliation {org.id}",
+                        "x",
+                        f"people working at {org.surface}",
+                        self._judge_pairs(set(staff), near),
+                    )
+                )
+        for person in world.people[: max(30, n * 3)]:
+            prizes = world.objects_of("wonPrize", person.id)
+            if prizes:
+                shapes.append(
+                    (
+                        f"{person.id} wonPrize ?x",
+                        "x",
+                        f"prizes won by {person.surface}",
+                        self._judge_pairs(set(prizes)),
+                    )
+                )
+        chosen = self._pick(shapes, n)
+        for text, target, intent, judgments in chosen:
+            queries.append(self._make("direct", text, target, intent, judgments))
+        return queries
+
+    def synonym(self, n: int) -> list[BenchmarkQuery]:
+        """Predicates written as text phrases."""
+        world = self.world
+        shapes = []
+        for org in world.organizations():
+            staff = world.subjects_of("worksAt", org.id)
+            if len(staff) >= 2:
+                near = set(world.subjects_of("lecturedAt", org.id)) | set(
+                    world.subjects_of("educatedAt", org.id)
+                )
+                shapes.append(
+                    (
+                        f"?x 'works at' {org.id}",
+                        "x",
+                        f"people working at {org.surface}",
+                        self._judge_pairs(set(staff), near),
+                    )
+                )
+        for person in world.people[:60]:
+            almae = world.objects_of("educatedAt", person.id)
+            if almae:
+                shapes.append(
+                    (
+                        f"{person.id} 'graduated from' ?x",
+                        "x",
+                        f"where {person.surface} studied",
+                        self._judge_pairs(set(almae)),
+                    )
+                )
+            fields = world.objects_of("fieldOf", person.id)
+            if fields:
+                shapes.append(
+                    (
+                        f"{person.id} 'specialized in' ?x",
+                        "x",
+                        f"the research field of {person.surface}",
+                        self._judge_pairs(set(fields)),
+                    )
+                )
+        chosen = self._pick(shapes, n)
+        return [
+            self._make("synonym", text, target, intent, judgments)
+            for text, target, intent, judgments in chosen
+        ]
+
+    def misnomer(self, n: int) -> list[BenchmarkQuery]:
+        """Invented predicate names (resolved only via the alias repository)."""
+        world = self.world
+        shapes = []
+        for person in world.people[:80]:
+            employers = world.objects_of("worksAt", person.id)
+            if employers:
+                near = set(world.objects_of("lecturedAt", person.id))
+                shapes.append(
+                    (
+                        f"{person.id} worksFor ?x",
+                        "x",
+                        f"the employer of {person.surface}",
+                        self._judge_pairs(set(employers), near),
+                    )
+                )
+            spouses = world.objects_of("marriedTo", person.id)
+            if spouses:
+                shapes.append(
+                    (
+                        f"{person.id} spouse ?x",
+                        "x",
+                        f"the spouse of {person.surface}",
+                        self._judge_pairs(set(spouses)),
+                    )
+                )
+            almae = world.objects_of("educatedAt", person.id)
+            if almae:
+                shapes.append(
+                    (
+                        f"{person.id} almaMater ?x",
+                        "x",
+                        f"where {person.surface} studied",
+                        self._judge_pairs(set(almae)),
+                    )
+                )
+        chosen = self._pick(shapes, n)
+        return [
+            self._make("misnomer", text, target, intent, judgments)
+            for text, target, intent, judgments in chosen
+        ]
+
+    def inversion(self, n: int) -> list[BenchmarkQuery]:
+        """User B: the advisor relation queried from the student's side."""
+        world = self.world
+        shapes = []
+        for person in world.people:
+            advisors = world.objects_of("hasAdvisor", person.id)
+            if advisors:
+                shapes.append(
+                    (
+                        f"{person.id} hasAdvisor ?x",
+                        "x",
+                        f"the doctoral advisor of {person.surface}",
+                        self._judge_pairs(set(advisors)),
+                    )
+                )
+        chosen = self._pick(shapes, n)
+        return [
+            self._make("inversion", text, target, intent, judgments)
+            for text, target, intent, judgments in chosen
+        ]
+
+    def granularity(self, n: int) -> list[BenchmarkQuery]:
+        """User A: country-level constraint over city-level facts."""
+        world = self.world
+        shapes = []
+        for country in world.countries:
+            country_cities = set(world.subjects_of("cityInCountry", country.id))
+            born = {
+                person
+                for person, city in world.pairs("bornInCity")
+                if city in country_cities
+            }
+            if len(born) >= 2:
+                shapes.append(
+                    (
+                        f"?x bornIn {country.id}",
+                        "x",
+                        f"people born in {country.surface}",
+                        self._judge_pairs(born),
+                    )
+                )
+            died = {
+                person
+                for person, city in world.pairs("diedInCity")
+                if city in country_cities
+            }
+            if len(died) >= 2:
+                shapes.append(
+                    (
+                        f"?x diedIn {country.id}",
+                        "x",
+                        f"people who died in {country.surface}",
+                        self._judge_pairs(died),
+                    )
+                )
+        chosen = self._pick(shapes, n)
+        return [
+            self._make("granularity", text, target, intent, judgments)
+            for text, target, intent, judgments in chosen
+        ]
+
+    def incomplete(self, n: int) -> list[BenchmarkQuery]:
+        """User D: knowledge outside the KG vocabulary (corpus-only)."""
+        world = self.world
+        shapes = []
+        for person in world.people[:80]:
+            lectures = world.objects_of("lecturedAt", person.id)
+            if lectures:
+                near = set(world.objects_of("worksAt", person.id))
+                shapes.append(
+                    (
+                        f"{person.id} lecturedAt ?x",
+                        "x",
+                        f"where {person.surface} gave lectures",
+                        self._judge_pairs(set(lectures), near),
+                    )
+                )
+            prize_for = world.objects_of("prizeFor", person.id)
+            if prize_for:
+                shapes.append(
+                    (
+                        f"{person.id} 'won a nobel for' ?x",
+                        "x",
+                        f"what {person.surface} won a prize for",
+                        self._judge_pairs(set(prize_for)),
+                    )
+                )
+            collaborators = world.objects_of("collaboratedWith", person.id)
+            if len(collaborators) >= 2:
+                shapes.append(
+                    (
+                        f"{person.id} 'collaborated with' ?x",
+                        "x",
+                        f"collaborators of {person.surface}",
+                        self._judge_pairs(set(collaborators)),
+                    )
+                )
+        for institute in world.institutes:
+            hosts = world.objects_of("housedIn", institute.id)
+            if hosts:
+                shapes.append(
+                    (
+                        f"{institute.id} 'housed in' ?x",
+                        "x",
+                        f"the university housing {institute.surface}",
+                        self._judge_pairs(set(hosts)),
+                    )
+                )
+        chosen = self._pick(shapes, n)
+        return [
+            self._make("incomplete", text, target, intent, judgments)
+            for text, target, intent, judgments in chosen
+        ]
+
+    def join(self, n: int) -> list[BenchmarkQuery]:
+        """Join-intensive multi-pattern queries (incl. user C's shape)."""
+        world = self.world
+        shapes = []
+        # People whose employer sits in a given city.
+        city_workers: dict[str, set[str]] = {}
+        org_city = {org: city for org, city in world.pairs("orgInCity")}
+        for person, org in world.pairs("worksAt"):
+            city = org_city.get(org)
+            if city is not None:
+                city_workers.setdefault(city, set()).add(person)
+        for city_id, workers in sorted(city_workers.items()):
+            if len(workers) >= 3:
+                shapes.append(
+                    (
+                        f"SELECT ?p WHERE ?p affiliation ?o ; ?o locatedIn {city_id}",
+                        "p",
+                        f"people whose employer is in {world.entity(city_id).surface}",
+                        self._judge_pairs(workers),
+                    )
+                )
+        # User C's shape: the member-group university a person is tied to.
+        group_of = {}
+        for university, group in world.pairs("memberOfGroup"):
+            group_of.setdefault(group, set()).add(university)
+        housed = {inst: host for inst, host in world.pairs("housedIn")}
+        for person in world.people[:80]:
+            for group in world.groups:
+                members = group_of.get(group.id, set())
+                exact: set[str] = set()
+                near: set[str] = set()
+                for org in world.objects_of("worksAt", person.id):
+                    if org in members:
+                        exact.add(org)
+                    host = housed.get(org)
+                    if host is not None and host in members:
+                        exact.add(host)  # the IAS→Princeton case
+                for univ in world.objects_of("lecturedAt", person.id):
+                    if univ in members:
+                        near.add(univ)
+                if exact or near:
+                    shapes.append(
+                        (
+                            f"SELECT ?x WHERE {person.id} affiliation ?x ; "
+                            f"?x member {group.id}",
+                            "x",
+                            f"{group.surface} university {person.surface} "
+                            "is affiliated with",
+                            self._judge_pairs(exact, near),
+                        )
+                    )
+        # Advisor's employer: 2-hop person chain.
+        for person in world.people[:80]:
+            advisors = world.objects_of("hasAdvisor", person.id)
+            employers = {
+                org
+                for advisor in advisors
+                for org in world.objects_of("worksAt", advisor)
+            }
+            if employers:
+                shapes.append(
+                    (
+                        f"SELECT ?o WHERE {person.id} 'studied under' ?a ; "
+                        "?a affiliation ?o",
+                        "o",
+                        f"the employer of {world.entity(person.id).surface}'s advisor",
+                        self._judge_pairs(employers),
+                    )
+                )
+        chosen = self._pick(shapes, n)
+        return [
+            self._make("join", text, target, intent, judgments)
+            for text, target, intent, judgments in chosen
+        ]
+
+
+def generate_benchmark(
+    world: World, config: BenchmarkConfig | None = None
+) -> Benchmark:
+    """Generate the deterministic 70-query benchmark from a world."""
+    config = config if config is not None else BenchmarkConfig()
+    generator = _Generator(world, config)
+    n = config.queries_per_class
+    benchmark = Benchmark()
+    benchmark.queries.extend(generator.direct(n))
+    benchmark.queries.extend(generator.synonym(n))
+    benchmark.queries.extend(generator.misnomer(n))
+    benchmark.queries.extend(generator.inversion(n))
+    benchmark.queries.extend(generator.granularity(n))
+    benchmark.queries.extend(generator.incomplete(n))
+    benchmark.queries.extend(generator.join(n))
+    return benchmark

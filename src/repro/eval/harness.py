@@ -1,0 +1,219 @@
+"""End-to-end evaluation harness: world → KG → corpus → XKG → systems.
+
+One object builds the entire experimental setup at a chosen scale profile
+and exposes the engines and baselines the benches compare.  Everything is
+seeded; two harnesses with the same config are identical.
+
+Scale profiles (triples are approximate):
+
+=========  ========  ============  ==============================
+profile    people    XKG triples   purpose
+=========  ========  ============  ==============================
+tiny       60        ~1.5 k        unit/integration tests
+small      150       ~4 k          fast benches, examples
+medium     400       ~12 k         the headline evaluation bench
+large      900       ~30 k         scale/stress bench
+=========  ========  ============  ==============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+
+from repro.baselines.lm_entity_search import LmEntitySearchBaseline
+from repro.baselines.qars import QarsBaseline
+from repro.baselines.slq import SlqBaseline
+from repro.baselines.strict_sparql import StrictSparqlBaseline
+from repro.baselines.trinit_system import TrinitSystem
+from repro.core.engine import EngineConfig, TriniT
+from repro.core.terms import Resource
+from repro.eval.benchmark import (
+    Benchmark,
+    BenchmarkConfig,
+    generate_benchmark,
+    user_alias_rules,
+)
+from repro.kg.generator import GeneratedKg, KgConfig, KgGenerator
+from repro.kg.world import World, WorldConfig
+from repro.openie.corpus import CorpusConfig, CorpusGenerator, Document
+from repro.openie.ned import EntityLinker
+from repro.relax.structural import granularity_rules
+from repro.storage.store import TripleStore
+from repro.xkg.builder import XkgBuildReport, XkgBuilder
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """All knobs of one experimental setup."""
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    kg: KgConfig = field(default_factory=KgConfig)
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    benchmark: BenchmarkConfig = field(default_factory=BenchmarkConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+
+SCALE_PROFILES: dict[str, HarnessConfig] = {
+    "tiny": HarnessConfig(
+        world=WorldConfig(num_people=60, num_universities=8, num_institutes=5),
+        corpus=CorpusConfig(num_popularity_documents=60),
+        benchmark=BenchmarkConfig(queries_per_class=4),
+    ),
+    "small": HarnessConfig(
+        world=WorldConfig(num_people=150),
+        corpus=CorpusConfig(num_popularity_documents=200),
+    ),
+    "medium": HarnessConfig(
+        world=WorldConfig(
+            num_people=400,
+            num_universities=20,
+            num_institutes=12,
+            num_companies=10,
+            num_countries=8,
+            num_fields=14,
+            num_prizes=8,
+        ),
+        corpus=CorpusConfig(num_popularity_documents=600),
+    ),
+    "large": HarnessConfig(
+        world=WorldConfig(
+            num_people=900,
+            num_universities=30,
+            num_institutes=18,
+            num_companies=15,
+            num_countries=10,
+            num_fields=18,
+            num_prizes=12,
+        ),
+        corpus=CorpusConfig(num_popularity_documents=1500),
+    ),
+}
+
+
+class EvalHarness:
+    """Builds and caches every component of one experimental setup."""
+
+    def __init__(self, config: HarnessConfig | str = "small"):
+        if isinstance(config, str):
+            config = SCALE_PROFILES[config]
+        self.config = config
+
+    # -- data pipeline ------------------------------------------------------------
+
+    @cached_property
+    def world(self) -> World:
+        return World.generate(self.config.world)
+
+    @cached_property
+    def kg(self) -> GeneratedKg:
+        return KgGenerator(self.world, self.config.kg).generate()
+
+    @cached_property
+    def kg_store(self) -> TripleStore:
+        return self.kg.store()
+
+    @cached_property
+    def documents(self) -> list[Document]:
+        return CorpusGenerator(self.world, self.config.corpus).generate()
+
+    @cached_property
+    def linker(self) -> EntityLinker:
+        return EntityLinker(self.world)
+
+    @cached_property
+    def _xkg_build(self) -> tuple[TripleStore, XkgBuildReport]:
+        builder = XkgBuilder(linker=self.linker)
+        return builder.build(self.kg.triples, self.documents)
+
+    @property
+    def xkg_store(self) -> TripleStore:
+        return self._xkg_build[0]
+
+    @property
+    def xkg_report(self) -> XkgBuildReport:
+        return self._xkg_build[1]
+
+    @cached_property
+    def benchmark(self) -> Benchmark:
+        return generate_benchmark(self.world, self.config.benchmark)
+
+    # -- engines ------------------------------------------------------------
+
+    def _granularity_rules(self, engine_statistics):
+        """City↔country granularity repair, mined from the store's taxonomy."""
+        return granularity_rules(
+            engine_statistics,
+            type_predicate=Resource("type"),
+            containment_predicate=Resource("locatedIn"),
+            fine_class=Resource("city"),
+            coarse_class=Resource("country"),
+        )
+
+    @cached_property
+    def engine(self) -> TriniT:
+        """Full TriniT: XKG + mined rules + alias repository + granularity."""
+        engine = TriniT(self.xkg_store, config=self.config.engine)
+        engine.add_rules(user_alias_rules())
+        engine.add_rules(self._granularity_rules(engine.statistics))
+        return engine
+
+    # -- systems under evaluation ------------------------------------------------------------
+
+    @cached_property
+    def trinit_system(self) -> TrinitSystem:
+        return TrinitSystem(self.engine, "trinit")
+
+    @cached_property
+    def strict_baseline(self) -> StrictSparqlBaseline:
+        return StrictSparqlBaseline(self.kg_store)
+
+    @cached_property
+    def lm_baseline(self) -> LmEntitySearchBaseline:
+        return LmEntitySearchBaseline(self.documents)
+
+    @cached_property
+    def slq_baseline(self) -> SlqBaseline:
+        return SlqBaseline(self.kg_store)
+
+    @cached_property
+    def qars_baseline(self) -> QarsBaseline:
+        return QarsBaseline(self.kg_store, extra_rules=user_alias_rules())
+
+    def all_systems(self) -> list:
+        """TriniT plus the four baseline families, evaluation order."""
+        return [
+            self.trinit_system,
+            self.qars_baseline,
+            self.slq_baseline,
+            self.lm_baseline,
+            self.strict_baseline,
+        ]
+
+    # -- ablation variants ------------------------------------------------------------
+
+    def ablation_systems(self) -> list:
+        """TriniT variants isolating each contribution (for tab-ablation)."""
+        full = self.trinit_system
+        no_relax = TrinitSystem(
+            self.engine.variant(use_relaxation=False), "trinit-no-relaxation"
+        )
+        no_tokens = TrinitSystem(
+            self.engine.variant(
+                use_token_expansion=False, unknown_resource_fallback=False
+            ),
+            "trinit-no-token-matching",
+        )
+        kg_only_engine = TriniT(self.kg_store, config=self.config.engine)
+        kg_only_engine.add_rules(user_alias_rules())
+        kg_only_engine.add_rules(self._granularity_rules(kg_only_engine.statistics))
+        kg_only = TrinitSystem(kg_only_engine, "trinit-kg-only")
+        strict = TrinitSystem(
+            self.engine.variant(
+                use_relaxation=False,
+                use_token_expansion=False,
+                unknown_resource_fallback=False,
+            ),
+            "trinit-strict-xkg",
+        )
+        return [full, no_relax, no_tokens, kg_only, strict]

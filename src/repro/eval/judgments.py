@@ -1,0 +1,79 @@
+"""Graded relevance judgments derived from the hidden world.
+
+For every benchmark query, the *intent* (what the user meant, fixed at
+generation time) is evaluated against the complete world model — data no
+system ever sees — yielding graded relevance:
+
+* grade 3 — exactly what the intent asks for (world-true answer);
+* grade 1 — a defensible near-miss (e.g. a university the person lectured
+  at when the intent asked where they work — the Einstein/Princeton
+  subtlety of user C);
+* grade 0 — everything else.
+
+Judgment keys are tolerant to the two answer shapes systems produce:
+canonical entity ids and surface-form text tokens both resolve to the same
+grade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.terms import Term
+from repro.kg.world import World
+from repro.util.text import normalize_phrase
+
+#: Gains used for exact and near-miss relevance.
+GRADE_EXACT = 3.0
+GRADE_NEAR = 1.0
+
+
+@dataclass
+class Judgments:
+    """Graded relevance for one query.
+
+    ``entities`` maps each judged entity id (or literal value) to its grade
+    — one entry per judged thing, the source of truth for ideal rankings.
+    ``grades`` is the derived lookup table with surface-form aliases.
+    """
+
+    entities: dict[str, float] = field(default_factory=dict)
+    grades: dict[str, float] = field(default_factory=dict)
+
+    def add(self, world: World, entity_or_value: str, grade: float) -> None:
+        """Register a grade; higher grades win on re-registration."""
+        if grade <= self.entities.get(entity_or_value, 0.0):
+            return
+        self.entities[entity_or_value] = grade
+        keys = {entity_or_value, normalize_phrase(entity_or_value)}
+        entity = world.entities.get(entity_or_value)
+        if entity is not None:
+            keys.add(normalize_phrase(entity.surface))
+        for key in keys:
+            if grade > self.grades.get(key, 0.0):
+                self.grades[key] = grade
+
+    def grade(self, term: Term) -> float:
+        """The grade of a system answer term (0.0 when irrelevant)."""
+        return grade_of(self.grades, term)
+
+    def positive_gains(self) -> list[float]:
+        """One gain per judged entity — the material for the ideal ranking."""
+        return [g for g in self.entities.values() if g > 0]
+
+    @property
+    def num_relevant(self) -> int:
+        return len(self.positive_gains())
+
+    @property
+    def num_exact(self) -> int:
+        return sum(1 for g in self.entities.values() if g >= GRADE_EXACT)
+
+
+def grade_of(grades: dict[str, float], term: Term) -> float:
+    """Look up a term's grade: by resource name, then by normalised surface."""
+    if term.kind == "resource":
+        direct = grades.get(term.lexical())
+        if direct is not None:
+            return direct
+    return grades.get(normalize_phrase(term.lexical()), 0.0)

@@ -1,0 +1,91 @@
+"""Rank-quality metrics: NDCG, precision, MAP, MRR.
+
+All metrics take a ranked list of *gains* (graded relevance values, 0 for
+irrelevant) plus, where an ideal ranking matters, the full multiset of
+positive gains available for the query.  NDCG uses the standard exponential
+gain ``(2^g - 1) / log2(rank + 1)`` formulation, matching the IR setup of
+the paper's companion evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def dcg(gains: Sequence[float], k: int | None = None) -> float:
+    """Discounted cumulative gain at ``k`` (whole list when k is None)."""
+    if k is not None:
+        gains = gains[:k]
+    return sum(
+        (2.0**gain - 1.0) / math.log2(rank + 2.0)
+        for rank, gain in enumerate(gains)
+    )
+
+
+def ndcg_at_k(gains: Sequence[float], all_positive_gains: Sequence[float], k: int) -> float:
+    """NDCG@k: DCG of the ranking normalised by the ideal DCG.
+
+    ``all_positive_gains`` is every positive grade the query has (not just
+    retrieved ones) — the ideal ranking places them best-first.  A query
+    with no relevant answers at all scores 0 by convention.
+
+    >>> ndcg_at_k([3, 0, 1], [3, 1], 5)
+    1.0
+    >>> ndcg_at_k([0, 3], [3], 1)
+    0.0
+    """
+    ideal = sorted((g for g in all_positive_gains if g > 0), reverse=True)
+    ideal_dcg = dcg(ideal, k)
+    if ideal_dcg == 0.0:
+        return 0.0
+    return dcg(list(gains), k) / ideal_dcg
+
+
+def precision_at_k(gains: Sequence[float], k: int) -> float:
+    """Fraction of the top-k ranks holding a relevant (gain > 0) answer.
+
+    Ranks beyond the returned list count as misses (the system returned
+    fewer than k answers).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    hits = sum(1 for gain in gains[:k] if gain > 0)
+    return hits / k
+
+
+def recall_at_k(gains: Sequence[float], total_relevant: int, k: int) -> float:
+    """Fraction of all relevant answers retrieved in the top k."""
+    if total_relevant <= 0:
+        return 0.0
+    hits = sum(1 for gain in gains[:k] if gain > 0)
+    return hits / total_relevant
+
+
+def average_precision(gains: Sequence[float], total_relevant: int) -> float:
+    """Average precision over the ranking (binary relevance: gain > 0)."""
+    if total_relevant <= 0:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for rank, gain in enumerate(gains, start=1):
+        if gain > 0:
+            hits += 1
+            precision_sum += hits / rank
+    return precision_sum / total_relevant
+
+
+def reciprocal_rank(gains: Sequence[float]) -> float:
+    """1 / rank of the first relevant answer; 0 when none is retrieved."""
+    for rank, gain in enumerate(gains, start=1):
+        if gain > 0:
+            return 1.0 / rank
+    return 0.0
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty iterable."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,174 @@
+"""Running systems over the benchmark and aggregating metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.base import System
+from repro.eval.benchmark import Benchmark, BenchmarkQuery
+from repro.eval.metrics import (
+    average_precision,
+    mean,
+    ndcg_at_k,
+    precision_at_k,
+    reciprocal_rank,
+)
+
+
+@dataclass
+class QueryResult:
+    """One system's performance on one query."""
+
+    qid: str
+    query_class: str
+    gains: list[float]
+    num_relevant: int
+    elapsed_seconds: float
+
+    @property
+    def ndcg5(self) -> float:
+        return self._ndcg(5)
+
+    def _ndcg(self, k: int) -> float:
+        return ndcg_at_k(self.gains, self._ideal, k)
+
+    # Filled by the runner (the full positive-gain multiset of the query).
+    _ideal: list[float] = field(default_factory=list)
+
+
+@dataclass
+class SystemResult:
+    """One system's aggregate performance."""
+
+    name: str
+    per_query: list[QueryResult] = field(default_factory=list)
+
+    def _metric(self, func) -> float:
+        return mean(func(q) for q in self.per_query)
+
+    @property
+    def ndcg5(self) -> float:
+        return self._metric(lambda q: ndcg_at_k(q.gains, q._ideal, 5))
+
+    @property
+    def ndcg10(self) -> float:
+        return self._metric(lambda q: ndcg_at_k(q.gains, q._ideal, 10))
+
+    @property
+    def map_score(self) -> float:
+        return self._metric(lambda q: average_precision(q.gains, q.num_relevant))
+
+    @property
+    def p5(self) -> float:
+        return self._metric(lambda q: precision_at_k(q.gains, 5))
+
+    @property
+    def mrr(self) -> float:
+        return self._metric(lambda q: reciprocal_rank(q.gains))
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(q.elapsed_seconds for q in self.per_query)
+
+    def ndcg5_by_class(self) -> dict[str, float]:
+        classes: dict[str, list[float]] = {}
+        for query in self.per_query:
+            classes.setdefault(query.query_class, []).append(
+                ndcg_at_k(query.gains, query._ideal, 5)
+            )
+        return {name: mean(values) for name, values in classes.items()}
+
+
+@dataclass
+class EvalReport:
+    """All systems' results plus rendering helpers."""
+
+    systems: list[SystemResult] = field(default_factory=list)
+    k: int = 10
+
+    def by_name(self, name: str) -> SystemResult:
+        for system in self.systems:
+            if system.name == name:
+                return system
+        raise KeyError(name)
+
+    def render_table(self) -> str:
+        """The headline comparison table (tab-ndcg)."""
+        headers = ["system", "NDCG@5", "NDCG@10", "MAP", "P@5", "MRR"]
+        rows = [
+            [
+                s.name,
+                f"{s.ndcg5:.3f}",
+                f"{s.ndcg10:.3f}",
+                f"{s.map_score:.3f}",
+                f"{s.p5:.3f}",
+                f"{s.mrr:.3f}",
+            ]
+            for s in sorted(self.systems, key=lambda s: -s.ndcg5)
+        ]
+        return _format_table(headers, rows)
+
+    def render_class_breakdown(self) -> str:
+        """NDCG@5 per query class per system."""
+        classes: list[str] = []
+        for system in self.systems:
+            for name in system.ndcg5_by_class():
+                if name not in classes:
+                    classes.append(name)
+        headers = ["system"] + classes
+        rows = []
+        for system in sorted(self.systems, key=lambda s: -s.ndcg5):
+            by_class = system.ndcg5_by_class()
+            rows.append(
+                [system.name] + [f"{by_class.get(c, 0.0):.3f}" for c in classes]
+            )
+        return _format_table(headers, rows)
+
+
+def _format_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def run_query(system: System, query: BenchmarkQuery, k: int) -> QueryResult:
+    """Evaluate one system on one query."""
+    parsed = query.parse()
+    started = time.perf_counter()
+    try:
+        ranked = system.rank(parsed, query.target_variable, k)
+    except Exception:
+        ranked = []  # a system crashing on a query scores zero, not the run
+    elapsed = time.perf_counter() - started
+    gains = [query.judgments.grade(term) for term in ranked]
+    result = QueryResult(
+        qid=query.qid,
+        query_class=query.query_class,
+        gains=gains,
+        num_relevant=query.judgments.num_relevant,
+        elapsed_seconds=elapsed,
+    )
+    result._ideal = query.judgments.positive_gains()
+    return result
+
+
+def evaluate_systems(
+    systems: list[System], benchmark: Benchmark, k: int = 10
+) -> EvalReport:
+    """Run every system over every benchmark query."""
+    report = EvalReport(k=k)
+    for system in systems:
+        system_result = SystemResult(name=system.name)
+        for query in benchmark:
+            system_result.per_query.append(run_query(system, query, k))
+        report.systems.append(system_result)
+    return report

@@ -1,0 +1,35 @@
+"""Synthetic world model and Yago-style knowledge graph generation.
+
+The paper runs on Yago2s (≈50 M triples); offline we generate a deterministic
+synthetic equivalent.  The key design decision: a hidden, *complete*
+:class:`~repro.kg.world.World` is generated first, and the KG is a lossy,
+vocabulary-limited *sample* of it — some relations are dropped entirely from
+the KG vocabulary, others keep only a fraction of their facts.  The corpus
+generator (:mod:`repro.openie.corpus`) verbalises the complete world, so Open
+IE can recover exactly the knowledge the KG is missing — reproducing the
+incompleteness structure the paper's XKG exists to fix.  Evaluation
+judgments come from the world, which no system ever sees.
+"""
+
+from repro.kg.names import NameFactory
+from repro.kg.taxonomy import Taxonomy, TAXONOMY_EDGES
+from repro.kg.world import World, WorldConfig, WorldEntity, WorldFact
+from repro.kg.generator import KgGenerator, KgConfig, GeneratedKg
+from repro.kg.paper_example import paper_kg, paper_xkg_extension, paper_rules, paper_engine
+
+__all__ = [
+    "NameFactory",
+    "Taxonomy",
+    "TAXONOMY_EDGES",
+    "World",
+    "WorldConfig",
+    "WorldEntity",
+    "WorldFact",
+    "KgGenerator",
+    "KgConfig",
+    "GeneratedKg",
+    "paper_kg",
+    "paper_xkg_extension",
+    "paper_rules",
+    "paper_engine",
+]

@@ -1,0 +1,130 @@
+"""Deterministic, readable name generation for synthetic entities.
+
+Every entity needs two forms: a CamelCase resource name for the KG
+(``MartaKovacs``, ``UniversityOfBrenford``) and a surface form for corpus
+text ("Marta Kovacs", "the University of Brenford").  Names are drawn from
+fixed syllable inventories with a :class:`~repro.util.rand.SeededRng`, so a
+seed fully determines every name, and collisions are resolved by numbering.
+"""
+
+from __future__ import annotations
+
+from repro.util.rand import SeededRng
+
+_GIVEN = [
+    "Al", "Ben", "Cla", "Da", "El", "Fe", "Gre", "Han", "Ing", "Jo",
+    "Ka", "Li", "Mar", "Nor", "Ol", "Pe", "Qui", "Ro", "Sa", "Tho",
+]
+_GIVEN_END = ["ra", "na", "to", "bert", "ria", "lix", "gor", "mas", "vid", "line"]
+_FAMILY = [
+    "Ander", "Berg", "Carl", "Dor", "Eber", "Fisch", "Gold", "Hoff",
+    "Iva", "Jans", "Kova", "Lind", "Mont", "Newm", "Ostr", "Pell",
+    "Quast", "Rein", "Stein", "Traut",
+]
+_FAMILY_END = ["son", "mann", "berg", "ini", "ov", "er", "feld", "etti", "cs", "dal"]
+_PLACE = [
+    "Bren", "Cal", "Dun", "Es", "Fal", "Gor", "Hol", "Ips", "Jar", "Kel",
+    "Lor", "Mond", "Nar", "Or", "Pras", "Quill", "Ros", "Sten", "Tarn", "Ulm",
+]
+_PLACE_END = ["ford", "wick", "stad", "mouth", "berg", "ton", "holm", "dale", "gart", "by"]
+_COUNTRY = [
+    "Ard", "Bel", "Cor", "Dal", "Est", "Fen", "Gal", "Hesp", "Ill", "Jut",
+]
+_COUNTRY_END = ["onia", "avia", "land", "mark", "istan", "ora", "esia", "ria", "ium", "any"]
+_FIELD_HEAD = [
+    "quantum", "statistical", "organic", "theoretical", "applied",
+    "computational", "molecular", "classical", "nuclear", "cognitive",
+]
+_FIELD_TAIL = [
+    "mechanics", "chemistry", "biology", "economics", "linguistics",
+    "optics", "topology", "genetics", "astronomy", "logic",
+]
+
+
+def to_camel(surface: str) -> str:
+    """Turn a surface form into a CamelCase resource name.
+
+    >>> to_camel("university of Brenford")
+    'UniversityOfBrenford'
+    """
+    return "".join(part.capitalize() for part in surface.split())
+
+
+class NameFactory:
+    """Collision-free deterministic name generator."""
+
+    def __init__(self, rng: SeededRng):
+        self._rng = rng.fork("names")
+        self._used: set[str] = set()
+
+    def _unique(self, surface: str) -> str:
+        candidate = surface
+        suffix = 2
+        while to_camel(candidate) in self._used:
+            candidate = f"{surface} {_roman(suffix)}"
+            suffix += 1
+        self._used.add(to_camel(candidate))
+        return candidate
+
+    def person(self) -> str:
+        given = self._rng.choice(_GIVEN) + self._rng.choice(_GIVEN_END)
+        family = self._rng.choice(_FAMILY) + self._rng.choice(_FAMILY_END)
+        return self._unique(f"{given} {family}")
+
+    def city(self) -> str:
+        return self._unique(self._rng.choice(_PLACE) + self._rng.choice(_PLACE_END))
+
+    def country(self) -> str:
+        return self._unique(self._rng.choice(_COUNTRY) + self._rng.choice(_COUNTRY_END))
+
+    # Organisation surfaces deliberately avoid "of"/"for": prepositions
+    # inside entity names would split NP chunks and break both extraction
+    # arguments and mention annotation (ReVerb has the same bias toward
+    # compact proper-noun arguments).
+
+    def university(self, city_surface: str) -> str:
+        style = self._rng.randint(0, 2)
+        if style == 0:
+            return self._unique(f"{city_surface} university")
+        if style == 1:
+            return self._unique(f"{city_surface} polytechnic")
+        return self._unique(f"{city_surface} state university")
+
+    def institute(self, field_surface: str) -> str:
+        style = self._rng.randint(0, 1)
+        if style == 0:
+            return self._unique(f"{field_surface} institute")
+        return self._unique(f"{field_surface} research center")
+
+    def company(self) -> str:
+        head = self._rng.choice(_FAMILY) + self._rng.choice(_FAMILY_END)
+        tail = self._rng.choice(["systems", "dynamics", "labs", "industries", "analytics"])
+        return self._unique(f"{head} {tail}")
+
+    def field(self) -> str:
+        return self._unique(
+            f"{self._rng.choice(_FIELD_HEAD)} {self._rng.choice(_FIELD_TAIL)}"
+        )
+
+    def prize(self, field_surface: str) -> str:
+        style = self._rng.randint(0, 1)
+        if style == 0:
+            return self._unique(f"{field_surface} medal")
+        return self._unique(f"international {field_surface} prize")
+
+    def group(self) -> str:
+        head = self._rng.choice(_PLACE) + self._rng.choice(_PLACE_END)
+        return self._unique(f"{head} league")
+
+
+def _roman(number: int) -> str:
+    """Small roman numerals for collision suffixes (II, III, IV, ...)."""
+    numerals = [
+        (10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I"),
+    ]
+    result = []
+    for value, symbol in numerals:
+        while number >= value:
+            result.append(symbol)
+            number -= value
+    return "".join(result)

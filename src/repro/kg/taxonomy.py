@@ -1,0 +1,95 @@
+"""Class taxonomy for the synthetic KG.
+
+Yago2s combines Wikipedia categories with WordNet classes into a deep
+subsumption hierarchy; our synthetic analogue is a small fixed DAG covering
+the entity kinds the world model generates.  The taxonomy answers
+subsumption queries (needed by granularity relaxation rules and by
+benchmark-query generation) and yields ``subclassOf`` triples for the KG.
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import Resource
+from repro.core.triples import Triple
+
+#: (subclass, superclass) edges of the fixed taxonomy.
+TAXONOMY_EDGES: tuple[tuple[str, str], ...] = (
+    ("physicist", "scientist"),
+    ("chemist", "scientist"),
+    ("biologist", "scientist"),
+    ("economist", "scholar"),
+    ("linguist", "scholar"),
+    ("scientist", "person"),
+    ("scholar", "person"),
+    ("person", "entity"),
+    ("city", "location"),
+    ("country", "location"),
+    ("location", "entity"),
+    ("university", "organization"),
+    ("researchInstitute", "organization"),
+    ("company", "organization"),
+    ("organization", "entity"),
+    ("prize", "award"),
+    ("award", "entity"),
+    ("researchField", "abstraction"),
+    ("abstraction", "entity"),
+    ("universityGroup", "organization"),
+)
+
+#: Classes a person entity may be typed with directly.
+PERSON_LEAF_CLASSES = ("physicist", "chemist", "biologist", "economist", "linguist")
+
+
+class Taxonomy:
+    """Subsumption queries over the fixed class DAG."""
+
+    def __init__(self, edges: tuple[tuple[str, str], ...] = TAXONOMY_EDGES):
+        self._parents: dict[str, set[str]] = {}
+        for child, parent in edges:
+            self._parents.setdefault(child, set()).add(parent)
+            self._parents.setdefault(parent, set())
+        self._ancestors_cache: dict[str, frozenset[str]] = {}
+
+    def classes(self) -> list[str]:
+        """All class names, sorted."""
+        return sorted(self._parents)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._parents
+
+    def parents(self, name: str) -> frozenset[str]:
+        return frozenset(self._parents.get(name, ()))
+
+    def ancestors(self, name: str) -> frozenset[str]:
+        """All strict superclasses (transitive), cached."""
+        cached = self._ancestors_cache.get(name)
+        if cached is not None:
+            return cached
+        result: set[str] = set()
+        frontier = list(self._parents.get(name, ()))
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self._parents.get(current, ()))
+        frozen = frozenset(result)
+        self._ancestors_cache[name] = frozen
+        return frozen
+
+    def is_subclass(self, child: str, parent: str) -> bool:
+        """Reflexive-transitive subsumption check."""
+        return child == parent or parent in self.ancestors(child)
+
+    def subclass_triples(self, subclass_predicate: str = "subclassOf") -> list[Triple]:
+        """``subclassOf`` triples for the KG, deterministic order."""
+        predicate = Resource(subclass_predicate)
+        return [
+            Triple(Resource(child), predicate, Resource(parent))
+            for child, parents in sorted(self._parents.items())
+            for parent in sorted(parents)
+        ]
+
+    def type_closure(self, leaf: str) -> list[str]:
+        """The leaf class plus all its ancestors except the root 'entity'."""
+        return [leaf] + sorted(c for c in self.ancestors(leaf) if c != "entity")

@@ -1,0 +1,318 @@
+"""The hidden complete world model.
+
+Everything downstream — the incomplete KG, the text corpus, and the
+evaluation judgments — derives from one :class:`World`: a closed universe of
+entities (people, organisations, places, prizes, fields) and *complete*
+relational facts.  The KG generator samples a lossy view of it; the corpus
+generator verbalises it (including what the KG dropped); the evaluation
+harness grades answers against it.  No query-processing component ever reads
+the world directly.
+
+World relations (complete here; KG coverage decided later per relation):
+
+=================  =======================================  =================
+relation           semantics                                object
+=================  =======================================  =================
+bornInCity         person born in city                      city
+bornOnDate         person's birth date                      ISO date literal
+diedInCity         person died in city (some people)        city
+nationality        person's citizenship                     country
+worksAt            person's employer                        org
+educatedAt         person's alma mater                      university
+hasAdvisor         person's doctoral advisor                person
+lecturedAt         person gave guest lectures at            university
+fieldOf            person's research field                  field
+wonPrize           person won prize                         prize
+prizeFor           what the prize was awarded for           field
+marriedTo          symmetric marriage                       person
+collaboratedWith   symmetric collaboration                  person
+cityInCountry      geographic containment                   country
+orgInCity          organisation's seat                      city
+housedIn           institute housed in university           university
+memberOfGroup      university belongs to group              group
+prizeInField       prize's field                            field
+=================  =======================================  =================
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.kg.names import NameFactory, to_camel
+from repro.kg.taxonomy import PERSON_LEAF_CLASSES, Taxonomy
+from repro.util.rand import SeededRng
+
+#: All world relation names, in generation order.
+WORLD_RELATIONS = (
+    "cityInCountry",
+    "orgInCity",
+    "housedIn",
+    "memberOfGroup",
+    "prizeInField",
+    "bornInCity",
+    "bornOnDate",
+    "diedInCity",
+    "nationality",
+    "fieldOf",
+    "educatedAt",
+    "worksAt",
+    "hasAdvisor",
+    "lecturedAt",
+    "wonPrize",
+    "prizeFor",
+    "marriedTo",
+    "collaboratedWith",
+)
+
+
+@dataclass(frozen=True)
+class WorldEntity:
+    """One entity: KG resource name, textual surface form, kind, leaf class."""
+
+    id: str
+    surface: str
+    kind: str
+    leaf_class: str
+
+
+@dataclass(frozen=True)
+class WorldFact:
+    """One ground-truth fact; ``obj`` is an entity id or a literal string."""
+
+    relation: str
+    subject: str
+    obj: str
+    literal: bool = False
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Size and shape of the generated world (defaults: test scale).
+
+    The evaluation benches scale ``num_people`` and friends up; all
+    relation-density knobs stay proportional.
+    """
+
+    seed: int = 7
+    num_countries: int = 6
+    min_cities_per_country: int = 2
+    max_cities_per_country: int = 5
+    num_universities: int = 12
+    num_institutes: int = 8
+    num_companies: int = 6
+    num_fields: int = 10
+    num_prizes: int = 6
+    num_groups: int = 2
+    num_people: int = 150
+    prize_winner_fraction: float = 0.15
+    advisor_probability: float = 0.6
+    lecture_probability: float = 0.4
+    marriage_probability: float = 0.25
+    collaboration_avg: float = 1.5
+    death_probability: float = 0.3
+
+
+class World:
+    """The complete ground-truth universe.  Use :meth:`generate`."""
+
+    def __init__(self, config: WorldConfig):
+        self.config = config
+        self.entities: dict[str, WorldEntity] = {}
+        self.facts: list[WorldFact] = []
+        self._by_relation: dict[str, list[WorldFact]] = defaultdict(list)
+        self._pairs: dict[str, set[tuple[str, str]]] = defaultdict(set)
+        self.people: list[WorldEntity] = []
+        self.cities: list[WorldEntity] = []
+        self.countries: list[WorldEntity] = []
+        self.universities: list[WorldEntity] = []
+        self.institutes: list[WorldEntity] = []
+        self.companies: list[WorldEntity] = []
+        self.fields: list[WorldEntity] = []
+        self.prizes: list[WorldEntity] = []
+        self.groups: list[WorldEntity] = []
+
+    # -- accessors ------------------------------------------------------------
+
+    def entity(self, entity_id: str) -> WorldEntity:
+        return self.entities[entity_id]
+
+    def organizations(self) -> list[WorldEntity]:
+        return self.universities + self.institutes + self.companies
+
+    def facts_of(self, relation: str) -> list[WorldFact]:
+        return self._by_relation.get(relation, [])
+
+    def pairs(self, relation: str) -> set[tuple[str, str]]:
+        """The complete (subject, object) pair set of a relation."""
+        return self._pairs.get(relation, set())
+
+    def objects_of(self, relation: str, subject: str) -> list[str]:
+        return sorted(o for s, o in self._pairs.get(relation, ()) if s == subject)
+
+    def subjects_of(self, relation: str, obj: str) -> list[str]:
+        return sorted(s for s, o in self._pairs.get(relation, ()) if o == obj)
+
+    def holds(self, relation: str, subject: str, obj: str) -> bool:
+        return (subject, obj) in self._pairs.get(relation, set())
+
+    # -- construction ------------------------------------------------------------
+
+    def _add_entity(self, surface: str, kind: str, leaf_class: str) -> WorldEntity:
+        entity = WorldEntity(to_camel(surface), surface, kind, leaf_class)
+        if entity.id in self.entities:
+            raise ValueError(f"Duplicate entity id: {entity.id}")
+        self.entities[entity.id] = entity
+        return entity
+
+    def _add_fact(self, relation: str, subject: str, obj: str, literal: bool = False) -> None:
+        if (subject, obj) in self._pairs[relation]:
+            return
+        fact = WorldFact(relation, subject, obj, literal)
+        self.facts.append(fact)
+        self._by_relation[relation].append(fact)
+        self._pairs[relation].add((subject, obj))
+
+    @classmethod
+    def generate(cls, config: WorldConfig | None = None) -> "World":
+        """Deterministically generate a world from ``config.seed``."""
+        config = config if config is not None else WorldConfig()
+        world = cls(config)
+        rng = SeededRng(config.seed)
+        names = NameFactory(rng)
+        taxonomy = Taxonomy()
+
+        world._generate_geography(rng.fork("geo"), names)
+        world._generate_fields_and_prizes(rng.fork("fields"), names)
+        world._generate_organizations(rng.fork("orgs"), names)
+        world._generate_people(rng.fork("people"), names, taxonomy)
+        return world
+
+    def _generate_geography(self, rng: SeededRng, names: NameFactory) -> None:
+        for _ in range(self.config.num_countries):
+            self.countries.append(self._add_entity(names.country(), "country", "country"))
+        for country in self.countries:
+            city_count = rng.randint(
+                self.config.min_cities_per_country, self.config.max_cities_per_country
+            )
+            for _ in range(city_count):
+                city = self._add_entity(names.city(), "city", "city")
+                self.cities.append(city)
+                self._add_fact("cityInCountry", city.id, country.id)
+
+    def _generate_fields_and_prizes(self, rng: SeededRng, names: NameFactory) -> None:
+        for _ in range(self.config.num_fields):
+            self.fields.append(
+                self._add_entity(names.field(), "field", "researchField")
+            )
+        for _ in range(self.config.num_prizes):
+            prize_field = rng.choice(self.fields)
+            prize = self._add_entity(
+                names.prize(prize_field.surface), "prize", "prize"
+            )
+            self.prizes.append(prize)
+            self._add_fact("prizeInField", prize.id, prize_field.id)
+
+    def _generate_organizations(self, rng: SeededRng, names: NameFactory) -> None:
+        for _ in range(self.config.num_groups):
+            self.groups.append(
+                self._add_entity(names.group(), "group", "universityGroup")
+            )
+        for _ in range(self.config.num_universities):
+            city = self.cities[rng.zipf_index(len(self.cities))]
+            university = self._add_entity(
+                names.university(city.surface), "university", "university"
+            )
+            self.universities.append(university)
+            self._add_fact("orgInCity", university.id, city.id)
+            if self.groups and rng.chance(0.4):
+                group = rng.choice(self.groups)
+                self._add_fact("memberOfGroup", university.id, group.id)
+        for _ in range(self.config.num_institutes):
+            institute_field = rng.choice(self.fields)
+            institute = self._add_entity(
+                names.institute(institute_field.surface),
+                "institute",
+                "researchInstitute",
+            )
+            self.institutes.append(institute)
+            host = rng.choice(self.universities)
+            # An institute is housed in a university and sits in its city.
+            self._add_fact("housedIn", institute.id, host.id)
+            host_city = self.objects_of("orgInCity", host.id)
+            if host_city:
+                self._add_fact("orgInCity", institute.id, host_city[0])
+        for _ in range(self.config.num_companies):
+            company = self._add_entity(names.company(), "company", "company")
+            self.companies.append(company)
+            city = self.cities[rng.zipf_index(len(self.cities))]
+            self._add_fact("orgInCity", company.id, city.id)
+
+    def _generate_people(
+        self, rng: SeededRng, names: NameFactory, taxonomy: Taxonomy
+    ) -> None:
+        organizations = self.organizations()
+        winner_count = max(1, int(self.config.num_people * self.config.prize_winner_fraction))
+        for index in range(self.config.num_people):
+            leaf = rng.choice(PERSON_LEAF_CLASSES)
+            person = self._add_entity(names.person(), "person", leaf)
+            self.people.append(person)
+            pid = person.id
+
+            birth_city = self.cities[rng.zipf_index(len(self.cities))]
+            self._add_fact("bornInCity", pid, birth_city.id)
+            country = self.objects_of("cityInCountry", birth_city.id)[0]
+            self._add_fact("nationality", pid, country)
+            year = 1880 + rng.randint(0, 119)
+            month, day = rng.randint(1, 12), rng.randint(1, 28)
+            self._add_fact(
+                "bornOnDate", pid, f"{year:04d}-{month:02d}-{day:02d}", literal=True
+            )
+            if rng.chance(self.config.death_probability):
+                self._add_fact(
+                    "diedInCity", pid, self.cities[rng.zipf_index(len(self.cities))].id
+                )
+
+            person_field = rng.choice(self.fields)
+            self._add_fact("fieldOf", pid, person_field.id)
+
+            for university in rng.sample(self.universities, rng.randint(1, 2)):
+                self._add_fact("educatedAt", pid, university.id)
+            employer = organizations[rng.zipf_index(len(organizations))]
+            self._add_fact("worksAt", pid, employer.id)
+
+            # Advisors come from already-generated (more senior) people.
+            if index > 3 and rng.chance(self.config.advisor_probability):
+                advisor = self.people[rng.zipf_index(index)]
+                if advisor.id != pid:
+                    self._add_fact("hasAdvisor", pid, advisor.id)
+
+            if rng.chance(self.config.lecture_probability):
+                for university in rng.sample(
+                    self.universities, rng.randint(1, min(2, len(self.universities)))
+                ):
+                    if university.id != employer.id:
+                        self._add_fact("lecturedAt", pid, university.id)
+
+            # The most popular people win prizes, for the work in their field.
+            if index < winner_count and self.prizes:
+                prize = rng.choice(self.prizes)
+                self._add_fact("wonPrize", pid, prize.id)
+                self._add_fact("prizeFor", pid, person_field.id)
+
+        # Symmetric relations over generated people.
+        for index, person in enumerate(self.people):
+            if rng.chance(self.config.marriage_probability) and index + 1 < len(self.people):
+                partner = self.people[rng.randint(index + 1, len(self.people) - 1)]
+                if not self.objects_of("marriedTo", person.id) and not self.objects_of(
+                    "marriedTo", partner.id
+                ):
+                    self._add_fact("marriedTo", person.id, partner.id)
+                    self._add_fact("marriedTo", partner.id, person.id)
+            collaborations = rng.randint(0, int(self.config.collaboration_avg * 2))
+            for _ in range(collaborations):
+                other = self.people[rng.zipf_index(len(self.people))]
+                if other.id != person.id:
+                    self._add_fact("collaboratedWith", person.id, other.id)
+                    self._add_fact("collaboratedWith", other.id, person.id)

@@ -1,0 +1,50 @@
+"""Open Information Extraction pipeline and synthetic Web corpus.
+
+The paper extends its KG with token triples extracted by ReVerb/OLLIE-style
+Open IE from ClueWeb'09, with FACC1 entity annotations and AIDA-style named
+entity disambiguation.  This package provides offline equivalents:
+
+* :mod:`corpus` — a deterministic generator of Web/news-style documents that
+  verbalise the *complete* world model (including facts the KG dropped)
+  through many paraphrase templates, with gold FACC1-style mention
+  annotations;
+* :mod:`tokenizer`, :mod:`postag`, :mod:`chunker` — a small, dependency-free
+  NLP stack (tokeniser, lexicon+suffix POS tagger, NP chunker);
+* :mod:`reverb` — a ReVerb-style extractor matching the V | V P | V W* P
+  relation-phrase pattern between noun phrases, with heuristic confidence;
+* :mod:`ned` — mention-dictionary named entity disambiguation with a
+  popularity prior and context overlap.
+"""
+
+from repro.openie.tokenizer import Token, tokenize
+from repro.openie.postag import tag_tokens, TaggedToken
+from repro.openie.chunker import NounPhrase, chunk_noun_phrases
+from repro.openie.reverb import Extraction, ReverbExtractor
+from repro.openie.corpus import (
+    CorpusConfig,
+    CorpusGenerator,
+    Document,
+    Mention,
+    Sentence,
+    RELATION_TEMPLATES,
+)
+from repro.openie.ned import EntityLinker, LinkResult
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "tag_tokens",
+    "TaggedToken",
+    "NounPhrase",
+    "chunk_noun_phrases",
+    "Extraction",
+    "ReverbExtractor",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "Document",
+    "Sentence",
+    "Mention",
+    "RELATION_TEMPLATES",
+    "EntityLinker",
+    "LinkResult",
+]

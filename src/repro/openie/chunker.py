@@ -1,0 +1,83 @@
+"""Noun-phrase chunking over tagged tokens.
+
+An NP chunk is a maximal run of determiner/adjective/noun/numeral tags
+containing at least one noun.  Chunks carry token index spans so the
+extractor can reason about adjacency with relation phrases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openie.postag import TaggedToken
+
+#: Tags allowed inside an NP chunk.
+_NP_TAGS = {"DT", "JJ", "NN", "NNS", "NNP", "CD"}
+#: Tags that make a chunk a real NP (it must contain one).
+_NOUN_TAGS = {"NN", "NNS", "NNP"}
+
+
+@dataclass(frozen=True)
+class NounPhrase:
+    """A chunk: token index span [start, end) plus convenience accessors."""
+
+    start: int
+    end: int
+    tokens: tuple[TaggedToken, ...]
+
+    @property
+    def text(self) -> str:
+        return " ".join(t.text for t in self.tokens)
+
+    @property
+    def text_without_determiner(self) -> str:
+        """The phrase with leading determiners stripped (for NED lookup)."""
+        kept = list(self.tokens)
+        while kept and kept[0].tag == "DT":
+            kept = kept[1:]
+        return " ".join(t.text for t in kept)
+
+    @property
+    def is_proper(self) -> bool:
+        """True when the head looks like a named entity (any NNP inside)."""
+        return any(t.tag == "NNP" for t in self.tokens)
+
+    @property
+    def head(self) -> str:
+        """The last noun token's text (the syntactic head, roughly)."""
+        for tagged in reversed(self.tokens):
+            if tagged.tag in _NOUN_TAGS:
+                return tagged.text
+        return self.tokens[-1].text
+
+
+def chunk_noun_phrases(tagged: list[TaggedToken]) -> list[NounPhrase]:
+    """Maximal NP chunks, left to right.
+
+    >>> from repro.openie.tokenizer import tokenize
+    >>> from repro.openie.postag import tag_tokens
+    >>> sentence = tag_tokens(tokenize("Einstein lectured at Princeton University"))
+    >>> [np.text for np in chunk_noun_phrases(sentence)]
+    ['Einstein', 'Princeton University']
+    """
+    chunks: list[NounPhrase] = []
+    start = None
+    for index, tagged_token in enumerate(tagged):
+        if tagged_token.tag in _NP_TAGS:
+            if start is None:
+                start = index
+            continue
+        if start is not None:
+            _close(chunks, tagged, start, index)
+            start = None
+    if start is not None:
+        _close(chunks, tagged, start, len(tagged))
+    return chunks
+
+
+def _close(
+    chunks: list[NounPhrase], tagged: list[TaggedToken], start: int, end: int
+) -> None:
+    window = tagged[start:end]
+    if any(t.tag in _NOUN_TAGS for t in window):
+        chunks.append(NounPhrase(start, end, tuple(window)))

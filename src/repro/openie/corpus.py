@@ -1,0 +1,318 @@
+"""Synthetic Web/news corpus with FACC1-style entity annotations.
+
+The corpus plays ClueWeb'09's role: raw text from which Open IE recovers the
+knowledge the KG is missing.  Documents verbalise facts of the *complete*
+world through per-relation paraphrase templates, so:
+
+* every relation has several surface forms ("works at" / "is affiliated
+  with" / "joined ...") — the redundancy arg-overlap rule mining feeds on;
+* vocabulary-gapped relations (``lecturedAt``, ``housedIn``, ``prizeFor``,
+  ``collaboratedWith``) appear *only* here — the incompleteness the XKG
+  repairs;
+* entity popularity is Zipf-skewed, so facts about popular entities are
+  observed many times (the tf-like evidence in answer scoring).
+
+Generation is two-pass: a *coverage pass* renders (almost) every world fact
+once, grouped into per-entity profile documents, then a *popularity pass*
+adds documents about Zipf-sampled focus entities repeating their facts.
+Every entity mention is recorded with character offsets — the FACC1
+simulation used as gold data by NED evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+from repro.kg.world import World, WorldFact
+from repro.util.rand import SeededRng
+
+#: Templates per world relation: (pattern, ) with {X} the relation subject
+#: and {Y} the object.  Patterns are plain subject-verb-object sentences so
+#: the ReVerb pattern fires; several paraphrases per relation on purpose.
+RELATION_TEMPLATES: dict[str, tuple[str, ...]] = {
+    "bornInCity": (
+        "{X} was born in {Y}",
+        "{X} grew up in {Y}",
+    ),
+    "bornOnDate": (
+        "{X} was born on {Y}",
+    ),
+    "diedInCity": (
+        "{X} died in {Y}",
+        "{X} passed away in {Y}",
+    ),
+    "nationality": (
+        "{X} was a citizen of {Y}",
+        "{X} came from {Y}",
+    ),
+    "worksAt": (
+        "{X} works at {Y}",
+        "{X} is affiliated with {Y}",
+        "{X} joined {Y}",
+        "{X} was employed by {Y}",
+    ),
+    "educatedAt": (
+        "{X} graduated from {Y}",
+        "{X} studied at {Y}",
+        "{X} earned a doctorate from {Y}",
+    ),
+    "hasAdvisor": (
+        "{X} studied under {Y}",
+        "{X} was a student of {Y}",
+        "{Y} supervised {X}",
+        "{Y} was the doctoral advisor of {X}",
+    ),
+    "lecturedAt": (
+        "{X} lectured at {Y}",
+        "{X} gave lectures at {Y}",
+        "{X} taught at {Y}",
+    ),
+    "fieldOf": (
+        "{X} specialized in {Y}",
+        "{X} made seminal contributions to {Y}",
+    ),
+    "wonPrize": (
+        "{X} won the {Y}",
+        "{X} received the {Y}",
+        "{X} was awarded the {Y}",
+    ),
+    "prizeFor": (
+        "{X} won a Nobel for {Y}",
+        "{X} received recognition for {Y}",
+    ),
+    "marriedTo": (
+        "{X} married {Y}",
+        "{X} was married to {Y}",
+    ),
+    "collaboratedWith": (
+        "{X} collaborated with {Y}",
+        "{X} worked with {Y}",
+        "{X} co-authored papers with {Y}",
+    ),
+    "cityInCountry": (
+        "{X} is located in {Y}",
+        "{X} lies in {Y}",
+    ),
+    "orgInCity": (
+        "{X} is based in {Y}",
+        "{X} has its campus in {Y}",
+    ),
+    "housedIn": (
+        "{X} is housed in {Y}",
+        "{X} operates within {Y}",
+    ),
+    "memberOfGroup": (
+        "{X} is a member of {Y}",
+        "{X} belongs to {Y}",
+    ),
+    "prizeInField": (
+        "{X} honors achievements in {Y}",
+    ),
+}
+
+_NOISE_TEMPLATES = (
+    "During those years {X} traveled widely",
+    "Many articles were written about {X}",
+    "{X} remained famously private",
+    "The legacy of {X} is studied closely",
+)
+
+_MONTHS = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+
+
+@dataclass(frozen=True)
+class Mention:
+    """A FACC1-style gold annotation: surface span → entity id."""
+
+    entity_id: str
+    surface: str
+    start: int
+    end: int
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """One sentence with its gold mentions and originating fact (if any)."""
+
+    text: str
+    mentions: tuple[Mention, ...] = ()
+    fact: WorldFact | None = None
+
+
+@dataclass(frozen=True)
+class Document:
+    """A generated pseudo-Web document."""
+
+    doc_id: str
+    focus_entity: str
+    sentences: tuple[Sentence, ...]
+
+    @property
+    def text(self) -> str:
+        return ". ".join(s.text for s in self.sentences) + "."
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Corpus size and style parameters (defaults: test scale)."""
+
+    seed: int = 23
+    coverage_probability: float = 0.92
+    facts_per_profile_doc: int = 6
+    num_popularity_documents: int = 120
+    facts_per_popularity_doc_min: int = 2
+    facts_per_popularity_doc_max: int = 6
+    short_name_probability: float = 0.25
+    noise_probability: float = 0.2
+
+
+class CorpusGenerator:
+    """Deterministic corpus generation from a world."""
+
+    def __init__(self, world: World, config: CorpusConfig | None = None):
+        self.world = world
+        self.config = config if config is not None else CorpusConfig()
+
+    # -- surface forms ------------------------------------------------------------
+
+    def _surface(self, entity_or_literal: str, literal: bool, rng: SeededRng) -> tuple[str, str | None]:
+        """(rendered surface, entity id or None for literals)."""
+        if literal:
+            return self._render_literal(entity_or_literal), None
+        entity = self.world.entities[entity_or_literal]
+        surface = entity.surface
+        if (
+            entity.kind == "person"
+            and " " in surface
+            and rng.chance(self.config.short_name_probability)
+        ):
+            surface = surface.split()[-1]  # family name only: NED ambiguity
+        return surface, entity.id
+
+    @staticmethod
+    def _render_literal(value: str) -> str:
+        try:
+            parsed = date.fromisoformat(value)
+        except ValueError:
+            return value
+        return f"{_MONTHS[parsed.month - 1]} {parsed.day} {parsed.year}"
+
+    def _render_fact(self, fact: WorldFact, rng: SeededRng) -> Sentence:
+        templates = RELATION_TEMPLATES[fact.relation]
+        template = templates[rng.randint(0, len(templates) - 1)]
+        x_surface, x_id = self._surface(fact.subject, False, rng)
+        y_surface, y_id = self._surface(fact.obj, fact.literal, rng)
+        mentions: list[Mention] = []
+        text_parts: list[str] = []
+        cursor = 0
+        remaining = template
+        while remaining:
+            x_pos = remaining.find("{X}")
+            y_pos = remaining.find("{Y}")
+            positions = [p for p in (x_pos, y_pos) if p != -1]
+            if not positions:
+                text_parts.append(remaining)
+                break
+            next_pos = min(positions)
+            literal_part = remaining[:next_pos]
+            text_parts.append(literal_part)
+            cursor += len(literal_part)
+            if next_pos == x_pos:
+                surface, entity_id = x_surface, x_id
+                remaining = remaining[next_pos + 3 :]
+            else:
+                surface, entity_id = y_surface, y_id
+                remaining = remaining[next_pos + 3 :]
+            if entity_id is not None:
+                mentions.append(
+                    Mention(entity_id, surface, cursor, cursor + len(surface))
+                )
+            text_parts.append(surface)
+            cursor += len(surface)
+        return Sentence("".join(text_parts), tuple(mentions), fact)
+
+    def _noise_sentence(self, focus_id: str, rng: SeededRng) -> Sentence:
+        template = _NOISE_TEMPLATES[rng.randint(0, len(_NOISE_TEMPLATES) - 1)]
+        surface, entity_id = self._surface(focus_id, False, rng)
+        prefix = template.split("{X}")[0]
+        text = template.replace("{X}", surface)
+        start = len(prefix)
+        mention = Mention(entity_id, surface, start, start + len(surface))
+        return Sentence(text, (mention,), None)
+
+    # -- generation ------------------------------------------------------------
+
+    def generate(self) -> list[Document]:
+        """The full corpus: coverage pass then popularity pass."""
+        rng = SeededRng(self.config.seed)
+        documents: list[Document] = []
+        documents.extend(self._coverage_pass(rng.fork("coverage")))
+        documents.extend(self._popularity_pass(rng.fork("popularity")))
+        return documents
+
+    def _facts_by_subject(self) -> dict[str, list[WorldFact]]:
+        grouped: dict[str, list[WorldFact]] = {}
+        for fact in self.world.facts:
+            if fact.relation in RELATION_TEMPLATES:
+                grouped.setdefault(fact.subject, []).append(fact)
+        return grouped
+
+    def _coverage_pass(self, rng: SeededRng) -> list[Document]:
+        """Profile documents rendering (almost) every world fact once."""
+        documents: list[Document] = []
+        grouped = self._facts_by_subject()
+        doc_index = 0
+        for subject in sorted(grouped):
+            kept = [
+                fact
+                for fact in grouped[subject]
+                if rng.chance(self.config.coverage_probability)
+            ]
+            for batch_start in range(0, len(kept), self.config.facts_per_profile_doc):
+                batch = kept[batch_start : batch_start + self.config.facts_per_profile_doc]
+                sentences = [self._render_fact(fact, rng) for fact in batch]
+                if rng.chance(self.config.noise_probability):
+                    sentences.append(self._noise_sentence(subject, rng))
+                documents.append(
+                    Document(
+                        doc_id=f"web-{doc_index:05d}",
+                        focus_entity=subject,
+                        sentences=tuple(sentences),
+                    )
+                )
+                doc_index += 1
+        return documents
+
+    def _popularity_pass(self, rng: SeededRng) -> list[Document]:
+        """Extra documents about Zipf-popular entities (repeat observations)."""
+        documents: list[Document] = []
+        grouped = self._facts_by_subject()
+        # Focus pool: people first (news is about people), then organisations.
+        pool = [p.id for p in self.world.people] + [
+            o.id for o in self.world.organizations()
+        ]
+        pool = [entity_id for entity_id in pool if entity_id in grouped]
+        if not pool:
+            return documents
+        for doc_number in range(self.config.num_popularity_documents):
+            focus = pool[rng.zipf_index(len(pool))]
+            facts = grouped[focus]
+            low = min(self.config.facts_per_popularity_doc_min, len(facts))
+            high = min(self.config.facts_per_popularity_doc_max, len(facts))
+            count = rng.randint(min(low, high), max(low, high))
+            chosen = rng.sample(facts, min(count, len(facts)))
+            sentences = [self._render_fact(fact, rng) for fact in chosen]
+            if rng.chance(self.config.noise_probability):
+                sentences.append(self._noise_sentence(focus, rng))
+            documents.append(
+                Document(
+                    doc_id=f"news-{doc_number:05d}",
+                    focus_entity=focus,
+                    sentences=tuple(sentences),
+                )
+            )
+        return documents

@@ -1,0 +1,127 @@
+"""Lexicon + suffix heuristic part-of-speech tagger.
+
+A tiny deterministic tagger sufficient for ReVerb-style pattern matching over
+the corpus generator's output (and reasonable on similar English).  The tag
+inventory is the Penn subset the extractor consumes:
+
+``DT`` determiner · ``IN`` preposition · ``TO`` to · ``CC`` conjunction ·
+``PRP`` pronoun · ``VB*`` verbs (VBD past, VBZ 3rd-sg, VBG gerund, VBN past
+participle, VB base) · ``NN/NNS`` common nouns · ``NNP`` proper noun ·
+``CD`` numeral · ``JJ`` adjective · ``RB`` adverb · ``.`` punctuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openie.tokenizer import Token
+
+_DETERMINERS = {"the", "a", "an", "his", "her", "its", "their", "this", "that", "these", "those"}
+_PREPOSITIONS = {
+    "in", "at", "of", "for", "with", "on", "by", "from", "under", "within",
+    "into", "about", "after", "before", "during", "against", "between", "near",
+}
+_CONJUNCTIONS = {"and", "or", "but"}
+_PRONOUNS = {"he", "she", "it", "they", "him", "them", "who", "which"}
+_COPULA_PAST = {"was", "were"}
+_COPULA_PRESENT = {"is", "are"}
+_AUX = {"has", "have", "had", "been", "be", "will", "would", "did", "does", "do"}
+
+#: Irregular / corpus-frequent past-tense verbs.
+_VBD = {
+    "won", "received", "studied", "worked", "joined", "married", "graduated",
+    "lectured", "taught", "supervised", "died", "specialized", "collaborated",
+    "earned", "made", "grew", "came", "passed", "met", "gave", "held", "led",
+    "wrote", "founded", "moved", "visited", "ran", "became", "spent", "left",
+}
+#: Past participles that follow copulas in the corpus templates.
+_VBN = {
+    "born", "housed", "located", "based", "affiliated", "awarded", "employed",
+    "educated", "married", "honored", "recognized", "elected", "appointed",
+    "named", "known",
+}
+_VBZ = {
+    "works", "lies", "belongs", "operates", "honors", "specializes", "holds",
+    "teaches", "lives", "sits", "remains",
+}
+_ADJECTIVES = {
+    "doctoral", "pleasant", "famous", "renowned", "influential", "young",
+    "early", "late", "annual", "prestigious", "seminal", "notable",
+}
+_ADVERBS = {"closely", "briefly", "later", "famously", "jointly", "frequently"}
+
+
+@dataclass(frozen=True)
+class TaggedToken:
+    """A token with its part-of-speech tag."""
+
+    token: Token
+    tag: str
+
+    @property
+    def text(self) -> str:
+        return self.token.text
+
+    @property
+    def lower(self) -> str:
+        return self.token.text.lower()
+
+
+def _tag_word(token: Token, is_sentence_initial: bool) -> str:
+    text = token.text
+    lower = text.lower()
+    if token.is_punctuation:
+        return "."
+    if lower in _DETERMINERS:
+        return "DT"
+    if lower == "to":
+        return "TO"
+    if lower in _PREPOSITIONS:
+        return "IN"
+    if lower in _CONJUNCTIONS:
+        return "CC"
+    if lower in _PRONOUNS:
+        return "PRP"
+    if lower in _COPULA_PAST or lower in _COPULA_PRESENT or lower in _AUX:
+        return "VBD" if lower in _COPULA_PAST else "VBZ"
+    if lower in _VBD:
+        return "VBD"
+    if lower in _VBN:
+        return "VBN"
+    if lower in _VBZ:
+        return "VBZ"
+    if lower in _ADJECTIVES:
+        return "JJ"
+    if lower in _ADVERBS:
+        return "RB"
+    if any(c.isdigit() for c in text):
+        return "CD"
+    # Capitalised mid-sentence → proper noun.  Sentence-initially we cannot
+    # tell, so fall through to the suffix heuristics (names still get NNP
+    # because they lack verb/adverb suffixes and title case wins below).
+    if text[0].isupper() and not is_sentence_initial:
+        return "NNP"
+    if lower.endswith("ly") and len(lower) > 3:
+        return "RB"
+    if lower.endswith("ing") and len(lower) > 4:
+        return "VBG"
+    if lower.endswith("ed") and len(lower) > 3:
+        return "VBD"
+    if text[0].isupper():
+        return "NNP"
+    if lower.endswith("s") and not lower.endswith("ss") and len(lower) > 3:
+        return "NNS"
+    return "NN"
+
+
+def tag_tokens(tokens: list[Token]) -> list[TaggedToken]:
+    """Tag a token sequence.
+
+    >>> from repro.openie.tokenizer import tokenize
+    >>> [t.tag for t in tag_tokens(tokenize("Einstein lectured at Princeton"))]
+    ['NNP', 'VBD', 'IN', 'NNP']
+    """
+    return [
+        TaggedToken(token, _tag_word(token, index == 0))
+        for index, token in enumerate(tokens)
+    ]

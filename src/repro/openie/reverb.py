@@ -1,0 +1,154 @@
+"""ReVerb-style Open IE extractor.
+
+ReVerb (Fader, Soderland, Etzioni — EMNLP 2011) extracts (NP, VP, NP) triples
+where the relation phrase matches the regular pattern::
+
+    V | V P | V W* P
+
+V = verb (optionally preceded by auxiliaries/copulas), W = noun, adjective,
+adverb, determiner or participle, P = preposition/particle.  We implement the
+same syntactic constraint over our tagger's output: for every adjacent pair
+of noun phrases, the longest token run strictly between them that matches
+the pattern becomes the relation phrase.
+
+Confidence is a deterministic heuristic in the spirit of ReVerb's logistic
+regression scorer: proper-noun arguments, a preposition-terminated relation
+phrase and short relation phrases raise confidence; long phrases and
+pronoun arguments lower it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openie.chunker import NounPhrase, chunk_noun_phrases
+from repro.openie.postag import TaggedToken, tag_tokens
+from repro.openie.tokenizer import tokenize
+
+_VERB_TAGS = {"VBD", "VBZ", "VB", "VBG", "VBN"}
+_W_TAGS = {"NN", "NNS", "NNP", "JJ", "RB", "DT", "VBN", "CD"}
+_P_TAGS = {"IN", "TO"}
+
+
+@dataclass(frozen=True)
+class Extraction:
+    """One (subject phrase, relation phrase, object phrase) extraction."""
+
+    subject: str
+    relation: str
+    object: str
+    confidence: float
+    sentence: str
+
+    def as_tuple(self) -> tuple[str, str, str]:
+        return (self.subject, self.relation, self.object)
+
+
+def _match_relation(tokens: list[TaggedToken]) -> bool:
+    """Does the token run match  V | V P | V W* P  (with leading auxiliaries)?"""
+    if not tokens:
+        return False
+    index = 0
+    # Leading auxiliaries / copulas count as part of V ("was born in").
+    while index < len(tokens) and tokens[index].tag in _VERB_TAGS:
+        index += 1
+    if index == 0:
+        return False  # must start with a verb
+    if index == len(tokens):
+        return True  # plain V
+    # Optional W* then one P, consuming the rest.
+    while index < len(tokens) - 1 and tokens[index].tag in _W_TAGS:
+        index += 1
+    return index == len(tokens) - 1 and tokens[index].tag in _P_TAGS
+
+
+class ReverbExtractor:
+    """Extracts ReVerb-style triples from raw sentences.
+
+    Parameters
+    ----------
+    min_confidence:
+        Extractions scoring below this are discarded.
+    max_relation_tokens:
+        Relation phrases longer than this are rejected outright (ReVerb's
+        over-specification guard).
+    """
+
+    def __init__(self, min_confidence: float = 0.3, max_relation_tokens: int = 6):
+        self.min_confidence = min_confidence
+        self.max_relation_tokens = max_relation_tokens
+
+    def extract(self, sentence: str) -> list[Extraction]:
+        """All extractions from one sentence, left to right.
+
+        ReVerb's longest-match heuristic is applied: for a subject NP, the
+        relation phrase extends over intermediate noun material to the last
+        NP it can validly reach ("was a student of Newmov" beats stopping at
+        "was" / "a student").  After an extraction, scanning resumes at the
+        object NP, so chained clauses yield chained extractions.
+
+        >>> ReverbExtractor().extract(
+        ...     "Einstein lectured at Princeton University")[0].as_tuple()
+        ('Einstein', 'lectured at', 'Princeton University')
+        >>> ReverbExtractor().extract(
+        ...     "Einstein was a student of Kleiner")[0].as_tuple()
+        ('Einstein', 'was a student of', 'Kleiner')
+        """
+        tagged = tag_tokens(tokenize(sentence))
+        chunks = chunk_noun_phrases(tagged)
+        extractions: list[Extraction] = []
+        index = 0
+        while index < len(chunks) - 1:
+            left = chunks[index]
+            best: tuple[int, list[TaggedToken]] | None = None
+            for j in range(index + 1, len(chunks)):
+                between = tagged[left.end : chunks[j].start]
+                # Punctuation between the NPs breaks the clause.
+                if any(t.tag == "." for t in between):
+                    break
+                if not between or len(between) > self.max_relation_tokens:
+                    continue
+                if _match_relation(between):
+                    best = (j, between)  # keep extending: longest match wins
+            if best is None:
+                index += 1
+                continue
+            object_index, relation_tokens = best
+            right = chunks[object_index]
+            relation = " ".join(t.text for t in relation_tokens)
+            confidence = self._confidence(left, relation_tokens, right)
+            if confidence >= self.min_confidence:
+                extractions.append(
+                    Extraction(
+                        subject=left.text_without_determiner,
+                        relation=relation,
+                        object=right.text_without_determiner,
+                        confidence=confidence,
+                        sentence=sentence,
+                    )
+                )
+            index = object_index
+        return extractions
+
+    def _confidence(
+        self,
+        subject: NounPhrase,
+        relation: list[TaggedToken],
+        obj: NounPhrase,
+    ) -> float:
+        score = 0.55
+        if subject.is_proper:
+            score += 0.12
+        if obj.is_proper:
+            score += 0.12
+        if relation[-1].tag in _P_TAGS:
+            score += 0.08  # preposition-final relations are crisper
+        if len(relation) <= 3:
+            score += 0.05
+        if len(relation) >= 5:
+            score -= 0.12
+        if any(t.tag == "PRP" for t in subject.tokens + obj.tokens):
+            score -= 0.20
+        if len(subject.tokens) > 5 or len(obj.tokens) > 5:
+            score -= 0.08
+        return max(0.05, min(0.95, round(score, 3)))

@@ -1,0 +1,60 @@
+"""Whitespace-and-punctuation tokeniser with character offsets.
+
+Offsets are preserved so extractions can be traced back to the exact span of
+the source sentence (provenance for answer explanations) and so gold mention
+annotations can be aligned with extraction arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Characters split off as separate punctuation tokens.
+_PUNCTUATION = set(".,;:!?()[]\"“”")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A token with its [start, end) character span in the sentence."""
+
+    text: str
+    start: int
+    end: int
+
+    @property
+    def is_punctuation(self) -> bool:
+        return all(c in _PUNCTUATION or c == "'" for c in self.text)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens, separating trailing/leading punctuation.
+
+    Apostrophes inside words ("Einstein's") are kept attached; hyphens are
+    kept ("co-authored").
+
+    >>> [t.text for t in tokenize("Einstein lectured at Princeton.")]
+    ['Einstein', 'lectured', 'at', 'Princeton', '.']
+    """
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        if text[i].isspace():
+            i += 1
+            continue
+        if text[i] in _PUNCTUATION:
+            tokens.append(Token(text[i], i, i + 1))
+            i += 1
+            continue
+        j = i
+        while j < n and not text[j].isspace() and text[j] not in _PUNCTUATION:
+            j += 1
+        tokens.append(Token(text[i:j], i, j))
+        i = j
+    return tokens
+
+
+def detokenize(tokens: list[Token], source: str) -> str:
+    """Reconstruct the exact source span covered by ``tokens``."""
+    if not tokens:
+        return ""
+    return source[tokens[0].start : tokens[-1].end]

@@ -1,0 +1,49 @@
+"""Query relaxation: rules, rule generators, and rewrite-space enumeration.
+
+A relaxation rule replaces a set of triple patterns in a query with another
+set, attenuating answer scores by its weight w ∈ [0, 1] (Section 3 of the
+paper).  This package provides:
+
+* :mod:`rules` — the rule model and :class:`RuleSet` container,
+* :mod:`operators` — the pluggable operator API administrators use to
+  register custom rule generators,
+* :mod:`mining` — arg-overlap rule mining from the XKG itself,
+* :mod:`structural` — predicate inversion and type/granularity rules,
+* :mod:`amie` — AMIE-style horn-rule mining over the curated KG,
+* :mod:`paraphrase` — rules from a paraphrase repository,
+* :mod:`esa` — explicit-semantic-analysis relatedness rules,
+* :mod:`rewriting` — bounded enumeration of weighted query rewritings.
+"""
+
+from repro.relax.rules import RelaxationRule, RuleApplication, RuleSet
+from repro.relax.operators import RelaxationOperator, OperatorRegistry, operator
+from repro.relax.rewriting import RewriteEngine, RewrittenQuery
+from repro.relax.mining import mine_arg_overlap_rules
+from repro.relax.structural import (
+    inversion_rules,
+    granularity_rules,
+    kg_to_token_bridge_rules,
+)
+from repro.relax.amie import mine_amie_rules
+from repro.relax.paraphrase import ParaphraseRepository, paraphrase_rules
+from repro.relax.esa import EsaModel, esa_rules
+
+__all__ = [
+    "RelaxationRule",
+    "RuleApplication",
+    "RuleSet",
+    "RelaxationOperator",
+    "OperatorRegistry",
+    "operator",
+    "RewriteEngine",
+    "RewrittenQuery",
+    "mine_arg_overlap_rules",
+    "inversion_rules",
+    "granularity_rules",
+    "kg_to_token_bridge_rules",
+    "mine_amie_rules",
+    "ParaphraseRepository",
+    "paraphrase_rules",
+    "EsaModel",
+    "esa_rules",
+]

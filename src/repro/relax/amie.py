@@ -1,0 +1,155 @@
+"""AMIE-style association rule mining over the curated KG.
+
+The paper lists "rule mining on the KG (e.g. AMIE [5])" as one source of
+relaxation rules.  AMIE mines closed Horn rules under incomplete evidence,
+scoring them with *PCA confidence*: the denominator counts only
+counter-examples where the head's subject is known to have *some* value for
+the head predicate (partial-completeness assumption) — which matters
+precisely because KGs are incomplete.
+
+We mine the three rule shapes useful for relaxation:
+
+* ``q(x, y) ⇒ p(x, y)``  — synonymy       → relax ``?x p ?y`` to ``?x q ?y``
+* ``q(y, x) ⇒ p(x, y)``  — inversion      → relax ``?x p ?y`` to ``?y q ?x``
+* ``q(x, z) ∧ r(z, y) ⇒ p(x, y)`` — chain → relax ``?x p ?y`` to the 2-hop path
+
+The relaxation weight is the rule's PCA confidence.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.core.terms import Term, Variable
+from repro.core.triples import TriplePattern
+from repro.relax.rules import ORIGIN_AMIE, RelaxationRule
+from repro.storage.statistics import StoreStatistics
+
+_X, _Y, _Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def _pca_confidence(
+    body_pairs: set[tuple[int, int]],
+    head_pairs: frozenset[tuple[int, int]],
+    head_subjects: set[int],
+) -> tuple[int, float]:
+    """Return (support, PCA confidence) for body ⇒ head.
+
+    Support: |body ∩ head|.  PCA denominator: body pairs whose subject has at
+    least one head fact — pairs with unknown subjects are not counted as
+    counter-examples.
+    """
+    support = len(body_pairs & head_pairs)
+    pca_body = sum(1 for s, _o in body_pairs if s in head_subjects)
+    if pca_body == 0:
+        return support, 0.0
+    return support, support / pca_body
+
+
+def mine_amie_rules(
+    statistics: StoreStatistics,
+    *,
+    predicates: Iterable[Term] | None = None,
+    min_support: int = 2,
+    min_confidence: float = 0.2,
+    mine_chains: bool = True,
+    max_rules_per_predicate: int = 15,
+    max_compose_size: int = 200_000,
+) -> list[RelaxationRule]:
+    """Mine AMIE-style rules; emit one relaxation rule per mined Horn rule.
+
+    ``predicates`` restricts the *head* predicate p (the one a query would
+    mention); default is every canonical (resource) predicate in the store —
+    AMIE operates on the curated KG, not on token phrases.
+    """
+    if predicates is None:
+        heads = [p for p in statistics.predicates() if p.is_resource]
+    else:
+        heads = list(predicates)
+    bodies = [p for p in statistics.predicates() if p.is_resource]
+
+    args: dict[Term, frozenset[tuple[int, int]]] = {
+        p: statistics.args(p) for p in set(heads) | set(bodies)
+    }
+    head_subjects: dict[Term, set[int]] = {
+        p: {s for s, _o in pairs} for p, pairs in args.items()
+    }
+    adjacency: dict[Term, dict[int, set[int]]] = {}
+    for p in bodies:
+        adj: dict[int, set[int]] = defaultdict(set)
+        for s, o in args[p]:
+            adj[s].add(o)
+        adjacency[p] = adj
+
+    rules: list[RelaxationRule] = []
+    for p in heads:
+        head_pairs = args[p]
+        if not head_pairs:
+            continue
+        subjects = head_subjects[p]
+        candidates: list[tuple[float, int, str, tuple[Term, ...]]] = []
+
+        for q in bodies:
+            if q == p:
+                continue
+            body_pairs = set(args[q])
+            if not body_pairs:
+                continue
+            support, conf = _pca_confidence(body_pairs, head_pairs, subjects)
+            if support >= min_support and conf >= min_confidence:
+                candidates.append((conf, support, "syn", (q,)))
+            inv_pairs = {(o, s) for s, o in body_pairs}
+            support, conf = _pca_confidence(inv_pairs, head_pairs, subjects)
+            if support >= min_support and conf >= min_confidence:
+                candidates.append((conf, support, "inv", (q,)))
+
+        if mine_chains:
+            for q in bodies:
+                q_adj = adjacency[q]
+                for r in bodies:
+                    if q == p and r == p:
+                        continue
+                    r_adj = adjacency[r]
+                    composed: set[tuple[int, int]] = set()
+                    overflow = False
+                    for x, z_values in q_adj.items():
+                        for z in z_values:
+                            for y in r_adj.get(z, ()):
+                                composed.add((x, y))
+                                if len(composed) > max_compose_size:
+                                    overflow = True
+                                    break
+                            if overflow:
+                                break
+                        if overflow:
+                            break
+                    if overflow or not composed:
+                        continue
+                    support, conf = _pca_confidence(composed, head_pairs, subjects)
+                    if support >= min_support and conf >= min_confidence:
+                        candidates.append((conf, support, "chain", (q, r)))
+
+        candidates.sort(
+            key=lambda c: (-c[0], -c[1], c[2], tuple(t.sort_key() for t in c[3]))
+        )
+        for conf, support, shape, body in candidates[:max_rules_per_predicate]:
+            if shape == "syn":
+                replacement = (TriplePattern(_X, body[0], _Y),)
+            elif shape == "inv":
+                replacement = (TriplePattern(_Y, body[0], _X),)
+            else:
+                replacement = (
+                    TriplePattern(_X, body[0], _Z),
+                    TriplePattern(_Z, body[1], _Y),
+                )
+            rules.append(
+                RelaxationRule(
+                    original=(TriplePattern(_X, p, _Y),),
+                    replacement=replacement,
+                    weight=min(1.0, conf),
+                    origin=ORIGIN_AMIE,
+                    label=f"amie-{shape} support={support}",
+                )
+            )
+    return rules

@@ -1,0 +1,155 @@
+"""ESA-style semantic relatedness between predicates.
+
+The paper cites Explicit Semantic Analysis (Gabrilovich & Markovitch) as a
+source of relatedness-based relaxation weights.  Real ESA represents a term
+as a TF-IDF vector over Wikipedia concepts; here each predicate is
+represented as a TF-IDF vector over the *pseudo-document* formed from its
+surface words and the surface words of the entities it connects — the
+distributional footprint the predicate leaves in the XKG.  Relatedness is
+cosine similarity, and :func:`esa_rules` emits predicate-rewrite rules
+weighted by it.
+
+The crucial difference from arg-overlap mining: ESA can relate predicates
+that share *vocabulary* even when they share no subject-object pairs at all,
+so it recovers synonymy the overlap statistics miss on sparse data.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Iterable
+
+from repro.core.terms import Term, Variable
+from repro.core.triples import TriplePattern
+from repro.relax.rules import ORIGIN_ESA, RelaxationRule
+from repro.storage.statistics import StoreStatistics
+from repro.util.text import camel_to_words, stem, tokenize_phrase
+
+_X, _Y = Variable("x"), Variable("y")
+
+#: Cap on how many argument entities contribute words per predicate; the
+#: most frequent arguments dominate a predicate's footprint anyway.
+MAX_ARG_SAMPLES = 50
+
+
+def _surface_words(term: Term) -> list[str]:
+    """Stemmed content words of a term's surface form."""
+    if term.is_resource:
+        text = camel_to_words(term.lexical())
+    else:
+        text = term.lexical()
+    return [stem(tok) for tok in tokenize_phrase(text) if len(tok) > 1]
+
+
+class EsaModel:
+    """TF-IDF concept vectors for a set of keys (predicates here).
+
+    Construction takes ``{key: bag_of_words}``; :meth:`similarity` returns
+    the cosine between two keys' vectors (0.0 for unknown keys).
+    """
+
+    def __init__(self, documents: dict[Term, Counter]):
+        self._vectors: dict[Term, dict[str, float]] = {}
+        self._norms: dict[Term, float] = {}
+        if not documents:
+            return
+        document_frequency: Counter = Counter()
+        for bag in documents.values():
+            document_frequency.update(set(bag))
+        n_docs = len(documents)
+        idf = {
+            word: math.log((1 + n_docs) / (1 + df)) + 1.0
+            for word, df in document_frequency.items()
+        }
+        for key, bag in documents.items():
+            total = sum(bag.values())
+            if total == 0:
+                continue
+            vector = {
+                word: (count / total) * idf[word] for word, count in bag.items()
+            }
+            norm = math.sqrt(sum(v * v for v in vector.values()))
+            if norm > 0:
+                self._vectors[key] = vector
+                self._norms[key] = norm
+
+    def __contains__(self, key: Term) -> bool:
+        return key in self._vectors
+
+    def keys(self) -> list[Term]:
+        return sorted(self._vectors, key=lambda t: t.sort_key())
+
+    def similarity(self, a: Term, b: Term) -> float:
+        """Cosine similarity of the two keys' vectors; 0.0 if either unknown."""
+        va, vb = self._vectors.get(a), self._vectors.get(b)
+        if va is None or vb is None:
+            return 0.0
+        if len(vb) < len(va):
+            va, vb = vb, va
+            na, nb = self._norms[b], self._norms[a]
+        else:
+            na, nb = self._norms[a], self._norms[b]
+        dot = sum(weight * vb.get(word, 0.0) for word, weight in va.items())
+        return dot / (na * nb)
+
+    @classmethod
+    def for_predicates(cls, statistics: StoreStatistics) -> "EsaModel":
+        """Build predicate vectors from surface + argument words."""
+        decode = statistics.store.dictionary.decode
+        documents: dict[Term, Counter] = {}
+        for predicate in statistics.predicates():
+            bag: Counter = Counter()
+            # The predicate's own words count triple so synonymy of the
+            # phrase itself dominates over shared arguments.
+            for word in _surface_words(predicate):
+                bag[word] += 3
+            pairs = sorted(statistics.args(predicate))[:MAX_ARG_SAMPLES]
+            for s_id, o_id in pairs:
+                for word in _surface_words(decode(s_id)):
+                    bag[word] += 1
+                for word in _surface_words(decode(o_id)):
+                    bag[word] += 1
+            if bag:
+                documents[predicate] = bag
+        return cls(documents)
+
+
+def esa_rules(
+    statistics: StoreStatistics,
+    *,
+    model: EsaModel | None = None,
+    min_similarity: float = 0.35,
+    max_rules_per_predicate: int = 10,
+    predicates: Iterable[Term] | None = None,
+) -> list[RelaxationRule]:
+    """Emit ``?x p1 ?y → ?x p2 ?y`` rules weighted by ESA cosine similarity."""
+    model = model if model is not None else EsaModel.for_predicates(statistics)
+    sources = list(predicates) if predicates is not None else statistics.predicates()
+    targets = model.keys()
+    rules: list[RelaxationRule] = []
+    for p1 in sources:
+        if p1 not in model:
+            continue
+        scored: list[tuple[float, Term]] = []
+        for p2 in targets:
+            if p2 == p1:
+                continue
+            sim = model.similarity(p1, p2)
+            if sim >= min_similarity:
+                scored.append((sim, p2))
+        scored.sort(key=lambda item: (-item[0], item[1].sort_key()))
+        for sim, p2 in scored[:max_rules_per_predicate]:
+            weight = min(1.0, round(sim, 4))
+            if weight <= 0.0:
+                continue  # a zero weight is not a rule
+            rules.append(
+                RelaxationRule(
+                    original=(TriplePattern(_X, p1, _Y),),
+                    replacement=(TriplePattern(_X, p2, _Y),),
+                    weight=weight,
+                    origin=ORIGIN_ESA,
+                    label=f"esa cos={sim:.2f}",
+                )
+            )
+    return rules

@@ -1,0 +1,199 @@
+"""Relaxation rules from a paraphrase repository.
+
+The paper lists "paraphrase repositories (e.g. PATTY, Biperpedia)" as a rule
+source: curated collections pairing KG predicates with the textual patterns
+that express them.  A :class:`ParaphraseRepository` holds scored
+(predicate, phrase) alignments; :func:`paraphrase_rules` turns each alignment
+into two rules — one rewriting the canonical predicate to the phrase (so KG
+queries can tap XKG evidence), one rewriting the phrase to the predicate (so
+token queries can tap curated facts).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.terms import Resource, TextToken, Variable
+from repro.core.triples import TriplePattern
+from repro.errors import RelaxationError
+from repro.relax.rules import ORIGIN_PARAPHRASE, RelaxationRule
+
+_X, _Y = Variable("x"), Variable("y")
+
+
+@dataclass(frozen=True)
+class Paraphrase:
+    """One alignment: ``predicate`` is expressed by ``phrase`` with ``score``.
+
+    ``inverted=True`` means the phrase expresses the predicate with flipped
+    arguments ('student of' expresses hasStudent(advisor, student) as
+    phrase(student, advisor)).
+    """
+
+    predicate: Resource
+    phrase: TextToken
+    score: float
+    inverted: bool = False
+
+    def __post_init__(self):
+        if not 0.0 < self.score <= 1.0:
+            raise RelaxationError(f"Paraphrase score must be in (0, 1]: {self.score}")
+
+
+class ParaphraseRepository:
+    """A deduplicated collection of predicate–phrase alignments."""
+
+    def __init__(self, entries: Iterable[Paraphrase] = ()):
+        self._entries: dict[tuple[str, str, bool], Paraphrase] = {}
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry: Paraphrase) -> None:
+        """Add an alignment; duplicates keep the higher score."""
+        key = (entry.predicate.name, entry.phrase.norm, entry.inverted)
+        existing = self._entries.get(key)
+        if existing is None or entry.score > existing.score:
+            self._entries[key] = entry
+
+    def add_alignment(
+        self,
+        predicate: str,
+        phrase: str,
+        score: float,
+        inverted: bool = False,
+    ) -> None:
+        """Convenience: add from plain strings."""
+        self.add(Paraphrase(Resource(predicate), TextToken(phrase), score, inverted))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Paraphrase]:
+        return iter(self._entries.values())
+
+    def phrases_for(self, predicate: Resource) -> list[Paraphrase]:
+        """All alignments for a predicate, best first."""
+        found = [e for e in self._entries.values() if e.predicate == predicate]
+        found.sort(key=lambda e: (-e.score, e.phrase.norm))
+        return found
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the repository as a JSON array."""
+        payload = [
+            {
+                "predicate": e.predicate.name,
+                "phrase": e.phrase.norm,
+                "score": e.score,
+                "inverted": e.inverted,
+            }
+            for e in sorted(
+                self._entries.values(),
+                key=lambda e: (e.predicate.name, e.phrase.norm, e.inverted),
+            )
+        ]
+        Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ParaphraseRepository":
+        """Load a repository saved by :meth:`save`."""
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        repo = cls()
+        for item in raw:
+            repo.add_alignment(
+                item["predicate"],
+                item["phrase"],
+                float(item["score"]),
+                bool(item.get("inverted", False)),
+            )
+        return repo
+
+
+def paraphrase_rules(
+    repository: ParaphraseRepository,
+    *,
+    min_score: float = 0.0,
+    both_directions: bool = True,
+) -> list[RelaxationRule]:
+    """Turn repository alignments into relaxation rules.
+
+    Each alignment yields ``?x pred ?y → ?x 'phrase' ?y`` (weight = score)
+    and, when ``both_directions``, the reverse rule as well.  Inverted
+    alignments flip the replacement's argument order.
+    """
+    rules: list[RelaxationRule] = []
+    for entry in sorted(
+        repository, key=lambda e: (e.predicate.name, e.phrase.norm, e.inverted)
+    ):
+        if entry.score < min_score:
+            continue
+        pred_pattern = TriplePattern(_X, entry.predicate, _Y)
+        if entry.inverted:
+            phrase_pattern = TriplePattern(_Y, entry.phrase, _X)
+        else:
+            phrase_pattern = TriplePattern(_X, entry.phrase, _Y)
+        label = f"paraphrase {entry.predicate.name}≈'{entry.phrase.norm}'"
+        rules.append(
+            RelaxationRule(
+                original=(pred_pattern,),
+                replacement=(phrase_pattern,),
+                weight=entry.score,
+                origin=ORIGIN_PARAPHRASE,
+                label=label,
+            )
+        )
+        if both_directions:
+            rules.append(
+                RelaxationRule(
+                    original=(phrase_pattern,),
+                    replacement=(pred_pattern,),
+                    weight=entry.score,
+                    origin=ORIGIN_PARAPHRASE,
+                    label=label,
+                )
+            )
+    return rules
+
+
+def predicate_alias_rules(
+    aliases: Iterable[tuple[str, str, float, bool]],
+) -> list[RelaxationRule]:
+    """Rules translating user-vocabulary predicates into the KG's.
+
+    Paraphrase repositories like PATTY and Biperpedia also record *predicate
+    aliases* — names users plausibly guess for a relation (``hasAdvisor``,
+    ``worksFor``) aligned with the canonical predicate, possibly with
+    flipped arguments.  Each alias is ``(user_name, target, score,
+    inverted)`` where ``target`` is a resource name or a quoted ``'phrase'``;
+    Figure 4 rule 2 (``?x hasAdvisor ?y → ?y hasStudent ?x @ 1.0``) is an
+    alias of this shape.
+
+    >>> rules = predicate_alias_rules([("hasAdvisor", "hasStudent", 1.0, True)])
+    >>> print(rules[0].n3())
+    ?x hasAdvisor ?y => ?y hasStudent ?x @ 1
+    """
+    from repro.core.terms import term_from_text
+
+    rules: list[RelaxationRule] = []
+    for user_name, target, score, inverted in aliases:
+        user_pattern = TriplePattern(_X, Resource(user_name), _Y)
+        target_term = term_from_text(target)
+        replacement = (
+            TriplePattern(_Y, target_term, _X)
+            if inverted
+            else TriplePattern(_X, target_term, _Y)
+        )
+        rules.append(
+            RelaxationRule(
+                original=(user_pattern,),
+                replacement=(replacement,),
+                weight=score,
+                origin=ORIGIN_PARAPHRASE,
+                label=f"alias {user_name}≈{target}",
+            )
+        )
+    return rules

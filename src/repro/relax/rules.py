@@ -1,0 +1,349 @@
+"""Relaxation rules and their application to queries.
+
+A :class:`RelaxationRule` rewrites a *set* of triple patterns into another
+set (Figure 4 of the paper shows four examples, from simple predicate
+substitution to granularity repair that splits one pattern into two).  Rule
+variables are scoped to the rule; applying a rule unifies its original
+patterns with query patterns, substitutes the unifier into the replacement,
+and renames replacement-only variables so they never capture query variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.query import Query
+from repro.core.terms import Term, Variable
+from repro.core.triples import TriplePattern
+from repro.errors import QueryError, RelaxationError
+
+#: Well-known rule origins; free-form strings are allowed too.
+ORIGIN_MANUAL = "manual"
+ORIGIN_MINED_XKG = "mined-xkg"
+ORIGIN_AMIE = "amie"
+ORIGIN_PARAPHRASE = "paraphrase"
+ORIGIN_STRUCTURAL = "structural"
+ORIGIN_ESA = "esa"
+
+
+@dataclass(frozen=True)
+class RelaxationRule:
+    """A weighted rewrite: ``original patterns → replacement patterns @ w``.
+
+    Attributes
+    ----------
+    original:
+        Patterns to be removed from the query (matched by unification).
+    replacement:
+        Patterns inserted instead; may introduce fresh variables.
+    weight:
+        Semantic similarity in [0, 1]; multiplies into answer scores.
+    origin:
+        Which generator produced the rule (manual, mined-xkg, amie, ...).
+    label:
+        Optional human-readable note shown in explanations.
+    """
+
+    original: tuple[TriplePattern, ...]
+    replacement: tuple[TriplePattern, ...]
+    weight: float
+    origin: str = ORIGIN_MANUAL
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.original:
+            raise RelaxationError("Rule needs at least one original pattern")
+        if not self.replacement:
+            raise RelaxationError("Rule needs at least one replacement pattern")
+        if not 0.0 < self.weight <= 1.0:
+            raise RelaxationError(f"Rule weight must be in (0, 1], got {self.weight}")
+        original_vars = _pattern_vars(self.original)
+        replacement_vars = _pattern_vars(self.replacement)
+        if original_vars and not original_vars & replacement_vars:
+            raise RelaxationError(
+                "Replacement must share at least one variable with the original "
+                "(otherwise answers cannot be related back to the query)"
+            )
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def is_single_pattern(self) -> bool:
+        """True for rules whose original is one pattern.
+
+        Single-pattern rules are eligible for pattern-level incremental
+        merging inside top-k processing; multi-pattern rules are applied at
+        the query-rewriting level.
+        """
+        return len(self.original) == 1
+
+    @property
+    def expands(self) -> bool:
+        """True when the replacement has more patterns than the original."""
+        return len(self.replacement) > len(self.original)
+
+    def fresh_variables(self) -> tuple[Variable, ...]:
+        """Replacement variables that do not occur in the original."""
+        original_vars = _pattern_vars(self.original)
+        ordered: dict[Variable, None] = {}
+        for pattern in self.replacement:
+            for var in pattern.variables():
+                if var not in original_vars:
+                    ordered.setdefault(var, None)
+        return tuple(ordered)
+
+    def n3(self) -> str:
+        lhs = " ; ".join(p.n3() for p in self.original)
+        rhs = " ; ".join(p.n3() for p in self.replacement)
+        return f"{lhs} => {rhs} @ {self.weight:g}"
+
+    def __str__(self) -> str:
+        return self.n3()
+
+    def describe(self) -> str:
+        """Human-readable description used in answer explanations."""
+        note = f" [{self.label}]" if self.label else ""
+        return f"{self.n3()} ({self.origin}){note}"
+
+    # -- application ------------------------------------------------------------
+
+    def unify(
+        self, query_patterns: Sequence[TriplePattern]
+    ) -> Iterator[tuple[tuple[int, ...], dict[Variable, Term]]]:
+        """Yield every way this rule's original *fully* matches the query.
+
+        Each result is ``(positions, theta)``: the distinct query-pattern
+        positions consumed (one per original pattern, order-aligned) and the
+        substitution mapping rule variables to query terms.  Constants in the
+        original must match query constants exactly; rule variables bind
+        consistently across all original patterns.
+        """
+        n = len(query_patterns)
+        for positions in itertools.permutations(range(n), len(self.original)):
+            theta: dict[Variable, Term] = {}
+            ok = True
+            for rule_pattern, pos in zip(self.original, positions):
+                if not _unify_pattern(rule_pattern, query_patterns[pos], theta):
+                    ok = False
+                    break
+            if ok:
+                yield positions, dict(theta)
+
+    def _unify_flexible(
+        self,
+        query_patterns: Sequence[TriplePattern],
+        condition_checker: Callable[[TriplePattern], bool] | None,
+    ) -> Iterator[tuple[tuple[int, ...], dict[Variable, Term], tuple[TriplePattern, ...]]]:
+        """Unification where unmatched original patterns may become conditions.
+
+        Figure 4 rule 1 has original ``?x bornIn ?y ; ?y type country`` but a
+        user writes just ``?x bornIn Germany`` — the type pattern is then a
+        *condition* to verify against the KG (``Germany type country``), not
+        a query pattern to consume.  Each yielded result is
+        ``(matched positions, theta, checked conditions)``; at least one
+        original pattern must match a query pattern, and every deferred
+        pattern must be fully bound under theta and accepted by
+        ``condition_checker``.
+        """
+        n = len(query_patterns)
+
+        def search(
+            index: int,
+            used: frozenset[int],
+            theta: dict[Variable, Term],
+            matched: tuple[int, ...],
+            deferred: tuple[TriplePattern, ...],
+        ):
+            if index == len(self.original):
+                if not matched:
+                    return
+                conditions = []
+                for pattern in deferred:
+                    grounded = pattern.substitute(theta)
+                    if grounded.variables():
+                        return  # unverifiable condition
+                    if not condition_checker(grounded):
+                        return
+                    conditions.append(grounded)
+                yield matched, dict(theta), tuple(conditions)
+                return
+            rule_pattern = self.original[index]
+            for pos in range(n):
+                if pos in used:
+                    continue
+                extended = dict(theta)
+                if _unify_pattern(rule_pattern, query_patterns[pos], extended):
+                    yield from search(
+                        index + 1, used | {pos}, extended, matched + (pos,), deferred
+                    )
+            if condition_checker is not None and len(self.original) > 1:
+                yield from search(
+                    index + 1, used, theta, matched, deferred + (rule_pattern,)
+                )
+
+        yield from search(0, frozenset(), {}, (), ())
+
+    def apply(
+        self,
+        query: Query,
+        fresh_names: Iterator[str],
+        condition_checker: Callable[[TriplePattern], bool] | None = None,
+    ) -> list["RuleApplication"]:
+        """All applications of this rule to ``query``.
+
+        ``fresh_names`` supplies variable names for replacement-only
+        variables; the caller owns the counter so names never collide across
+        rules.  ``condition_checker`` (typically "does this fact hold in the
+        store?") enables partial matching where leftover original patterns
+        become verified conditions.  Applications that would remove every
+        projection variable are skipped.
+        """
+        applications: list[RuleApplication] = []
+        seen_keys: set[tuple] = set()
+        for positions, theta, conditions in self._unify_flexible(
+            query.patterns, condition_checker
+        ):
+            rename = {
+                var.name: next(fresh_names) for var in self.fresh_variables()
+            }
+            new_patterns = tuple(
+                p.rename_variables(rename).substitute(theta) for p in self.replacement
+            )
+            removed = tuple(query.patterns[i] for i in positions)
+            key = (tuple(sorted(positions)), new_patterns)
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            try:
+                rewritten = query.replace_patterns(removed, new_patterns)
+            except QueryError:
+                continue
+            if set(rewritten.patterns) == set(query.patterns):
+                continue  # no-op application
+            applications.append(
+                RuleApplication(
+                    rule=self,
+                    removed=removed,
+                    added=new_patterns,
+                    query=rewritten,
+                    conditions=conditions,
+                )
+            )
+        return applications
+
+
+def _pattern_vars(patterns: Iterable[TriplePattern]) -> set[Variable]:
+    return {v for p in patterns for v in p.variables()}
+
+
+def _unify_pattern(
+    rule_pattern: TriplePattern,
+    query_pattern: TriplePattern,
+    theta: dict[Variable, Term],
+) -> bool:
+    """Extend ``theta`` so that ``theta(rule_pattern) == query_pattern``.
+
+    Mutates ``theta`` in place; on failure the caller discards it.  Rule
+    variables may bind to query variables or constants; rule constants must
+    equal the query term.
+    """
+    for rule_term, query_term in zip(rule_pattern.terms(), query_pattern.terms()):
+        if isinstance(rule_term, Variable):
+            bound = theta.get(rule_term)
+            if bound is None:
+                theta[rule_term] = query_term
+            elif bound != query_term:
+                return False
+        elif rule_term != query_term:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class RuleApplication:
+    """One concrete application of a rule to a query.
+
+    ``conditions`` are grounded original patterns that were verified against
+    the store instead of being matched against query patterns (the "?y is in
+    fact a country" guard of Figure 4 rule 1).
+    """
+
+    rule: RelaxationRule
+    removed: tuple[TriplePattern, ...]
+    added: tuple[TriplePattern, ...]
+    query: Query
+    conditions: tuple[TriplePattern, ...] = ()
+
+    def describe(self) -> str:
+        lhs = " ; ".join(p.n3() for p in self.removed)
+        rhs = " ; ".join(p.n3() for p in self.added)
+        line = f"relaxed [{lhs}] to [{rhs}] (w={self.rule.weight:g}, {self.rule.origin})"
+        if self.conditions:
+            checked = " ; ".join(p.n3() for p in self.conditions)
+            line += f" given [{checked}]"
+        return line
+
+
+class RuleSet:
+    """A deduplicated, deterministic collection of relaxation rules.
+
+    Rules are kept in insertion order after dedup; iteration and
+    :meth:`best_first` are stable.  Dedup key: (original, replacement) —
+    re-adding keeps the *higher* weight, so specific generators can refine
+    weights produced by generic ones.
+    """
+
+    def __init__(self, rules: Iterable[RelaxationRule] = ()):
+        self._rules: dict[tuple, RelaxationRule] = {}
+        for rule in rules:
+            self.add(rule)
+
+    @staticmethod
+    def _key(rule: RelaxationRule) -> tuple:
+        return (rule.original, rule.replacement)
+
+    def add(self, rule: RelaxationRule) -> bool:
+        """Add ``rule``; returns True when it was new or improved a weight."""
+        key = self._key(rule)
+        existing = self._rules.get(key)
+        if existing is None:
+            self._rules[key] = rule
+            return True
+        if rule.weight > existing.weight:
+            self._rules[key] = rule
+            return True
+        return False
+
+    def extend(self, rules: Iterable[RelaxationRule]) -> int:
+        """Add many rules; returns how many were new or improved."""
+        return sum(1 for rule in rules if self.add(rule))
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[RelaxationRule]:
+        return iter(self._rules.values())
+
+    def __contains__(self, rule: RelaxationRule) -> bool:
+        return self._key(rule) in self._rules
+
+    def best_first(self) -> list[RelaxationRule]:
+        """Rules by descending weight (ties: insertion order)."""
+        return sorted(self._rules.values(), key=lambda r: -r.weight)
+
+    def filtered(self, min_weight: float) -> "RuleSet":
+        """A new RuleSet keeping only rules with weight >= ``min_weight``."""
+        return RuleSet(r for r in self if r.weight >= min_weight)
+
+    def single_pattern_rules(self) -> list[RelaxationRule]:
+        """Rules eligible for pattern-level incremental merging."""
+        return [r for r in self if r.is_single_pattern]
+
+    def multi_pattern_rules(self) -> list[RelaxationRule]:
+        """Rules applied at the query-rewriting level."""
+        return [r for r in self if not r.is_single_pattern]
+
+    def by_origin(self, origin: str) -> list[RelaxationRule]:
+        return [r for r in self if r.origin == origin]

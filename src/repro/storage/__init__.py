@@ -1,0 +1,33 @@
+"""Storage backend: dictionary-encoded triple store with sorted posting lists.
+
+The paper uses ElasticSearch as the storage backend; the contract top-k query
+processing needs from it is narrow: *given a triple pattern, access its
+matching triples in descending score order, incrementally*.  This package
+provides that contract with an in-memory store:
+
+* :mod:`dictionary` — bidirectional term ↔ integer-id encoding,
+* :mod:`index` — posting lists for every bound-slot signature, pre-sorted by
+  observation weight so sorted access is an array walk,
+* :mod:`store` — the :class:`TripleStore` facade (add / freeze / match),
+* :mod:`statistics` — pattern cardinalities, ``args(p)`` subject-object pair
+  sets for relaxation mining, collection frequencies for scoring,
+* :mod:`text_index` — fuzzy phrase matching for text-token query slots,
+* :mod:`persistence` — JSONL save/load.
+"""
+
+from repro.storage.dictionary import TermDictionary
+from repro.storage.store import StoredTriple, TripleStore
+from repro.storage.statistics import StoreStatistics
+from repro.storage.text_index import TokenMatcher, TokenMatch
+from repro.storage.persistence import load_store, save_store
+
+__all__ = [
+    "TermDictionary",
+    "TripleStore",
+    "StoredTriple",
+    "StoreStatistics",
+    "TokenMatcher",
+    "TokenMatch",
+    "save_store",
+    "load_store",
+]

@@ -1,0 +1,66 @@
+"""Bidirectional term ↔ integer-id dictionary.
+
+Dictionary encoding keeps the index structures compact (ints instead of term
+objects) and makes term identity checks O(1).  Ids are assigned densely in
+insertion order, so a store built twice from the same input assigns identical
+ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.terms import Term
+from repro.errors import DictionaryError
+
+
+class TermDictionary:
+    """Assigns stable dense integer ids to terms.
+
+    The dictionary is append-only: terms are never removed, so ids stay
+    valid for the lifetime of the store that owns them.
+    """
+
+    def __init__(self):
+        self._term_to_id: dict[Term, int] = {}
+        self._id_to_term: list[Term] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_id
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._id_to_term)
+
+    def encode(self, term: Term) -> int:
+        """Return the id for ``term``, assigning a fresh one if unseen."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_term)
+        self._term_to_id[term] = new_id
+        self._id_to_term.append(term)
+        return new_id
+
+    def id_of(self, term: Term) -> int | None:
+        """Return the id for ``term`` or None when it was never added."""
+        return self._term_to_id.get(term)
+
+    def require_id(self, term: Term) -> int:
+        """Return the id for ``term``; raise :class:`DictionaryError` if absent."""
+        existing = self._term_to_id.get(term)
+        if existing is None:
+            raise DictionaryError(f"Unknown term: {term!r}")
+        return existing
+
+    def decode(self, term_id: int) -> Term:
+        """Return the term for ``term_id``; raise on out-of-range ids."""
+        if 0 <= term_id < len(self._id_to_term):
+            return self._id_to_term[term_id]
+        raise DictionaryError(f"Unknown term id: {term_id}")
+
+    def ids_of_kind(self, kind: str) -> list[int]:
+        """All ids whose term has the given kind ('resource', 'token', ...)."""
+        return [i for i, term in enumerate(self._id_to_term) if term.kind == kind]

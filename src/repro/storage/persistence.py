@@ -1,0 +1,173 @@
+"""JSONL persistence for triple stores.
+
+Format: the first line is a header object (``{"format": ..., "name": ...,
+"triples": N}``); every following line is one distinct triple::
+
+    {"s": ["r", "AlbertEinstein"], "p": ["t", "won nobel for"],
+     "o": ["t", "discovery of the photoelectric effect"],
+     "count": 3, "conf": 0.82,
+     "prov": [{"origin": "openie", "source": "doc-17", ...}]}
+
+Term encoding is a two-element array ``[kind_tag, lexical]`` with tags
+``r`` (resource), ``l`` (literal), ``t`` (token).  Literal values round-trip
+through the same auto-typing the query parser uses.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+from pathlib import Path
+
+from repro.core.terms import Literal, Resource, Term, TextToken
+from repro.core.terms import _auto_type  # canonical literal typing
+from repro.core.triples import Provenance, Triple
+from repro.errors import PersistenceError
+from repro.storage.store import TripleStore
+
+FORMAT_NAME = "trinit-xkg-jsonl"
+FORMAT_VERSION = 1
+
+
+def _encode_term(term: Term) -> list[str]:
+    if isinstance(term, Resource):
+        return ["r", term.name]
+    if isinstance(term, TextToken):
+        return ["t", term.norm]
+    if isinstance(term, Literal):
+        # The datatype travels along so "1879-03-14"-the-string and
+        # 1879-03-14-the-date round-trip to exactly what was stored.
+        return ["l", term.lexical(), term.datatype]
+    raise PersistenceError(f"Cannot persist term of kind {term.kind}")
+
+
+def _decode_literal(value: str, datatype: str) -> Literal:
+    if datatype == "string":
+        return Literal(value)
+    if datatype == "integer":
+        return Literal(int(value))
+    if datatype == "double":
+        return Literal(float(value))
+    if datatype == "date":
+        return Literal(date.fromisoformat(value))
+    raise PersistenceError(f"Unknown literal datatype: {datatype!r}")
+
+
+def _decode_term(encoded: list) -> Term:
+    if not isinstance(encoded, list) or len(encoded) not in (2, 3):
+        raise PersistenceError(f"Bad term encoding: {encoded!r}")
+    tag, value = encoded[0], encoded[1]
+    if tag == "r":
+        return Resource(value)
+    if tag == "t":
+        return TextToken(value)
+    if tag == "l":
+        if len(encoded) == 3:
+            return _decode_literal(value, encoded[2])
+        return Literal(_auto_type(value))  # legacy 2-element form
+    raise PersistenceError(f"Unknown term tag: {tag!r}")
+
+
+def _encode_provenance(prov: Provenance) -> dict:
+    record = {"origin": prov.origin}
+    if prov.source:
+        record["source"] = prov.source
+    if prov.sentence:
+        record["sentence"] = prov.sentence
+    if prov.extractor:
+        record["extractor"] = prov.extractor
+    return record
+
+
+def _decode_provenance(record: dict) -> Provenance:
+    return Provenance(
+        origin=record.get("origin", "kg"),
+        source=record.get("source", ""),
+        sentence=record.get("sentence", ""),
+        extractor=record.get("extractor", ""),
+    )
+
+
+def save_store(store: TripleStore, path: str | Path) -> int:
+    """Write ``store`` to ``path``; returns the number of triples written.
+
+    The store need not be frozen; what is saved is the distinct-triple level
+    (statements, counts, confidences, provenance samples).
+    """
+    path = Path(path)
+    lines_written = 0
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "name": store.name,
+            "triples": len(store),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for record in store.records():
+            payload = {
+                "s": _encode_term(record.triple.s),
+                "p": _encode_term(record.triple.p),
+                "o": _encode_term(record.triple.o),
+                "count": record.count,
+                "conf": round(record.confidence, 6),
+                "prov": [_encode_provenance(p) for p in record.provenances],
+            }
+            handle.write(json.dumps(payload, ensure_ascii=False) + "\n")
+            lines_written += 1
+    return lines_written
+
+
+def load_store(path: str | Path, freeze: bool = True) -> TripleStore:
+    """Load a store previously written by :func:`save_store`."""
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"No such file: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise PersistenceError(f"Empty store file: {path}")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"Bad header in {path}: {exc}") from exc
+        if header.get("format") != FORMAT_NAME:
+            raise PersistenceError(
+                f"Not a {FORMAT_NAME} file: format={header.get('format')!r}"
+            )
+        store = TripleStore(name=header.get("name", "XKG"))
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                triple = Triple(
+                    _decode_term(payload["s"]),
+                    _decode_term(payload["p"]),
+                    _decode_term(payload["o"]),
+                )
+                provenances = [
+                    _decode_provenance(p) for p in payload.get("prov", [])
+                ] or [None]
+                store.add(
+                    triple,
+                    provenance=provenances[0],
+                    confidence=float(payload.get("conf", 1.0)),
+                    count=int(payload.get("count", 1)),
+                )
+                # Extra provenance samples beyond the first.
+                record = store.lookup(triple)
+                for extra in provenances[1:]:
+                    if extra is not None and extra not in record.provenances:
+                        record.provenances.append(extra)
+            except (KeyError, ValueError, TypeError) as exc:
+                raise PersistenceError(
+                    f"Bad triple at {path}:{line_number}: {exc}"
+                ) from exc
+    expected = header.get("triples")
+    if expected is not None and expected != len(store):
+        raise PersistenceError(
+            f"Header declares {expected} triples but file contains {len(store)}"
+        )
+    return store.freeze() if freeze else store

@@ -1,0 +1,237 @@
+"""The triple store: the library's single source of truth for XKG data.
+
+A :class:`TripleStore` is built in two phases.  During the *load* phase,
+triples are :meth:`~TripleStore.add`-ed; duplicate statements accumulate
+observation counts (the same fact extracted from ten documents is one
+distinct triple observed ten times — the tf-like evidence the scoring model
+uses) and keep the best confidence plus a bounded sample of provenances.
+:meth:`~TripleStore.freeze` then builds the posting-list indexes; afterwards
+the store is immutable and supports sorted access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.terms import Term
+from repro.core.triples import KG_PROVENANCE, Provenance, Triple, TriplePattern
+from repro.errors import StorageError
+from repro.storage.dictionary import TermDictionary
+from repro.storage.index import PostingIndex
+
+#: How many distinct provenance records are retained per triple.  Answer
+#: explanations show a sample of sources, not every one of potentially
+#: thousands of documents.
+MAX_PROVENANCES = 5
+
+
+@dataclass
+class StoredTriple:
+    """A distinct triple with aggregated observation evidence."""
+
+    triple: Triple
+    count: int = 1
+    confidence: float = 1.0
+    provenances: list[Provenance] = field(default_factory=list)
+
+    @property
+    def weight(self) -> float:
+        """Sort/score weight: observations × extraction confidence."""
+        return self.count * self.confidence
+
+
+class TripleStore:
+    """Dictionary-encoded triple store with score-sorted posting lists.
+
+    Parameters
+    ----------
+    name:
+        Label used in provenance descriptions and persistence headers.
+    """
+
+    def __init__(self, name: str = "XKG"):
+        self.name = name
+        self.dictionary = TermDictionary()
+        self._triples: list[StoredTriple] = []
+        self._by_key: dict[tuple[int, int, int], int] = {}
+        self._index = PostingIndex()
+        self._frozen = False
+        self._pattern_total_cache: dict[object, float] = {}
+
+    # -- load phase ------------------------------------------------------------
+
+    def add(
+        self,
+        triple: Triple,
+        provenance: Provenance | None = None,
+        confidence: float = 1.0,
+        count: int = 1,
+    ) -> int:
+        """Add one observation of ``triple``; return its triple id.
+
+        Re-adding an existing statement increments its observation count,
+        raises its confidence to the max seen, and appends the provenance
+        (up to :data:`MAX_PROVENANCES` distinct records).
+        """
+        if self._frozen:
+            raise StorageError("Cannot add to a frozen store")
+        if not 0.0 < confidence <= 1.0:
+            raise StorageError(f"Confidence must be in (0, 1], got {confidence}")
+        if count < 1:
+            raise StorageError(f"Observation count must be >= 1, got {count}")
+        if provenance is None:
+            provenance = KG_PROVENANCE
+        key = (
+            self.dictionary.encode(triple.s),
+            self.dictionary.encode(triple.p),
+            self.dictionary.encode(triple.o),
+        )
+        existing = self._by_key.get(key)
+        if existing is not None:
+            record = self._triples[existing]
+            record.count += count
+            record.confidence = max(record.confidence, confidence)
+            if (
+                len(record.provenances) < MAX_PROVENANCES
+                and provenance not in record.provenances
+            ):
+                record.provenances.append(provenance)
+            return existing
+        triple_id = len(self._triples)
+        self._triples.append(
+            StoredTriple(triple, count, confidence, [provenance])
+        )
+        self._by_key[key] = triple_id
+        self._index.insert(triple_id, key)
+        return triple_id
+
+    def add_all(self, triples: Sequence[Triple], provenance: Provenance | None = None) -> None:
+        """Bulk-add curated facts with shared provenance."""
+        for triple in triples:
+            self.add(triple, provenance)
+
+    def freeze(self) -> "TripleStore":
+        """Finalise the store: sort posting lists.  Returns self for chaining."""
+        if self._frozen:
+            raise StorageError("Store already frozen")
+        weights = [record.weight for record in self._triples]
+        self._index.freeze(weights)
+        self._frozen = True
+        return self
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def is_frozen(self) -> bool:
+        return self._frozen
+
+    def __len__(self) -> int:
+        """Number of *distinct* triples."""
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        key = self._encode_key(triple)
+        return key is not None and key in self._by_key
+
+    def records(self) -> Iterator[StoredTriple]:
+        """Iterate all stored records in id order."""
+        return iter(self._triples)
+
+    def record(self, triple_id: int) -> StoredTriple:
+        if 0 <= triple_id < len(self._triples):
+            return self._triples[triple_id]
+        raise StorageError(f"Unknown triple id: {triple_id}")
+
+    def triple(self, triple_id: int) -> Triple:
+        return self.record(triple_id).triple
+
+    def weight(self, triple_id: int) -> float:
+        return self.record(triple_id).weight
+
+    def total_observations(self) -> float:
+        """Collection-wide observation mass (for smoothing)."""
+        return sum(record.weight for record in self._triples)
+
+    def num_token_triples(self) -> int:
+        """Distinct triples with a token in any slot (the XKG extension part)."""
+        return sum(1 for r in self._triples if r.triple.is_token_triple)
+
+    def num_kg_triples(self) -> int:
+        """Distinct triples whose every slot is canonical (KG part)."""
+        return len(self._triples) - self.num_token_triples()
+
+    # -- lookup ------------------------------------------------------------
+
+    def _encode_key(self, triple: Triple) -> tuple[int, int, int] | None:
+        ids = tuple(self.dictionary.id_of(t) for t in triple.terms())
+        if any(i is None for i in ids):
+            return None
+        return ids  # type: ignore[return-value]
+
+    def lookup(self, triple: Triple) -> StoredTriple | None:
+        """Return the stored record for an exact statement, if present."""
+        key = self._encode_key(triple)
+        if key is None:
+            return None
+        triple_id = self._by_key.get(key)
+        return None if triple_id is None else self._triples[triple_id]
+
+    def sorted_ids(self, pattern: TriplePattern) -> list[int]:
+        """Triple ids matching the pattern's *constant slots*, best first.
+
+        Token constants match exactly (same normalised phrase); fuzzy token
+        expansion is layered on top by :class:`~repro.storage.text_index.
+        TokenMatcher`.  Patterns with repeated variables need post-filtering
+        — use :meth:`matches` or filter via ``pattern.bind``.
+        """
+        if not self._frozen:
+            raise StorageError("Store must be frozen before lookup")
+        bound = [t.is_constant for t in pattern.terms()]
+        key: list[int] = []
+        for term in pattern.terms():
+            if term.is_constant:
+                term_id = self.dictionary.id_of(term)
+                if term_id is None:
+                    return []
+                key.append(term_id)
+        return self._index.postings(bound, tuple(key))
+
+    def _has_repeated_variable(self, pattern: TriplePattern) -> bool:
+        names = [t for t in pattern.terms() if t.is_variable]
+        return len(names) != len(set(names))
+
+    def matches(self, pattern: TriplePattern) -> list[StoredTriple]:
+        """All records matching ``pattern`` exactly, best-scoring first."""
+        ids = self.sorted_ids(pattern)
+        if self._has_repeated_variable(pattern):
+            return [
+                self._triples[i]
+                for i in ids
+                if pattern.bind(self._triples[i].triple) is not None
+            ]
+        return [self._triples[i] for i in ids]
+
+    def cardinality(self, pattern: TriplePattern) -> int:
+        """Number of distinct triples matching ``pattern``'s constants."""
+        if self._has_repeated_variable(pattern):
+            return len(self.matches(pattern))
+        return len(self.sorted_ids(pattern))
+
+    def observation_mass(self, pattern: TriplePattern) -> float:
+        """Total observation weight of the pattern's matches (idf-like term).
+
+        Cached per pattern since scoring asks repeatedly for the same
+        pattern during top-k processing.
+        """
+        cache_key = (pattern.s, pattern.p, pattern.o)
+        cached = self._pattern_total_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        total = sum(self._triples[i].weight for i in self.sorted_ids(pattern))
+        self._pattern_total_cache[cache_key] = total
+        return total
+
+    def terms_of_kind(self, kind: str) -> list[Term]:
+        """All distinct terms of a kind appearing anywhere in the store."""
+        return [self.dictionary.decode(i) for i in self.dictionary.ids_of_kind(kind)]

@@ -1,0 +1,168 @@
+"""Fuzzy matching between query text tokens and stored terms.
+
+A query token like ``'won nobel for'`` should match the stored extraction
+phrase ``'won a nobel for'`` even though the normalised surface forms differ
+— and a token like ``'born in'`` should match the canonical KG predicate
+``bornIn`` through its camel-case surface form.  The :class:`TokenMatcher`
+indexes, per SPO slot, every distinct stored token phrase *and* every
+resource's surface words by their stemmed content-token *match key*, and
+answers: given a query token and a slot, which stored terms does it denote,
+and how similar are they?
+
+Similarity grades (all deterministic):
+
+* identical normalised form → 1.0
+* identical match key (same content stems) → 0.95
+* one key a contiguous subsequence of the other →
+  ``0.6 + 0.3 · |shorter| / |longer|``
+* matches against a *resource* surface form are further scaled by 0.95 —
+  translating free text into the canonical vocabulary is almost, but not
+  quite, as reliable as matching the phrase itself.
+
+The similarity multiplies into the answer score exactly like a relaxation
+weight — matching a vaguer phrase attenuates the answer.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.terms import Resource, Term, TextToken
+from repro.errors import StorageError
+from repro.storage.store import TripleStore
+from repro.util.text import camel_to_words, is_subsequence, match_key
+
+#: Slots, mirroring statistics.SUBJECT/PREDICATE/OBJECT.
+SUBJECT, PREDICATE, OBJECT = 0, 1, 2
+
+#: Attenuation applied when a token matches a canonical resource rather
+#: than a stored phrase.
+RESOURCE_MATCH_FACTOR = 0.95
+
+
+@dataclass(frozen=True)
+class TokenMatch:
+    """A stored term matching a query token, with its similarity.
+
+    ``token`` is the term to substitute into the pattern: a stored
+    :class:`TextToken` phrase or a canonical :class:`Resource`.
+    """
+
+    token: Term
+    similarity: float
+
+    def sort_key(self):
+        return (-self.similarity, self.token.kind, self.token.lexical())
+
+
+class TokenMatcher:
+    """Index of stored phrases and resource surfaces, per slot."""
+
+    def __init__(self, store: TripleStore, *, include_resources: bool = True):
+        if not store.is_frozen:
+            raise StorageError("TokenMatcher requires a frozen store")
+        self.store = store
+        self.include_resources = include_resources
+        # slot -> exact norm -> term (the term that normalises to it)
+        self._by_norm: list[dict[str, Term]] = [{}, {}, {}]
+        # slot -> match key -> list of terms
+        self._by_key: list[dict[tuple[str, ...], list[Term]]] = [
+            defaultdict(list),
+            defaultdict(list),
+            defaultdict(list),
+        ]
+        # slot -> single stem -> set of match keys containing it
+        self._by_stem: list[dict[str, set[tuple[str, ...]]]] = [
+            defaultdict(set),
+            defaultdict(set),
+            defaultdict(set),
+        ]
+        self._build()
+
+    @staticmethod
+    def _surface(term: Term) -> str:
+        if isinstance(term, Resource):
+            return camel_to_words(term.name)
+        return term.lexical()
+
+    def _key_for(self, term: Term, slot: int) -> tuple[str, ...]:
+        return match_key(self._surface(term), predicate=(slot == PREDICATE))
+
+    def _build(self) -> None:
+        seen: list[set[Term]] = [set(), set(), set()]
+        for record in self.store.records():
+            for slot, term in enumerate(record.triple.terms()):
+                if term in seen[slot]:
+                    continue
+                if not isinstance(term, TextToken) and not (
+                    self.include_resources and isinstance(term, Resource)
+                ):
+                    continue
+                seen[slot].add(term)
+                norm = (
+                    term.norm
+                    if isinstance(term, TextToken)
+                    else " ".join(self._surface(term).lower().split())
+                )
+                self._by_norm[slot].setdefault(norm, term)
+                key = self._key_for(term, slot)
+                if not key:
+                    continue
+                self._by_key[slot][key].append(term)
+                for stem_token in set(key):
+                    self._by_stem[slot][stem_token].add(key)
+        # Deterministic candidate order within identical keys: phrases
+        # before resources, then lexical.
+        for slot_keys in self._by_key:
+            for terms in slot_keys.values():
+                terms.sort(key=lambda t: (t.kind != "token", t.lexical()))
+
+    def phrases_in_slot(self, slot: int) -> list[TextToken]:
+        """All distinct stored token phrases for a slot, lexically ordered."""
+        phrases = [
+            term
+            for term in self._by_norm[slot].values()
+            if isinstance(term, TextToken)
+        ]
+        return sorted(phrases, key=lambda t: t.norm)
+
+    def _factor(self, term: Term) -> float:
+        return RESOURCE_MATCH_FACTOR if isinstance(term, Resource) else 1.0
+
+    def matches(self, query_token: TextToken, slot: int) -> list[TokenMatch]:
+        """Stored terms matching ``query_token`` in ``slot``, best first."""
+        if slot not in (SUBJECT, PREDICATE, OBJECT):
+            raise StorageError(f"Slot must be 0, 1 or 2, got {slot}")
+        results: dict[Term, TokenMatch] = {}
+
+        def offer(term: Term, similarity: float) -> None:
+            similarity *= self._factor(term)
+            existing = results.get(term)
+            if existing is None or existing.similarity < similarity:
+                results[term] = TokenMatch(term, similarity)
+
+        exact = self._by_norm[slot].get(query_token.norm)
+        if exact is not None:
+            offer(exact, 1.0)
+
+        query_key = self._key_for(query_token, slot)
+        if query_key:
+            for term in self._by_key[slot].get(query_key, ()):
+                offer(term, 0.95)
+            # Candidate keys sharing at least one stem; verified by a
+            # contiguous-subsequence check in either direction.
+            candidate_keys: set[tuple[str, ...]] = set()
+            for stem_token in set(query_key):
+                candidate_keys |= self._by_stem[slot].get(stem_token, set())
+            for key in candidate_keys:
+                if key == query_key:
+                    continue
+                short, long_ = sorted((query_key, key), key=len)
+                if not is_subsequence(short, long_):
+                    continue
+                similarity = 0.6 + 0.3 * len(short) / len(long_)
+                for term in self._by_key[slot][key]:
+                    offer(term, similarity)
+
+        return sorted(results.values(), key=TokenMatch.sort_key)

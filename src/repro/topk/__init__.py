@@ -1,0 +1,36 @@
+"""Top-k query processing with incremental merging of relaxations.
+
+This package implements the paper's extension of the incremental top-k
+algorithm of Theobald, Schenkel & Weikum (SIGIR 2005):
+
+* :mod:`cursors` — sorted access over a pattern's matches
+  (:class:`PostingCursor`), and lazily-materialised sorted access over a
+  multi-pattern relaxation's sub-join (:class:`MaterializedJoinCursor`);
+* :mod:`incremental_merge` — merges a pattern's cursor with its relaxed
+  forms' cursors, invoking a relaxation only when its upper bound reaches
+  the head of the merged stream;
+* :mod:`rank_join` — n-ary rank join across the merged per-pattern streams
+  with HRJN-style upper bounds and threshold termination;
+* :mod:`processor` — the :class:`TopKProcessor` tying rewriting enumeration,
+  cursor construction, joins, scoring and answer aggregation together;
+* :mod:`exhaustive` — the same semantics without early termination, used as
+  the correctness reference and the efficiency-bench baseline.
+"""
+
+from repro.topk.cursors import Cursor, PostingCursor, MaterializedJoinCursor, ScoredMatch
+from repro.topk.incremental_merge import IncrementalMergeCursor
+from repro.topk.rank_join import NaryRankJoin
+from repro.topk.processor import TopKProcessor, ProcessorConfig
+from repro.topk.exhaustive import naive_join
+
+__all__ = [
+    "Cursor",
+    "PostingCursor",
+    "MaterializedJoinCursor",
+    "ScoredMatch",
+    "IncrementalMergeCursor",
+    "NaryRankJoin",
+    "TopKProcessor",
+    "ProcessorConfig",
+    "naive_join",
+]

@@ -1,0 +1,296 @@
+"""Sorted-access cursors over pattern matches.
+
+A cursor exposes two operations:
+
+* ``peek()`` — an upper bound on the score of the next item (None when
+  exhausted).  Peeking may be optimistic before the cursor has *opened*
+  (computed or fetched its underlying list); after opening, peek is exact.
+* ``pop()`` — the next :class:`ScoredMatch` in descending score order.
+
+:class:`PostingCursor` walks a store posting list (optionally attenuated by
+a relaxation weight and token-match similarities).
+:class:`MaterializedJoinCursor` serves a multi-pattern relaxation (e.g. the
+chain expansion of Figure 4 rule 3): it lazily evaluates the replacement
+sub-join, projects it onto the original pattern's variables, and serves the
+results sorted.  Laziness matters — the sub-join is only computed if the
+merged stream actually asks for it, which is the paper's "invoking a
+relaxation only when it can contribute to the top-k answers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.core.results import BindingKey, PatternMatchInfo, QueryStats, binding_key
+from repro.core.terms import Term, Variable
+from repro.core.triples import TriplePattern
+from repro.relax.rules import RelaxationRule
+from repro.scoring.language_model import PatternScorer
+from repro.storage.store import StoredTriple, TripleStore
+from repro.storage.text_index import TokenMatch
+
+
+@dataclass(frozen=True)
+class ScoredMatch:
+    """One match emitted by a cursor: a binding, its score, and provenance."""
+
+    binding: BindingKey
+    score: float
+    info: PatternMatchInfo
+
+
+class Cursor(Protocol):
+    """Sorted-access protocol; see module docstring."""
+
+    def peek(self) -> float | None: ...
+
+    def pop(self) -> ScoredMatch | None: ...
+
+    def ensure_exact(self) -> bool:
+        """Make ``peek`` exact; return True if it already was.
+
+        Cursors with optimistic bounds (unmaterialised sub-joins) do their
+        expensive work here; the merged stream calls this only when the
+        cursor's bound has reached the head — the adaptive-invocation point.
+        """
+        ...
+
+
+class PostingCursor:
+    """Sorted access over one pattern's posting list.
+
+    Parameters
+    ----------
+    store, scorer:
+        Storage and the pattern scorer.
+    pattern:
+        The concrete pattern to evaluate (constants may include exact token
+        phrases).
+    multiplier:
+        Attenuation from relaxation weight × token-match similarity; all
+        emitted scores are ``multiplier × P(t | pattern)``.
+    rule, token_matches:
+        Provenance carried into each emitted match.
+    stats:
+        Work counters (sorted accesses, cursor opens) shared with the
+        processor.
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        scorer: PatternScorer,
+        pattern: TriplePattern,
+        *,
+        multiplier: float = 1.0,
+        rule: RelaxationRule | None = None,
+        token_matches: tuple[TokenMatch, ...] = (),
+        stats: QueryStats | None = None,
+    ):
+        self.store = store
+        self.scorer = scorer
+        self.pattern = pattern
+        self.multiplier = multiplier
+        self.rule = rule
+        self.token_matches = token_matches
+        self.stats = stats
+        self._ids: list[int] | None = None
+        self._position = 0
+        self._needs_filter = _has_repeated_variable(pattern)
+
+    def _open(self) -> None:
+        if self._ids is None:
+            self._ids = self.store.sorted_ids(self.pattern)
+            if self.stats is not None:
+                self.stats.cursors_opened += 1
+
+    def _current_record(self) -> StoredTriple | None:
+        """Advance past filtered-out entries; return the record at position."""
+        self._open()
+        assert self._ids is not None
+        while self._position < len(self._ids):
+            record = self.store.record(self._ids[self._position])
+            if not self._needs_filter or self.pattern.bind(record.triple) is not None:
+                return record
+            self._position += 1
+        return None
+
+    def peek(self) -> float | None:
+        record = self._current_record()
+        if record is None:
+            return None
+        return self.multiplier * self.scorer.score(self.pattern, record)
+
+    def ensure_exact(self) -> bool:
+        """Posting peeks are exact (peeking opens the list); always True."""
+        return True
+
+    def pop(self) -> ScoredMatch | None:
+        record = self._current_record()
+        if record is None:
+            return None
+        self._position += 1
+        if self.stats is not None:
+            self.stats.sorted_accesses += 1
+        binding = self.pattern.bind(record.triple)
+        assert binding is not None  # _current_record guarantees a match
+        score = self.multiplier * self.scorer.score(self.pattern, record)
+        info = PatternMatchInfo(
+            pattern=self.pattern,
+            records=(record,),
+            score=score,
+            rule=self.rule,
+            token_matches=self.token_matches,
+        )
+        return ScoredMatch(binding_key(binding), score, info)
+
+
+class MaterializedJoinCursor:
+    """Sorted access over a multi-pattern relaxation's sub-join.
+
+    The replacement patterns are joined exhaustively *on first pop*; results
+    are projected onto ``interface_vars`` (the original pattern's variables
+    that the rest of the query can see), deduplicated keeping the best score,
+    sorted descending, then served like a posting list.
+
+    Until materialisation, ``peek`` returns a cheap upper bound:
+    ``multiplier × min_i max_score(pattern_i)`` — valid because every
+    per-pattern score is ≤ 1 and the sub-join score is their product.
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        scorer: PatternScorer,
+        patterns: tuple[TriplePattern, ...],
+        interface_vars: tuple[Variable, ...],
+        *,
+        multiplier: float = 1.0,
+        rule: RelaxationRule | None = None,
+        token_matches: tuple[TokenMatch, ...] = (),
+        stats: QueryStats | None = None,
+        max_results: int = 50_000,
+    ):
+        self.store = store
+        self.scorer = scorer
+        self.patterns = patterns
+        self.interface_vars = interface_vars
+        self.multiplier = multiplier
+        self.rule = rule
+        self.token_matches = token_matches
+        self.stats = stats
+        self.max_results = max_results
+        self._items: list[ScoredMatch] | None = None
+        self._position = 0
+        self._bound: float | None = None
+
+    def _upper_bound(self) -> float:
+        if self._bound is None:
+            bounds = [self.scorer.max_score(p) for p in _bindable(self.patterns)]
+            self._bound = self.multiplier * (min(bounds) if bounds else 0.0)
+        return self._bound
+
+    def _materialize(self) -> None:
+        if self._items is not None:
+            return
+        if self.stats is not None:
+            self.stats.cursors_opened += 1
+        best: dict[BindingKey, tuple[float, tuple[StoredTriple, ...]]] = {}
+
+        def backtrack(
+            index: int,
+            binding: dict[Variable, Term],
+            score: float,
+            used: tuple[StoredTriple, ...],
+        ) -> None:
+            if len(best) > self.max_results:
+                return
+            if index == len(self.patterns):
+                key = binding_key(
+                    {v: binding[v] for v in self.interface_vars if v in binding}
+                )
+                entry = best.get(key)
+                if entry is None or score > entry[0]:
+                    best[key] = (score, used)
+                return
+            # Match with the binding substituted in, but score against the
+            # original pattern: a pattern's emission mass must not depend on
+            # the evaluation order of the sub-join.
+            original = self.patterns[index]
+            pattern = original.substitute(binding)
+            for record in self.store.matches(pattern):
+                if self.stats is not None:
+                    self.stats.sorted_accesses += 1
+                local = pattern.bind(record.triple)
+                if local is None:
+                    continue
+                pattern_score = self.scorer.score(original, record)
+                extended = dict(binding)
+                extended.update(local)
+                backtrack(index + 1, extended, score * pattern_score, used + (record,))
+
+        # Evaluate most-selective-first to keep intermediate results small.
+        order = sorted(
+            range(len(self.patterns)),
+            key=lambda i: self.store.cardinality(self.patterns[i]),
+        )
+        self.patterns = tuple(self.patterns[i] for i in order)
+        backtrack(0, {}, 1.0, ())
+
+        items = [
+            ScoredMatch(
+                key,
+                self.multiplier * score,
+                PatternMatchInfo(
+                    # The first replacement pattern stands for the whole
+                    # sub-join in explanations; all matched records are kept.
+                    pattern=self.patterns[0],
+                    records=records,
+                    score=self.multiplier * score,
+                    rule=self.rule,
+                    token_matches=self.token_matches,
+                ),
+            )
+            for key, (score, records) in best.items()
+        ]
+        items.sort(key=lambda m: (-m.score, m.binding))
+        self._items = items
+
+    @property
+    def is_materialized(self) -> bool:
+        return self._items is not None
+
+    def ensure_exact(self) -> bool:
+        """Materialise the sub-join if needed; True when already exact."""
+        if self._items is not None:
+            return True
+        self._materialize()
+        return False
+
+    def peek(self) -> float | None:
+        if self._items is None:
+            bound = self._upper_bound()
+            return bound if bound > 0.0 else None
+        if self._position < len(self._items):
+            return self._items[self._position].score
+        return None
+
+    def pop(self) -> ScoredMatch | None:
+        self._materialize()
+        assert self._items is not None
+        if self._position >= len(self._items):
+            return None
+        item = self._items[self._position]
+        self._position += 1
+        return item
+
+
+def _has_repeated_variable(pattern: TriplePattern) -> bool:
+    variables = [t for t in pattern.terms() if t.is_variable]
+    return len(variables) != len(set(variables))
+
+
+def _bindable(patterns: Iterable[TriplePattern]) -> list[TriplePattern]:
+    """Patterns usable for upper-bound estimation (all of them, currently)."""
+    return list(patterns)

@@ -1,0 +1,127 @@
+"""Incremental merging of a pattern's cursor with its relaxed forms.
+
+This is the heart of the paper's extension of Theobald et al.'s incremental
+top-k: a triple pattern and its relaxations (predicate rewrites, token
+expansions, materialised sub-joins) form one *merged* descending stream.  The
+merge maintains a max-heap over cursor peeks:
+
+* a relaxation cursor with only an optimistic upper bound is *refined*
+  (opened / materialised) only when that bound reaches the head of the heap
+  — relaxations that can never beat what the original pattern still has to
+  offer are never evaluated;
+* the same binding reachable through several cursors is emitted once, at its
+  maximal score (streams descend, so the first emission is the maximum).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.core.results import BindingKey, QueryStats
+from repro.topk.cursors import Cursor, ScoredMatch
+
+#: Tolerance when deciding whether a heap entry's cached peek is stale.
+_EPS = 1e-12
+
+
+class IncrementalMergeCursor:
+    """Merge several descending cursors into one descending stream.
+
+    Parameters
+    ----------
+    cursors:
+        The original pattern's cursor first, relaxation cursors after; order
+        only matters for deterministic tie-breaks.
+    stats:
+        Shared work counters; ``relaxations_considered`` is bumped per
+        relaxation cursor at construction, ``relaxations_invoked`` when one
+        first emits an item.
+    """
+
+    def __init__(self, cursors: list[Cursor], stats: QueryStats | None = None):
+        self.stats = stats
+        self._counter = itertools.count()
+        self._heap: list[tuple[float, int, Cursor]] = []
+        self._emitted: set[BindingKey] = set()
+        self._invoked: set[int] = set()
+        self._cursor_index: dict[int, int] = {}
+        for index, cursor in enumerate(cursors):
+            self._cursor_index[id(cursor)] = index
+            peek = cursor.peek()
+            if peek is not None:
+                heapq.heappush(self._heap, (-peek, next(self._counter), cursor))
+        if stats is not None and len(cursors) > 1:
+            stats.relaxations_considered += len(cursors) - 1
+
+    def peek(self) -> float | None:
+        """Upper bound on the next emitted score (may be optimistic)."""
+        while self._heap:
+            neg_peek, order, cursor = self._heap[0]
+            current = cursor.peek()
+            if current is None:
+                heapq.heappop(self._heap)
+                continue
+            if current < -neg_peek - _EPS:
+                heapq.heapreplace(self._heap, (-current, order, cursor))
+                continue
+            return -neg_peek
+        return None
+
+    def pop(self) -> ScoredMatch | None:
+        """Next item in globally descending score order, deduped by binding."""
+        while self._heap:
+            neg_peek, order, cursor = heapq.heappop(self._heap)
+            current = cursor.peek()
+            if current is None:
+                continue
+            if current < -neg_peek - _EPS:
+                heapq.heappush(self._heap, (-current, order, cursor))
+                continue
+            if not cursor.ensure_exact():
+                refined = cursor.peek()
+                if refined is not None:
+                    heapq.heappush(self._heap, (-refined, order, cursor))
+                continue
+            item = cursor.pop()
+            new_peek = cursor.peek()
+            if new_peek is not None:
+                heapq.heappush(self._heap, (-new_peek, order, cursor))
+            if item is None:
+                continue
+            if self.stats is not None:
+                cursor_pos = self._cursor_index[id(cursor)]
+                if cursor_pos > 0 and cursor_pos not in self._invoked:
+                    self._invoked.add(cursor_pos)
+                    self.stats.relaxations_invoked += 1
+            if item.binding in self._emitted:
+                continue
+            self._emitted.add(item.binding)
+            return item
+        return None
+
+    def ensure_exact(self) -> bool:
+        """The merged peek is exact iff the head cursor's peek is exact.
+
+        Refines at most the head; returns False when refinement occurred so
+        outer consumers (nested merges, the rank join) re-read the peek.
+        """
+        if not self._heap:
+            return True
+        _neg, order, cursor = self._heap[0]
+        if cursor.ensure_exact():
+            return True
+        heapq.heappop(self._heap)
+        refined = cursor.peek()
+        if refined is not None:
+            heapq.heappush(self._heap, (-refined, order, cursor))
+        return False
+
+    def drain(self) -> list[ScoredMatch]:
+        """Exhaust the stream (used by tests and the exhaustive evaluator)."""
+        items = []
+        while True:
+            item = self.pop()
+            if item is None:
+                return items
+            items.append(item)

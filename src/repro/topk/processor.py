@@ -1,0 +1,407 @@
+"""The adaptive top-k query processor.
+
+Pulls together the whole pipeline of Sections 3–4 of the paper:
+
+1. **Rewriting enumeration** — multi-pattern relaxation rules (granularity
+   repair and other rules whose original spans several patterns) are applied
+   at the query level by the :class:`~repro.relax.rewriting.RewriteEngine`,
+   best-first by derivation weight, lazily: a rewriting is never even built
+   once its weight cannot beat the current k-th answer.
+2. **Per-pattern streams** — each pattern of a rewriting becomes an
+   :class:`~repro.topk.incremental_merge.IncrementalMergeCursor` over (a) the
+   pattern itself, token-expanded against the store's phrases, and (b) its
+   single-pattern relaxations (predicate rewrites → posting cursors; chain
+   expansions → lazily materialised sub-join cursors).
+3. **Rank join** — the merged streams are joined with threshold termination
+   shared across rewritings.
+4. **Aggregation** — answers deduplicate by projection binding, keeping the
+   maximal score over all derivation sequences.
+
+Setting ``config.exhaustive = True`` disables every early-termination check,
+yielding reference semantics (used by correctness tests and as the
+efficiency-comparison baseline).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, replace
+
+from repro.core.query import Query
+from repro.core.results import AnswerSet, QueryStats
+from repro.core.terms import TextToken, Variable
+from repro.core.triples import TriplePattern
+from repro.errors import TopKError
+from repro.relax.rewriting import RewriteEngine
+from repro.relax.rules import RelaxationRule, RuleSet
+from repro.scoring.answer_scoring import AnswerAggregator
+from repro.scoring.language_model import PatternScorer, ScoringConfig
+from repro.storage.store import TripleStore
+from repro.storage.text_index import TokenMatcher
+from repro.topk.cursors import Cursor, MaterializedJoinCursor, PostingCursor
+from repro.topk.incremental_merge import IncrementalMergeCursor
+from repro.topk.rank_join import NaryRankJoin
+from repro.util.heap import DistinctTopKTracker
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Knobs of the top-k processor.
+
+    Attributes
+    ----------
+    k:
+        Default number of answers when the caller does not override.
+    max_rewrite_depth, max_rewrites, min_rewriting_weight:
+        Budgets of the query-level rewrite enumeration.
+    max_relaxations_per_pattern:
+        Cap on relaxation cursors merged into one pattern stream (highest
+        weight first).
+    max_token_expansions:
+        Cap on fuzzy phrase expansions per token slot.
+    min_cursor_multiplier:
+        Cursors whose total attenuation falls below this are dropped.
+    use_relaxation, use_token_expansion:
+        Ablation switches.
+    pattern_level_merge:
+        When True (paper behaviour) single-pattern rules are merged into
+        pattern streams; when False they are routed through the query-level
+        rewrite enumeration instead (ablation of incremental merging).
+    exhaustive:
+        Disable all early termination (reference evaluation).
+    """
+
+    k: int = 10
+    max_rewrite_depth: int = 2
+    max_rewrites: int = 200
+    min_rewriting_weight: float = 0.05
+    max_relaxations_per_pattern: int = 8
+    max_token_expansions: int = 10
+    min_cursor_multiplier: float = 0.01
+    use_relaxation: bool = True
+    use_token_expansion: bool = True
+    pattern_level_merge: bool = True
+    exhaustive: bool = False
+    unknown_resource_fallback: bool = True
+    unknown_resource_penalty: float = 0.9
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise TopKError(f"k must be >= 1, got {self.k}")
+        if self.max_rewrite_depth < 0:
+            raise TopKError("max_rewrite_depth must be >= 0")
+        if not 0.0 <= self.min_rewriting_weight <= 1.0:
+            raise TopKError("min_rewriting_weight must be in [0, 1]")
+
+
+class TopKProcessor:
+    """Answer queries over one frozen store with relaxation and top-k pruning."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        *,
+        rules: RuleSet | None = None,
+        scorer: PatternScorer | None = None,
+        matcher: TokenMatcher | None = None,
+        config: ProcessorConfig | None = None,
+        scoring: ScoringConfig | None = None,
+    ):
+        if not store.is_frozen:
+            raise TopKError("TopKProcessor requires a frozen store")
+        self.store = store
+        self.rules = rules if rules is not None else RuleSet()
+        self.scorer = scorer if scorer is not None else PatternScorer(store, scoring)
+        self.matcher = matcher if matcher is not None else TokenMatcher(store)
+        self.config = config if config is not None else ProcessorConfig()
+        self._rules_by_predicate: dict | None = None
+
+    # -- rule management ------------------------------------------------------
+
+    def add_rules(self, rules) -> int:
+        """Add rules at runtime (e.g. user-supplied); returns #new rules."""
+        added = self.rules.extend(rules)
+        self._rules_by_predicate = None
+        return added
+
+    def _is_translation_rule(self, rule: RelaxationRule) -> bool:
+        """True when the rule's original predicate has no store matches.
+
+        Such a rule (e.g. the alias ``worksFor → affiliation`` for a
+        predicate the user invented) does not *relax* an evaluable pattern —
+        it *translates* the query into the store's vocabulary.  Translations
+        must run at the query-rewriting level so that the translated pattern
+        can in turn be relaxed by pattern-level rules (``affiliation →
+        'works at'``); keeping them at pattern level would cap relaxation
+        composition at depth one exactly where depth two is essential.
+        """
+        if not rule.is_single_pattern:
+            return False
+        predicate = rule.original[0].p
+        return (
+            predicate.is_constant
+            and self.store.dictionary.id_of(predicate) is None
+        )
+
+    def _single_rule_index(self) -> dict:
+        """Single-pattern rules indexed by their original's predicate term.
+
+        Rules with a variable predicate (rare) are indexed under ``None`` and
+        tried against every pattern.  Translation rules (unknown original
+        predicate) are excluded — they run at the rewriting level.
+        """
+        if self._rules_by_predicate is None:
+            index: dict = {}
+            for rule in self.rules.single_pattern_rules():
+                if self._is_translation_rule(rule):
+                    continue
+                predicate = rule.original[0].p
+                key = None if predicate.is_variable else predicate
+                index.setdefault(key, []).append(rule)
+            self._rules_by_predicate = index
+        return self._rules_by_predicate
+
+    def _rules_for_pattern(self, pattern: TriplePattern) -> list[RelaxationRule]:
+        index = self._single_rule_index()
+        candidates = list(index.get(None, ()))
+        if pattern.p.is_constant:
+            candidates.extend(index.get(pattern.p, ()))
+        candidates.sort(key=lambda r: (-r.weight, r.n3()))
+        return candidates
+
+    # -- stream construction ------------------------------------------------------
+
+    def _effective_pattern(self, pattern: TriplePattern) -> tuple[TriplePattern, float]:
+        """Handle vocabulary mismatch: unknown resources fall back to tokens.
+
+        A constant resource the store has never seen (the user guessed a
+        name like ``hasAdvisor``) cannot match anything exactly; with the
+        fallback enabled its camel-case surface words become a text token,
+        which fuzzy expansion can then translate into stored phrases or
+        canonical resources — at a small penalty.
+        """
+        if not (
+            self.config.unknown_resource_fallback
+            and self.config.use_token_expansion
+        ):
+            return pattern, 1.0
+        from repro.core.terms import Resource
+        from repro.util.text import camel_to_words
+
+        terms = list(pattern.terms())
+        penalty = 1.0
+        for slot, term in enumerate(terms):
+            if (
+                isinstance(term, Resource)
+                and self.store.dictionary.id_of(term) is None
+            ):
+                terms[slot] = TextToken(camel_to_words(term.name))
+                penalty *= self.config.unknown_resource_penalty
+        if penalty == 1.0:
+            return pattern, 1.0
+        return TriplePattern(*terms), penalty
+
+    def _expand_pattern(
+        self,
+        pattern: TriplePattern,
+        *,
+        multiplier: float,
+        rule: RelaxationRule | None,
+        stats: QueryStats,
+    ) -> list[Cursor]:
+        """Posting cursors for a pattern, fuzzy-expanding token constants."""
+        pattern, penalty = self._effective_pattern(pattern)
+        multiplier *= penalty
+        token_slots = [
+            (slot, term)
+            for slot, term in enumerate(pattern.terms())
+            if isinstance(term, TextToken)
+        ]
+        if not token_slots or not self.config.use_token_expansion:
+            return [
+                PostingCursor(
+                    self.store,
+                    self.scorer,
+                    pattern,
+                    multiplier=multiplier,
+                    rule=rule,
+                    stats=stats,
+                )
+            ]
+        options = []
+        for slot, term in token_slots:
+            matches = self.matcher.matches(term, slot)
+            options.append(matches[: self.config.max_token_expansions])
+        cursors: list[Cursor] = []
+        for combo in itertools.product(*options):
+            total = multiplier
+            terms = list(pattern.terms())
+            for (slot, _term), match in zip(token_slots, combo):
+                total *= match.similarity
+                terms[slot] = match.token
+            if total < self.config.min_cursor_multiplier:
+                continue
+            cursors.append(
+                PostingCursor(
+                    self.store,
+                    self.scorer,
+                    TriplePattern(*terms),
+                    multiplier=total,
+                    rule=rule,
+                    token_matches=tuple(combo),
+                    stats=stats,
+                )
+            )
+        return cursors
+
+    def _build_stream(
+        self,
+        pattern: TriplePattern,
+        query: Query,
+        fresh_names,
+        stats: QueryStats,
+    ) -> Cursor:
+        """The merged stream for one pattern of one rewriting."""
+        base = self._expand_pattern(pattern, multiplier=1.0, rule=None, stats=stats)
+        relaxation_cursors: list[tuple[float, int, Cursor]] = []
+        if self.config.use_relaxation and self.config.pattern_level_merge:
+            interface = self._interface_vars(pattern, query)
+            order = itertools.count()
+            for rule in self._rules_for_pattern(pattern):
+                if rule.weight < self.config.min_cursor_multiplier:
+                    continue
+                for _positions, theta in rule.unify((pattern,)):
+                    rename = {
+                        var.name: next(fresh_names)
+                        for var in rule.fresh_variables()
+                    }
+                    replacement = tuple(
+                        p.rename_variables(rename).substitute(theta)
+                        for p in rule.replacement
+                    )
+                    replacement_vars = {
+                        v for p in replacement for v in p.variables()
+                    }
+                    if not interface <= replacement_vars:
+                        continue  # relaxation would hide a visible variable
+                    if replacement == (pattern,):
+                        continue  # no-op
+                    if len(replacement) == 1:
+                        for cursor in self._expand_pattern(
+                            replacement[0],
+                            multiplier=rule.weight,
+                            rule=rule,
+                            stats=stats,
+                        ):
+                            relaxation_cursors.append(
+                                (rule.weight, next(order), cursor)
+                            )
+                    else:
+                        cursor = MaterializedJoinCursor(
+                            self.store,
+                            self.scorer,
+                            replacement,
+                            tuple(sorted(interface, key=lambda v: v.name)),
+                            multiplier=rule.weight,
+                            rule=rule,
+                            stats=stats,
+                        )
+                        relaxation_cursors.append((rule.weight, next(order), cursor))
+        relaxation_cursors.sort(key=lambda entry: (-entry[0], entry[1]))
+        kept = [
+            cursor
+            for _weight, _order, cursor in relaxation_cursors[
+                : self.config.max_relaxations_per_pattern
+            ]
+        ]
+        cursors = base + kept
+        if len(cursors) == 1:
+            return cursors[0]
+        return IncrementalMergeCursor(cursors, stats)
+
+    def _holds_in_store(self, pattern: TriplePattern) -> bool:
+        """Condition check for rule application: does this fact hold?"""
+        return self.store.cardinality(pattern) > 0
+
+    @staticmethod
+    def _interface_vars(pattern: TriplePattern, query: Query) -> set[Variable]:
+        """Variables of ``pattern`` the rest of the query can observe."""
+        own = set(pattern.variables())
+        visible = set(query.projection)
+        for other in query.patterns:
+            if other is not pattern:
+                visible |= set(other.variables())
+        return own & visible
+
+    # -- querying ------------------------------------------------------------
+
+    def query(self, query: Query, k: int | None = None) -> AnswerSet:
+        """Evaluate ``query`` and return its top-k answer set."""
+        k = k if k is not None else (query.limit or self.config.k)
+        if k < 1:
+            raise TopKError(f"k must be >= 1, got {k}")
+        stats = QueryStats()
+        started = time.perf_counter()
+        aggregator = AnswerAggregator()
+        tracker = DistinctTopKTracker(k)
+        fresh_names = (f"pv{i}" for i in itertools.count())
+
+        if self.config.use_relaxation:
+            rule_filter = (
+                (
+                    lambda rule: not rule.is_single_pattern
+                    or self._is_translation_rule(rule)
+                )
+                if self.config.pattern_level_merge
+                else None
+            )
+            rewriter = RewriteEngine(
+                self.rules,
+                max_depth=self.config.max_rewrite_depth,
+                max_rewrites=self.config.max_rewrites,
+                min_weight=self.config.min_rewriting_weight,
+                rule_filter=rule_filter,
+                condition_checker=self._holds_in_store,
+            )
+        else:
+            rewriter = RewriteEngine(RuleSet(), max_depth=0, max_rewrites=1)
+
+        for rewriting in rewriter.iter_rewrites(query):
+            stats.rewritings_enumerated += 1
+            if (
+                not self.config.exhaustive
+                and tracker.is_full
+                and tracker.threshold >= rewriting.weight
+            ):
+                break  # rewritings are weight-descending: nothing can improve
+            streams = [
+                self._build_stream(pattern, rewriting.query, fresh_names, stats)
+                for pattern in rewriting.query.patterns
+            ]
+            stats.rewritings_processed += 1
+            join = NaryRankJoin(
+                rewriting.query,
+                streams,
+                rewriting_weight=rewriting.weight,
+                rewriting=rewriting.applications,
+                aggregator=aggregator,
+                tracker=tracker,
+                stats=stats,
+                exhaustive=self.config.exhaustive,
+            )
+            join.run()
+
+        answers = aggregator.ranked_answers(k)
+        stats.elapsed_seconds = time.perf_counter() - started
+        return AnswerSet(query=query, answers=answers, k=k, stats=stats)
+
+    def with_config(self, **overrides) -> "TopKProcessor":
+        """A sibling processor sharing store/rules but different config."""
+        return TopKProcessor(
+            self.store,
+            rules=self.rules,
+            scorer=self.scorer,
+            matcher=self.matcher,
+            config=replace(self.config, **overrides),
+        )

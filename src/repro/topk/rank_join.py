@@ -1,0 +1,230 @@
+"""N-ary rank join across per-pattern merged streams.
+
+HRJN-style: streams are consumed in descending score order; every new item is
+probed against the items already seen on the other streams; complete,
+variable-compatible combinations become candidate answers.  The upper bound
+on any answer not yet formed is::
+
+    U = rewriting_weight · max_i ( peek_i · Π_{j≠i} cap_j )
+
+where ``cap_j`` is stream j's maximum item score (its first item, since
+streams descend; until stream j has emitted anything, its peek bounds it).
+When the k-th best distinct answer already scores ≥ U, no future combination
+can change the top-k and the join terminates — this, together with lazy
+relaxation cursors, is what keeps TriniT from exploring the whole rewriting
+space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.query import Query
+from repro.core.results import (
+    BindingKey,
+    Derivation,
+    QueryStats,
+    binding_key,
+)
+from repro.core.terms import Term, Variable
+from repro.relax.rules import RuleApplication
+from repro.scoring.answer_scoring import AnswerAggregator
+from repro.topk.cursors import Cursor, ScoredMatch
+from repro.util.heap import DistinctTopKTracker
+
+
+class NaryRankJoin:
+    """Joins one rewriting's pattern streams into scored answers.
+
+    Parameters
+    ----------
+    query:
+        The rewritten query (supplies projection variables).
+    streams:
+        One (merged) cursor per query pattern.
+    rewriting_weight, rewriting:
+        The derivation weight and rule applications of this rewriting;
+        recorded into every produced derivation.
+    aggregator, tracker:
+        Shared across rewritings: answer dedup with max-score semantics, and
+        the distinct top-k threshold used for termination.
+    stats:
+        Shared work counters.
+    exhaustive:
+        Disables bound-based termination (reference semantics for tests and
+        the efficiency baseline).
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        streams: list[Cursor],
+        *,
+        rewriting_weight: float = 1.0,
+        rewriting: tuple[RuleApplication, ...] = (),
+        aggregator: AnswerAggregator,
+        tracker: DistinctTopKTracker,
+        stats: QueryStats | None = None,
+        exhaustive: bool = False,
+    ):
+        if len(streams) != len(query.patterns):
+            raise ValueError(
+                f"{len(query.patterns)} patterns but {len(streams)} streams"
+            )
+        self.query = query
+        self.streams = streams
+        self.rewriting_weight = rewriting_weight
+        self.rewriting = rewriting
+        self.aggregator = aggregator
+        self.tracker = tracker
+        self.stats = stats
+        self.exhaustive = exhaustive
+        self._seen: list[dict[BindingKey, ScoredMatch]] = [{} for _ in streams]
+        self._best: list[float | None] = [None] * len(streams)
+        self._projection = tuple(query.projection)
+        # Join-variable signatures: vars of pattern j shared with any other
+        # pattern.  Items are indexed by their values on these vars so probes
+        # are hash lookups whenever the partial binding determines them.
+        all_vars = [set(p.variables()) for p in query.patterns]
+        self._join_vars: list[tuple[Variable, ...]] = []
+        for j, own in enumerate(all_vars):
+            shared = set()
+            for i, other in enumerate(all_vars):
+                if i != j:
+                    shared |= own & other
+            self._join_vars.append(tuple(sorted(shared, key=lambda v: v.name)))
+        self._join_index: list[dict[tuple, list[ScoredMatch]]] = [
+            {} for _ in streams
+        ]
+
+    # -- bounds ------------------------------------------------------------
+
+    def _caps(self, peeks: list[float | None]) -> list[float]:
+        caps = []
+        for i, stream_seen in enumerate(self._seen):
+            if self._best[i] is not None:
+                caps.append(self._best[i])
+            elif peeks[i] is not None:
+                caps.append(peeks[i])
+            else:
+                caps.append(0.0)
+        return caps
+
+    def upper_bound(self, peeks: list[float | None] | None = None) -> float:
+        """Best score any not-yet-formed combination could still reach."""
+        if peeks is None:
+            peeks = [stream.peek() for stream in self.streams]
+        caps = self._caps(peeks)
+        bound = 0.0
+        for i, peek in enumerate(peeks):
+            if peek is None:
+                continue
+            product = peek
+            for j, cap in enumerate(caps):
+                if j != i:
+                    product *= cap
+            bound = max(bound, product)
+        return bound * self.rewriting_weight
+
+    # -- combination formation ------------------------------------------------
+
+    def _emit(self, items: list[ScoredMatch]) -> None:
+        """Form the answer from one complete combination and record it."""
+        full_binding: dict[Variable, Term] = {}
+        score = self.rewriting_weight
+        for item in items:
+            score *= item.score
+            for var, term in item.binding:
+                full_binding[var] = term
+        projected = binding_key(
+            {v: full_binding[v] for v in self._projection if v in full_binding}
+        )
+        derivation = Derivation(
+            matches=tuple(item.info for item in items),
+            rewriting=self.rewriting,
+            rewriting_weight=self.rewriting_weight,
+        )
+        if self.stats is not None:
+            self.stats.candidates_formed += 1
+        best = self.aggregator.add(projected, score, derivation)
+        self.tracker.offer(projected, best)
+
+    def _index_key(self, item: ScoredMatch, stream_index: int) -> tuple:
+        values = dict(item.binding)
+        return tuple(values.get(v) for v in self._join_vars[stream_index])
+
+    def _probe(self, new_item: ScoredMatch, stream_index: int) -> None:
+        """Enumerate all combinations of the new item with seen items."""
+        others = [j for j in range(len(self.streams)) if j != stream_index]
+        # Visit scarcer streams first: fails fast on empty/selective ones.
+        others.sort(key=lambda j: len(self._seen[j]))
+        if any(not self._seen[j] for j in others):
+            return
+
+        combo: list[ScoredMatch | None] = [None] * len(self.streams)
+        combo[stream_index] = new_item
+
+        def compatible(binding: BindingKey, assigned: dict[Variable, Term]) -> bool:
+            return all(
+                assigned.get(var, term) == term for var, term in binding
+            )
+
+        def candidates(j: int, assigned: dict[Variable, Term]) -> list[ScoredMatch]:
+            join_vars = self._join_vars[j]
+            if join_vars and all(v in assigned for v in join_vars):
+                key = tuple(assigned[v] for v in join_vars)
+                return self._join_index[j].get(key, [])
+            return list(self._seen[j].values())
+
+        def backtrack(position: int, assigned: dict[Variable, Term]) -> None:
+            if position == len(others):
+                self._emit([item for item in combo if item is not None])
+                return
+            j = others[position]
+            for item in candidates(j, assigned):
+                if not compatible(item.binding, assigned):
+                    continue
+                extended = dict(assigned)
+                extended.update(dict(item.binding))
+                combo[j] = item
+                backtrack(position + 1, extended)
+            combo[j] = None
+
+        backtrack(0, dict(new_item.binding))
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self, should_stop: Callable[[], bool] | None = None) -> None:
+        """Consume streams until exhaustion or threshold termination."""
+        while True:
+            peeks = [stream.peek() for stream in self.streams]
+            live = [i for i, p in enumerate(peeks) if p is not None]
+            if not live:
+                return
+            # A stream that is exhausted without ever emitting can never be
+            # part of a combination — the whole join is empty-handed.
+            if any(
+                peeks[i] is None and not self._seen[i]
+                for i in range(len(self.streams))
+            ):
+                return
+            if not self.exhaustive:
+                bound = self.upper_bound(peeks)
+                if self.tracker.is_full and self.tracker.threshold >= bound:
+                    return
+            if should_stop is not None and should_stop():
+                return
+            # Advance the stream with the highest head (ties: lowest index).
+            index = max(live, key=lambda i: (peeks[i], -i))
+            item = self.streams[index].pop()
+            if item is None:
+                continue
+            if self._best[index] is None:
+                self._best[index] = item.score
+            if item.binding in self._seen[index]:
+                continue  # merged streams dedupe already; double guard
+            self._seen[index][item.binding] = item
+            self._join_index[index].setdefault(
+                self._index_key(item, index), []
+            ).append(item)
+            self._probe(item, index)

@@ -1,0 +1,26 @@
+"""Shared utilities: text normalisation, seeded randomness, heaps."""
+
+from repro.util.text import (
+    normalize_phrase,
+    normalize_token,
+    stem,
+    tokenize_phrase,
+    jaccard,
+    dice,
+    overlap_coefficient,
+)
+from repro.util.rand import SeededRng, stable_hash
+from repro.util.heap import TopKHeap
+
+__all__ = [
+    "normalize_phrase",
+    "normalize_token",
+    "stem",
+    "tokenize_phrase",
+    "jaccard",
+    "dice",
+    "overlap_coefficient",
+    "SeededRng",
+    "stable_hash",
+    "TopKHeap",
+]

@@ -1,0 +1,202 @@
+"""Text normalisation helpers used across the library.
+
+Token triples in the XKG carry free-text phrases in their S/P/O slots.  To
+match a query token like ``'won Nobel for'`` against an extracted phrase like
+``'won a Nobel for'`` we normalise phrases into canonical token sequences:
+lower-cased, punctuation-stripped, stopword-filtered (for match keys), and
+lightly stemmed with a deterministic suffix stripper (a small subset of the
+Porter steps — enough to conflate ``lectures/lectured/lecturing``).
+
+Nothing here depends on external NLP packages; the functions are pure and
+deterministic so stores built twice from the same input are identical.
+"""
+
+from __future__ import annotations
+
+import re
+import string
+
+# Stopwords are intentionally minimal: only function words that carry no
+# relational meaning.  Verbs like "is"/"was" are *kept* out of this set when
+# normalising predicates because copulas distinguish e.g. 'was born in' from
+# 'born in' — instead predicate keys drop them via PREDICATE_STOPWORDS.
+STOPWORDS = frozenset(
+    """a an the of in on at to for with by from his her its their this that
+    these those as and or""".split()
+)
+
+# Additional words ignored when building *match keys* for verbal phrases.
+PREDICATE_STOPWORDS = frozenset(
+    """is are was were be been being has have had will would do does did""".split()
+)
+
+_PUNCT_TABLE = str.maketrans("", "", string.punctuation)
+_WHITESPACE_RE = re.compile(r"\s+")
+
+# Irregular forms the suffix stripper cannot reach but which appear in the
+# corpus templates.  Maps surface form -> stem.
+_IRREGULAR = {
+    "won": "win",
+    "wins": "win",
+    "winning": "win",
+    "born": "born",
+    "went": "go",
+    "gone": "go",
+    "taught": "teach",
+    "met": "meet",
+    "held": "hold",
+    "led": "lead",
+    "wrote": "write",
+    "written": "write",
+    "made": "make",
+    "gave": "give",
+    "given": "give",
+    "founded": "found",
+    "ran": "run",
+    "studied": "study",
+    "studies": "study",
+    "married": "marry",
+    "marries": "marry",
+    "cities": "city",
+    "countries": "country",
+    "universities": "university",
+    "companies": "company",
+    "discoveries": "discovery",
+}
+
+
+def stem(token: str) -> str:
+    """Return a deterministic light stem of ``token``.
+
+    Handles a table of irregular forms plus the common ``-ing``, ``-ed``,
+    ``-es``, ``-s`` suffixes.  The stemmer is intentionally conservative: it
+    never shortens a token below three characters, so short tokens pass
+    through unchanged.
+
+    >>> stem("lectured")
+    'lectur'
+    >>> stem("won")
+    'win'
+    """
+    if token in _IRREGULAR:
+        return _IRREGULAR[token]
+    if len(token) > 5 and token.endswith("ing"):
+        return token[:-3]
+    if len(token) > 4 and token.endswith("ed"):
+        return token[:-2]
+    if len(token) > 4 and token.endswith("es"):
+        return token[:-2]
+    if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+        return token[:-1]
+    return token
+
+
+def normalize_token(token: str) -> str:
+    """Lower-case a single token and strip punctuation.
+
+    >>> normalize_token("Nobel,")
+    'nobel'
+    """
+    return token.lower().translate(_PUNCT_TABLE)
+
+
+def tokenize_phrase(phrase: str) -> list[str]:
+    """Split a phrase into normalised, non-empty tokens.
+
+    >>> tokenize_phrase("won a Nobel for")
+    ['won', 'a', 'nobel', 'for']
+    """
+    cleaned = _WHITESPACE_RE.sub(" ", phrase.strip())
+    return [t for t in (normalize_token(tok) for tok in cleaned.split(" ")) if t]
+
+
+def normalize_phrase(phrase: str) -> str:
+    """Return the canonical surface form of a phrase (normalised tokens joined).
+
+    This keeps stopwords; it is the identity-preserving normalisation used to
+    decide whether two extracted phrases are the *same* phrase.
+
+    >>> normalize_phrase("  Won a   NOBEL for ")
+    'won a nobel for'
+    """
+    return " ".join(tokenize_phrase(phrase))
+
+
+def match_key(phrase: str, *, predicate: bool = False) -> tuple[str, ...]:
+    """Return the tuple of stemmed content tokens used for fuzzy matching.
+
+    Match keys decide whether a query token pattern matches an XKG phrase:
+    two phrases match when their keys are equal or one key is a contiguous
+    subsequence of the other.  ``predicate=True`` additionally drops copulas
+    and auxiliaries so ``'was born in'`` and ``'born in'`` share a key.
+
+    >>> match_key("won a Nobel for")
+    ('win', 'nobel', 'for')
+    >>> match_key("was born in", predicate=True)
+    ('born', 'in')
+    """
+    drop = STOPWORDS | (PREDICATE_STOPWORDS if predicate else frozenset())
+    kept = []
+    for tok in tokenize_phrase(phrase):
+        if tok in drop and tok not in ("in", "at", "for", "on", "by", "with", "of", "to", "from"):
+            continue
+        if tok in STOPWORDS and tok not in ("in", "at", "for", "on", "by", "with", "of", "to", "from"):
+            continue
+        if predicate and tok in PREDICATE_STOPWORDS:
+            continue
+        if tok in ("a", "an", "the", "his", "her", "its", "their"):
+            continue
+        kept.append(stem(tok))
+    return tuple(kept)
+
+
+def is_subsequence(needle: tuple[str, ...], haystack: tuple[str, ...]) -> bool:
+    """True when ``needle`` appears as a contiguous subsequence of ``haystack``.
+
+    >>> is_subsequence(("b", "c"), ("a", "b", "c", "d"))
+    True
+    >>> is_subsequence(("b", "d"), ("a", "b", "c", "d"))
+    False
+    """
+    if not needle:
+        return True
+    n, h = len(needle), len(haystack)
+    if n > h:
+        return False
+    return any(haystack[i : i + n] == needle for i in range(h - n + 1))
+
+
+def jaccard(a: set, b: set) -> float:
+    """Jaccard similarity |a ∩ b| / |a ∪ b|; 0.0 when both sets are empty."""
+    if not a and not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+def dice(a: set, b: set) -> float:
+    """Dice coefficient 2|a ∩ b| / (|a| + |b|); 0.0 when both sets are empty."""
+    if not a and not b:
+        return 0.0
+    return 2.0 * len(a & b) / (len(a) + len(b))
+
+
+def overlap_coefficient(a: set, b: set) -> float:
+    """Overlap coefficient |a ∩ b| / min(|a|, |b|); 0.0 when either is empty."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / min(len(a), len(b))
+
+
+def camel_to_words(name: str) -> str:
+    """Split a camelCase / PascalCase identifier into lower-case words.
+
+    Used to turn KG predicate names into readable phrases for suggestion
+    output and for ESA pseudo-documents.
+
+    >>> camel_to_words("bornIn")
+    'born in'
+    >>> camel_to_words("hasAdvisor")
+    'has advisor'
+    """
+    parts = re.findall(r"[A-Z]?[a-z0-9]+|[A-Z]+(?![a-z])", name)
+    return " ".join(p.lower() for p in parts)

@@ -1,0 +1,5 @@
+"""XKG construction: KG + Open IE extractions → one extended store."""
+
+from repro.xkg.builder import XkgBuilder, XkgBuildReport, build_xkg
+
+__all__ = ["XkgBuilder", "XkgBuildReport", "build_xkg"]

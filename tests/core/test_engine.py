@@ -1,0 +1,117 @@
+"""Unit tests for the TriniT engine facade."""
+
+import pytest
+
+from repro.core.engine import EngineConfig, TriniT
+from repro.core.query import Query
+from repro.core.terms import Resource
+from repro.errors import TrinitError
+from repro.relax.operators import OperatorRegistry
+
+
+class TestConstruction:
+    def test_freezes_unfrozen_store(self, small_store):
+        engine = TriniT(small_store)
+        assert engine.store.is_frozen
+
+    def test_from_triples(self, paper_engine_fixture):
+        assert len(paper_engine_fixture.store) == 13  # 6 + 3 types + 4 ext
+
+    def test_default_operators_registered(self, paper_engine_fixture):
+        names = paper_engine_fixture.registry.names()
+        assert "arg-overlap" in names
+        assert "chain-expansion" in names
+        assert "inversions" in names
+
+    def test_optional_miners_respected(self, frozen_small_store):
+        engine = TriniT(
+            frozen_small_store,
+            config=EngineConfig(mine_amie=True, mine_esa=True),
+        )
+        assert "amie" in engine.registry.names()
+        assert "esa" in engine.registry.names()
+
+    def test_custom_registry_used(self, frozen_small_store):
+        registry = OperatorRegistry()
+        called = []
+        registry.register("probe", lambda ctx: called.append(True) or [])
+        TriniT(frozen_small_store, registry=registry)
+        assert called
+
+
+class TestAsk:
+    def test_string_query(self, paper_engine_fixture):
+        answers = paper_engine_fixture.ask("AlbertEinstein bornIn ?x")
+        assert answers.top().value("x") == Resource("Ulm")
+
+    def test_parsed_query(self, paper_engine_fixture):
+        query = paper_engine_fixture.parse("AlbertEinstein bornIn ?x")
+        assert isinstance(query, Query)
+        answers = paper_engine_fixture.ask(query, k=1)
+        assert len(answers) == 1
+
+    def test_k_override(self, paper_engine_fixture):
+        answers = paper_engine_fixture.ask("?x type ?y", k=2)
+        assert len(answers) == 2
+
+
+class TestExplainSuggest:
+    def test_explain_top_answer(self, paper_engine_fixture):
+        answers = paper_engine_fixture.ask(
+            "AlbertEinstein affiliation ?x ; ?x member IvyLeague"
+        )
+        explanation = paper_engine_fixture.explain(answers.top(), answers.query)
+        assert explanation.used_relaxation
+        assert explanation.used_xkg
+        assert "PrincetonUniversity" in explanation.render()
+
+    def test_explain_none_raises(self, paper_engine_fixture):
+        with pytest.raises(TrinitError):
+            paper_engine_fixture.explain(None)
+
+    def test_suggest_token_query(self, paper_engine_fixture):
+        suggestions = paper_engine_fixture.suggest("?x 'born in' Ulm")
+        assert any(s.kind == "resource" for s in suggestions)
+
+    def test_suggest_with_answers(self, paper_engine_fixture):
+        answers = paper_engine_fixture.ask(
+            "AlbertEinstein affiliation ?x ; ?x member IvyLeague"
+        )
+        suggestions = paper_engine_fixture.suggest(answers.query, answers)
+        assert any(s.kind in ("rule-note", "reformulation") for s in suggestions)
+
+
+class TestRules:
+    def test_add_rule_text(self, frozen_small_store):
+        engine = TriniT(frozen_small_store)
+        rule = engine.add_rule("?x worksAt ?y => ?x affiliation ?y @ 0.5")
+        assert rule.weight == 0.5
+        answers = engine.ask("AlbertEinstein worksAt ?x")
+        assert not answers.is_empty
+
+    def test_add_rules_count(self, frozen_small_store):
+        engine = TriniT(frozen_small_store)
+        added = engine.add_rules(
+            [
+                "?x a ?y => ?x b ?y @ 0.5",
+                "?x a ?y => ?x b ?y @ 0.5",  # duplicate
+            ]
+        )
+        assert added == 1
+
+
+class TestVariant:
+    def test_variant_shares_data(self, paper_engine_fixture):
+        variant = paper_engine_fixture.variant(use_relaxation=False)
+        assert variant.store is paper_engine_fixture.store
+        assert variant.rules is paper_engine_fixture.rules
+
+    def test_variant_changes_behaviour(self, paper_engine_fixture):
+        strict = paper_engine_fixture.variant(use_relaxation=False)
+        query = "AlbertEinstein affiliation ?x ; ?x member IvyLeague"
+        assert paper_engine_fixture.ask(query).answers
+        assert strict.ask(query).is_empty
+
+    def test_variant_does_not_mutate_original(self, paper_engine_fixture):
+        paper_engine_fixture.variant(use_relaxation=False)
+        assert paper_engine_fixture.processor.config.use_relaxation

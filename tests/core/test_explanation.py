@@ -1,0 +1,64 @@
+"""Unit tests for answer explanations."""
+
+import pytest
+
+from repro.core.explanation import explain_answer
+
+
+@pytest.fixture(scope="module")
+def relaxed_answer(paper_engine_fixture):
+    answers = paper_engine_fixture.ask(
+        "AlbertEinstein affiliation ?x ; ?x member IvyLeague"
+    )
+    return answers.top(), answers.query
+
+
+@pytest.fixture(scope="module")
+def exact_answer(paper_engine_fixture):
+    answers = paper_engine_fixture.ask("AlbertEinstein bornIn ?x")
+    return answers.top(), answers.query
+
+
+class TestStructure:
+    def test_three_information_pieces(self, relaxed_answer):
+        """The paper's (i) KG triples, (ii) XKG triples + provenance,
+        (iii) rules invoked."""
+        answer, query = relaxed_answer
+        explanation = explain_answer(answer, query)
+        assert explanation.kg_triples          # (i)
+        assert explanation.xkg_triples         # (ii)
+        assert explanation.rule_lines          # (iii)
+
+    def test_xkg_provenance_included(self, relaxed_answer):
+        answer, query = relaxed_answer
+        rendered = explain_answer(answer, query).render()
+        assert "extracted by reverb" in rendered
+        assert "clueweb-doc" in rendered
+
+    def test_rule_weight_shown(self, relaxed_answer):
+        answer, query = relaxed_answer
+        rendered = explain_answer(answer, query).render()
+        assert "0.8" in rendered  # Figure 4 rule 3's weight
+
+    def test_exact_answer_no_relaxation(self, exact_answer):
+        answer, query = exact_answer
+        explanation = explain_answer(answer, query)
+        assert not explanation.used_relaxation
+        assert "exact match" in explanation.render()
+
+    def test_query_included_when_given(self, exact_answer):
+        answer, query = exact_answer
+        assert query.n3() in explain_answer(answer, query).render()
+
+    def test_score_and_binding_shown(self, exact_answer):
+        answer, _query = exact_answer
+        rendered = explain_answer(answer).render()
+        assert "Ulm" in rendered
+        assert f"{answer.score:.4f}" in rendered
+
+    def test_kg_triples_deduplicated(self, relaxed_answer):
+        answer, query = relaxed_answer
+        explanation = explain_answer(answer, query)
+        assert len(explanation.kg_triples) == len(set(
+            id(record) for record in explanation.kg_triples
+        ))

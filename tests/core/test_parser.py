@@ -1,0 +1,129 @@
+"""Unit tests for the textual query/rule parser."""
+
+import pytest
+
+from repro.core.parser import parse_pattern, parse_query, parse_rule
+from repro.core.terms import Literal, Resource, TextToken, Variable
+from repro.errors import ParseError
+
+
+class TestParsePattern:
+    def test_basic(self):
+        p = parse_pattern("?x bornIn Germany")
+        assert p.s == Variable("x")
+        assert p.p == Resource("bornIn")
+        assert p.o == Resource("Germany")
+
+    def test_token_with_spaces(self):
+        p = parse_pattern("AlbertEinstein 'won nobel for' ?x")
+        assert p.p == TextToken("won nobel for")
+
+    def test_literal(self):
+        p = parse_pattern('AlbertEinstein bornOn "1879-03-14"')
+        assert isinstance(p.o, Literal)
+
+    def test_rejects_two_terms(self):
+        with pytest.raises(ParseError):
+            parse_pattern("?x bornIn")
+
+    def test_rejects_four_terms(self):
+        with pytest.raises(ParseError):
+            parse_pattern("?x bornIn Germany extra")
+
+    def test_rejects_multiple_patterns(self):
+        with pytest.raises(ParseError):
+            parse_pattern("?x bornIn Germany ; ?x type person")
+
+
+class TestParseQuery:
+    def test_bare_pattern(self):
+        q = parse_query("?x bornIn Germany")
+        assert len(q.patterns) == 1
+        assert q.projection == (Variable("x"),)
+
+    def test_multi_pattern_semicolon(self):
+        q = parse_query("AlbertEinstein affiliation ?x ; ?x member IvyLeague")
+        assert len(q.patterns) == 2
+
+    def test_select_where(self):
+        q = parse_query("SELECT ?x WHERE ?x bornIn ?y ; ?y locatedIn Germany")
+        assert q.projection == (Variable("x"),)
+
+    def test_limit(self):
+        q = parse_query("?x bornIn Germany LIMIT 3")
+        assert q.limit == 3
+
+    def test_select_where_limit_combined(self):
+        q = parse_query(
+            "SELECT ?x ?y WHERE ?x bornIn ?y ; ?y locatedIn Germany LIMIT 7"
+        )
+        assert q.projection == (Variable("x"), Variable("y"))
+        assert q.limit == 7
+
+    def test_default_limit(self):
+        assert parse_query("?x bornIn Germany", default_limit=25).limit == 25
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParseError):
+            parse_query("   ")
+
+    def test_rejects_select_without_where(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ?x ?y bornIn Germany")
+
+    def test_rejects_constant_in_select(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT Germany WHERE ?x bornIn Germany")
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ParseError):
+            parse_query("?x bornIn Germany LIMIT many")
+
+    def test_rejects_unterminated_quote(self):
+        with pytest.raises(ParseError):
+            parse_query("?x 'born in Germany")
+
+    def test_dot_as_separator(self):
+        q = parse_query("?x bornIn ?y . ?y locatedIn Germany")
+        assert len(q.patterns) == 2
+
+    def test_roundtrip_n3(self):
+        q = parse_query("SELECT ?x WHERE AlbertEinstein 'won nobel for' ?x LIMIT 5")
+        assert parse_query(q.n3()).n3() == q.n3()
+
+
+class TestParseRule:
+    def test_simple_inversion(self):
+        rule = parse_rule("?x hasAdvisor ?y => ?y hasStudent ?x @ 1.0")
+        assert rule.weight == 1.0
+        assert len(rule.original) == 1
+        assert len(rule.replacement) == 1
+        assert rule.origin == "manual"
+
+    def test_expanding_rule_with_token(self):
+        rule = parse_rule(
+            "?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y @ 0.8"
+        )
+        assert rule.weight == 0.8
+        assert len(rule.replacement) == 2
+        assert rule.replacement[1].p == TextToken("housed in")
+
+    def test_default_weight(self):
+        rule = parse_rule("?x a ?y => ?y b ?x")
+        assert rule.weight == 1.0
+
+    def test_rejects_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_rule("?x a ?y ; ?y b ?x")
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ParseError):
+            parse_rule("?x a ?y => ?y b ?x @ heavy")
+
+    def test_multi_pattern_original(self):
+        rule = parse_rule(
+            "?x bornIn ?y ; ?y type country => "
+            "?x bornIn ?z ; ?z type city ; ?z locatedIn ?y @ 1.0"
+        )
+        assert len(rule.original) == 2
+        assert len(rule.replacement) == 3

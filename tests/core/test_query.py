@@ -1,0 +1,126 @@
+"""Unit tests for the Query model."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.core.terms import Resource, TextToken, Variable
+from repro.core.triples import TriplePattern
+from repro.errors import QueryError
+
+AE = Resource("AlbertEinstein")
+AFF = Resource("affiliation")
+MEMBER = Resource("member")
+IVY = Resource("IvyLeague")
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+P1 = TriplePattern(AE, AFF, X)
+P2 = TriplePattern(X, MEMBER, IVY)
+
+
+class TestConstruction:
+    def test_basic(self):
+        q = Query([P1, P2])
+        assert len(q) == 2
+        assert q.projection == (X,)
+
+    def test_explicit_projection(self):
+        q = Query([P1, P2], projection=[X])
+        assert q.projection == (X,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(QueryError):
+            Query([])
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(QueryError):
+            Query([P1], limit=0)
+
+    def test_rejects_unknown_projection(self):
+        with pytest.raises(QueryError):
+            Query([P1], projection=[Z])
+
+    def test_rejects_duplicate_projection(self):
+        with pytest.raises(QueryError):
+            Query([P1], projection=[X, X])
+
+    def test_rejects_disconnected_patterns(self):
+        disconnected = TriplePattern(Y, MEMBER, Z)
+        with pytest.raises(QueryError):
+            Query([P1, disconnected])
+
+    def test_fully_bound_pattern_never_disconnects(self):
+        assertion = TriplePattern(AE, MEMBER, IVY)
+        q = Query([P1, assertion])
+        assert len(q) == 2
+
+    def test_default_projection_order(self):
+        q = Query([TriplePattern(Y, AFF, X), TriplePattern(X, MEMBER, Z)])
+        assert q.projection == (Y, X, Z)
+
+
+class TestStructure:
+    def test_variables(self):
+        q = Query([P1, P2])
+        assert q.variables() == (X,)
+
+    def test_join_variables(self):
+        q = Query([P1, P2])
+        assert q.join_variables() == (X,)
+
+    def test_no_join_for_single_pattern(self):
+        assert Query([P1]).join_variables() == ()
+
+    def test_has_token(self):
+        token_pattern = TriplePattern(AE, TextToken("lectured at"), X)
+        assert Query([token_pattern]).has_token
+        assert not Query([P1]).has_token
+
+
+class TestReplacePatterns:
+    def test_single_replacement(self):
+        replacement = TriplePattern(AE, TextToken("lectured at"), X)
+        q = Query([P1, P2]).replace_patterns([P1], [replacement])
+        assert replacement in q.patterns
+        assert P1 not in q.patterns
+        assert P2 in q.patterns
+
+    def test_expanding_replacement(self):
+        added = (
+            TriplePattern(AE, AFF, Z),
+            TriplePattern(Z, TextToken("housed in"), X),
+        )
+        q = Query([P1, P2]).replace_patterns([P1], added)
+        assert len(q) == 3
+
+    def test_projection_preserved(self):
+        replacement = TriplePattern(AE, TextToken("lectured at"), X)
+        q = Query([P1, P2], projection=[X]).replace_patterns([P1], [replacement])
+        assert q.projection == (X,)
+
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(QueryError):
+            Query([P1]).replace_patterns([P2], [P1])
+
+    def test_rejects_removing_all_projection(self):
+        with pytest.raises(QueryError):
+            Query([P1], projection=[X]).replace_patterns(
+                [P1], [TriplePattern(AE, MEMBER, IVY)]
+            )
+
+
+class TestSubstitute:
+    def test_binds_constants(self):
+        q = Query([TriplePattern(Y, AFF, X), P2]).substitute({X: Resource("IAS")})
+        assert all(X not in p.variables() for p in q.patterns)
+        assert q.projection == (Y,)
+
+    def test_substituting_every_variable_raises(self):
+        with pytest.raises(QueryError):
+            Query([P1, P2]).substitute({X: Resource("IAS")})
+
+    def test_rendering(self):
+        q = Query([P1, P2], projection=[X], limit=5)
+        rendered = q.n3()
+        assert "SELECT ?x WHERE" in rendered
+        assert "AlbertEinstein affiliation ?x" in rendered
+        assert " ; " in rendered

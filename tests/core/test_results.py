@@ -1,0 +1,154 @@
+"""Unit tests for the answer model (Answer, AnswerSet, Derivation)."""
+
+import pytest
+
+from repro.core.parser import parse_query, parse_rule
+from repro.core.results import (
+    Answer,
+    AnswerSet,
+    Derivation,
+    PatternMatchInfo,
+    QueryStats,
+    binding_key,
+)
+from repro.core.terms import Resource, TextToken, Variable
+from repro.core.triples import Provenance, Triple, TriplePattern
+from repro.storage.store import StoredTriple
+
+X, Y = Variable("x"), Variable("y")
+
+
+def _kg_record():
+    return StoredTriple(
+        Triple(Resource("A"), Resource("p"), Resource("B")),
+        provenances=[Provenance("kg", "KG")],
+    )
+
+
+def _xkg_record():
+    return StoredTriple(
+        Triple(Resource("A"), TextToken("works at"), Resource("B")),
+        confidence=0.8,
+        provenances=[Provenance("openie", "doc-1", "A works at B", "reverb")],
+    )
+
+
+def _derivation(records=(), rule=None):
+    info = PatternMatchInfo(
+        pattern=TriplePattern(X, Resource("p"), Y),
+        records=tuple(records),
+        score=0.5,
+        rule=rule,
+    )
+    return Derivation(matches=(info,))
+
+
+class TestBindingKey:
+    def test_sorted_by_variable_name(self):
+        key = binding_key({Y: Resource("B"), X: Resource("A")})
+        assert [v.name for v, _t in key] == ["x", "y"]
+
+    def test_hashable_and_equal(self):
+        a = binding_key({X: Resource("A")})
+        b = binding_key({X: Resource("A")})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDerivation:
+    def test_uses_xkg_via_token_triple(self):
+        assert _derivation([_xkg_record()]).uses_xkg
+        assert not _derivation([_kg_record()]).uses_xkg
+
+    def test_uses_relaxation_via_pattern_rule(self):
+        rule = parse_rule("?x p ?y => ?x q ?y @ 0.5")
+        assert _derivation([_kg_record()], rule=rule).uses_relaxation
+        assert not _derivation([_kg_record()]).uses_relaxation
+
+    def test_rules_used_deduplicated(self):
+        rule = parse_rule("?x p ?y => ?x q ?y @ 0.5")
+        info = PatternMatchInfo(
+            pattern=TriplePattern(X, Resource("p"), Y),
+            records=(),
+            score=0.5,
+            rule=rule,
+        )
+        derivation = Derivation(matches=(info, info))
+        assert derivation.rules_used() == [rule]
+
+    def test_triples_used_in_pattern_order(self):
+        kg, xkg = _kg_record(), _xkg_record()
+        derivation = Derivation(
+            matches=(
+                PatternMatchInfo(TriplePattern(X, Resource("p"), Y), (kg,), 0.5),
+                PatternMatchInfo(TriplePattern(X, Resource("q"), Y), (xkg,), 0.5),
+            )
+        )
+        assert derivation.triples_used() == [kg, xkg]
+
+
+class TestAnswer:
+    def _answer(self):
+        return Answer(
+            binding=binding_key({X: Resource("A"), Y: Resource("B")}),
+            score=0.75,
+            derivation=_derivation(),
+        )
+
+    def test_value_by_name_or_variable(self):
+        answer = self._answer()
+        assert answer.value("x") == Resource("A")
+        assert answer.value(Variable("y")) == Resource("B")
+
+    def test_value_unknown_raises(self):
+        with pytest.raises(KeyError):
+            self._answer().value("z")
+
+    def test_as_dict(self):
+        assert self._answer().as_dict() == {X: Resource("A"), Y: Resource("B")}
+
+    def test_render(self):
+        rendered = self._answer().render()
+        assert "?x=A" in rendered and "0.7500" in rendered
+
+
+class TestAnswerSet:
+    def _answer_set(self):
+        query = parse_query("?x p ?y")
+        answers = [
+            Answer(binding_key({X: Resource("A"), Y: Resource("B")}), 0.9, _derivation()),
+            Answer(binding_key({X: Resource("C"), Y: Resource("D")}), 0.4, _derivation()),
+        ]
+        return AnswerSet(query=query, answers=answers, k=5)
+
+    def test_iteration_and_indexing(self):
+        answer_set = self._answer_set()
+        assert len(answer_set) == 2
+        assert answer_set[0].score == 0.9
+        assert [a.score for a in answer_set] == [0.9, 0.4]
+
+    def test_top_and_empty(self):
+        answer_set = self._answer_set()
+        assert answer_set.top().score == 0.9
+        empty = AnswerSet(query=parse_query("?x p ?y"))
+        assert empty.is_empty
+        assert empty.top() is None
+
+    def test_terms_for(self):
+        answer_set = self._answer_set()
+        assert answer_set.terms_for("x") == [Resource("A"), Resource("C")]
+
+    def test_bindings(self):
+        assert self._answer_set().bindings()[0][X] == Resource("A")
+
+    def test_render_table(self):
+        table = self._answer_set().render_table()
+        assert "?x" in table and "score" in table
+        assert "0.9000" in table
+
+    def test_render_empty(self):
+        empty = AnswerSet(query=parse_query("?x p ?y"))
+        assert empty.render_table() == "(no answers)"
+
+    def test_stats_default(self):
+        assert isinstance(self._answer_set().stats, QueryStats)

@@ -1,0 +1,78 @@
+"""Unit tests for query suggestion."""
+
+import pytest
+
+from repro.core.suggestion import KIND_RESOURCE, QuerySuggester
+from repro.core.parser import parse_query
+from repro.core.terms import Resource
+from repro.storage.statistics import StoreStatistics
+from repro.storage.text_index import TokenMatcher
+
+
+@pytest.fixture(scope="module")
+def suggester(tiny_harness):
+    engine = tiny_harness.engine
+    return QuerySuggester(engine.statistics, engine.matcher, min_overlap=0.2)
+
+
+class TestResourceSuggestions:
+    def test_token_predicate_suggests_kg_predicate(self, tiny_harness, suggester):
+        """'works at' should suggest the canonical affiliation predicate —
+        the paper's token→resource suggestion."""
+        query = parse_query("?x 'works at' ?y")
+        suggestions = suggester.resource_suggestions(query)
+        assert any(
+            s.replacement == "affiliation" and s.kind == KIND_RESOURCE
+            for s in suggestions
+        )
+
+    def test_no_tokens_no_suggestions(self, suggester):
+        query = parse_query("?x affiliation ?y")
+        assert suggester.resource_suggestions(query) == []
+
+    def test_duplicate_tokens_suggested_once(self, suggester):
+        query = parse_query("?x 'works at' ?y ; ?z 'works at' ?y")
+        suggestions = suggester.resource_suggestions(query)
+        texts = [s.text for s in suggestions]
+        assert len(texts) == len(set(texts))
+
+    def test_scores_sorted(self, suggester):
+        query = parse_query("?x 'works at' ?y")
+        suggestions = suggester.resource_suggestions(query)
+        scores = [s.score for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_max_suggestions_respected(self, tiny_harness):
+        engine = tiny_harness.engine
+        limited = QuerySuggester(
+            engine.statistics,
+            engine.matcher,
+            min_overlap=0.01,
+            max_suggestions_per_token=2,
+        )
+        query = parse_query("?x 'works at' ?y")
+        by_kind = [s for s in limited.resource_suggestions(query)]
+        assert len(by_kind) <= 2
+
+
+class TestRuleSuggestions:
+    def test_invoked_rules_surfaced(self, paper_engine_fixture):
+        answers = paper_engine_fixture.ask(
+            "AlbertEinstein affiliation ?x ; ?x member IvyLeague"
+        )
+        suggester = paper_engine_fixture.suggester
+        suggestions = suggester.rule_suggestions(answers)
+        assert suggestions
+        assert any("housed in" in s.text for s in suggestions)
+
+    def test_exact_answers_no_rule_notes(self, paper_engine_fixture):
+        answers = paper_engine_fixture.ask("AlbertEinstein bornIn ?x")
+        assert paper_engine_fixture.suggester.rule_suggestions(answers) == []
+
+    def test_combined_suggest(self, paper_engine_fixture):
+        answers = paper_engine_fixture.ask(
+            "AlbertEinstein affiliation ?x ; ?x member IvyLeague"
+        )
+        suggestions = paper_engine_fixture.suggest(answers.query, answers)
+        assert suggestions
+        assert all(0 < s.score <= 1 for s in suggestions)

@@ -1,0 +1,142 @@
+"""Unit tests for the term model."""
+
+import pytest
+from datetime import date
+
+from repro.core.terms import Literal, Resource, TextToken, Variable, term_from_text
+from repro.errors import TermError
+
+
+class TestResource:
+    def test_basic(self):
+        r = Resource("AlbertEinstein")
+        assert r.kind == "resource"
+        assert r.lexical() == "AlbertEinstein"
+        assert r.n3() == "AlbertEinstein"
+        assert r.is_constant and not r.is_variable
+
+    def test_rejects_empty(self):
+        with pytest.raises(TermError):
+            Resource("")
+
+    def test_rejects_whitespace(self):
+        with pytest.raises(TermError):
+            Resource("Albert Einstein")
+
+    def test_rejects_quotes(self):
+        with pytest.raises(TermError):
+            Resource("Al'bert")
+
+    def test_equality_and_hash(self):
+        assert Resource("A") == Resource("A")
+        assert hash(Resource("A")) == hash(Resource("A"))
+        assert Resource("A") != Resource("B")
+
+
+class TestLiteral:
+    def test_string(self):
+        lit = Literal("hello")
+        assert lit.datatype == "string"
+        assert lit.n3() == '"hello"'
+
+    def test_integer(self):
+        assert Literal(42).datatype == "integer"
+
+    def test_double(self):
+        assert Literal(2.5).datatype == "double"
+
+    def test_date(self):
+        lit = Literal(date(1879, 3, 14))
+        assert lit.datatype == "date"
+        assert lit.lexical() == "1879-03-14"
+
+    def test_rejects_bool(self):
+        with pytest.raises(TermError):
+            Literal(True)
+
+    def test_rejects_none(self):
+        with pytest.raises(TermError):
+            Literal(None)
+
+
+class TestTextToken:
+    def test_normalisation_is_identity(self):
+        a = TextToken("Won a NOBEL for")
+        b = TextToken("won  a nobel for")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.norm == "won a nobel for"
+
+    def test_rejects_empty(self):
+        with pytest.raises(TermError):
+            TextToken("   ")
+
+    def test_rejects_punctuation_only(self):
+        with pytest.raises(TermError):
+            TextToken("...")
+
+    def test_match_key_predicate_mode(self):
+        token = TextToken("was born in")
+        assert token.match_key(predicate=True) == ("born", "in")
+
+    def test_n3_quoting(self):
+        assert TextToken("housed in").n3() == "'housed in'"
+
+    def test_not_equal_to_resource(self):
+        assert TextToken("ulm") != Resource("ulm")
+
+
+class TestVariable:
+    def test_basic(self):
+        v = Variable("x")
+        assert v.is_variable
+        assert v.n3() == "?x"
+
+    def test_rejects_empty(self):
+        with pytest.raises(TermError):
+            Variable("")
+
+    def test_rejects_punctuation(self):
+        with pytest.raises(TermError):
+            Variable("x y")
+
+
+class TestOrdering:
+    def test_kind_rank(self):
+        terms = [Variable("v"), TextToken("tok"), Literal("lit"), Resource("Res")]
+        ordered = sorted(terms)
+        assert [t.kind for t in ordered] == ["resource", "literal", "token", "variable"]
+
+    def test_lexical_within_kind(self):
+        assert Resource("A") < Resource("B")
+
+
+class TestTermFromText:
+    def test_variable(self):
+        assert term_from_text("?x") == Variable("x")
+
+    def test_token(self):
+        assert term_from_text("'won nobel for'") == TextToken("won nobel for")
+
+    def test_resource(self):
+        assert term_from_text("AlbertEinstein") == Resource("AlbertEinstein")
+
+    def test_string_literal(self):
+        assert term_from_text('"hello world"') == Literal("hello world")
+
+    def test_date_literal_auto_typed(self):
+        lit = term_from_text('"1879-03-14"')
+        assert isinstance(lit, Literal)
+        assert lit.datatype == "date"
+
+    def test_int_literal_auto_typed(self):
+        assert term_from_text('"42"') == Literal(42)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TermError):
+            term_from_text("   ")
+
+    def test_roundtrip_through_n3(self):
+        for text in ["?x", "'housed in'", "AlbertEinstein", '"1921"']:
+            term = term_from_text(text)
+            assert term_from_text(term.n3()) == term

@@ -1,0 +1,115 @@
+"""Unit tests for triples, patterns, and provenance."""
+
+import pytest
+
+from repro.core.terms import Literal, Resource, TextToken, Variable
+from repro.core.triples import KG_PROVENANCE, Provenance, Triple, TriplePattern
+from repro.errors import TermError
+
+AE = Resource("AlbertEinstein")
+BORN = Resource("bornIn")
+ULM = Resource("Ulm")
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestTriple:
+    def test_basic(self):
+        t = Triple(AE, BORN, ULM)
+        assert t.terms() == (AE, BORN, ULM)
+        assert t.n3() == "AlbertEinstein bornIn Ulm"
+
+    def test_rejects_variables(self):
+        with pytest.raises(TermError):
+            Triple(AE, BORN, X)
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TermError):
+            Triple(AE, "bornIn", ULM)
+
+    def test_token_triple_detection(self):
+        plain = Triple(AE, BORN, ULM)
+        token = Triple(AE, TextToken("lectured at"), ULM)
+        assert not plain.is_token_triple
+        assert token.is_token_triple
+
+    def test_equality_ignores_nothing(self):
+        assert Triple(AE, BORN, ULM) == Triple(AE, BORN, ULM)
+
+
+class TestProvenance:
+    def test_kg_provenance(self):
+        assert KG_PROVENANCE.is_kg
+        assert "KG" in KG_PROVENANCE.describe()
+
+    def test_extraction_provenance(self):
+        p = Provenance("openie", "doc-1", "Some sentence", "reverb")
+        assert p.is_extraction
+        description = p.describe()
+        assert "doc-1" in description
+        assert "reverb" in description
+        assert "Some sentence" in description
+
+
+class TestTriplePattern:
+    def test_variables_in_order(self):
+        pattern = TriplePattern(Y, BORN, X)
+        assert pattern.variables() == (Y, X)
+
+    def test_repeated_variable_counted_once(self):
+        pattern = TriplePattern(X, BORN, X)
+        assert pattern.variables() == (X,)
+
+    def test_fully_bound(self):
+        assert TriplePattern(AE, BORN, ULM).is_fully_bound
+
+    def test_unconstrained(self):
+        assert TriplePattern(X, Y, Z).is_unconstrained
+
+    def test_has_token(self):
+        assert TriplePattern(X, TextToken("born in"), ULM).has_token
+        assert not TriplePattern(X, BORN, ULM).has_token
+
+    def test_matches_exact(self):
+        pattern = TriplePattern(X, BORN, ULM)
+        assert pattern.matches(Triple(AE, BORN, ULM))
+        assert not pattern.matches(Triple(AE, BORN, Resource("Munich")))
+
+    def test_bind_returns_binding(self):
+        pattern = TriplePattern(X, BORN, Y)
+        binding = pattern.bind(Triple(AE, BORN, ULM))
+        assert binding == {X: AE, Y: ULM}
+
+    def test_bind_repeated_variable_consistency(self):
+        pattern = TriplePattern(X, Resource("knows"), X)
+        same = Triple(AE, Resource("knows"), AE)
+        different = Triple(AE, Resource("knows"), ULM)
+        assert pattern.bind(same) == {X: AE}
+        assert pattern.bind(different) is None
+
+    def test_bind_constant_mismatch(self):
+        pattern = TriplePattern(AE, BORN, Y)
+        assert pattern.bind(Triple(ULM, BORN, ULM)) is None
+
+    def test_substitute(self):
+        pattern = TriplePattern(X, BORN, Y)
+        result = pattern.substitute({X: AE})
+        assert result == TriplePattern(AE, BORN, Y)
+
+    def test_substitute_leaves_unbound(self):
+        pattern = TriplePattern(X, BORN, Y)
+        assert pattern.substitute({}) == pattern
+
+    def test_rename_variables(self):
+        pattern = TriplePattern(X, BORN, Y)
+        renamed = pattern.rename_variables({"x": "a"})
+        assert renamed == TriplePattern(Variable("a"), BORN, Y)
+
+    def test_signature(self):
+        assert TriplePattern(AE, BORN, X).signature() == "s_p"
+        assert TriplePattern(X, BORN, Y).signature() == "p"
+        assert TriplePattern(X, Y, Z).signature() == "scan"
+        assert TriplePattern(AE, BORN, ULM).signature() == "s_p_o"
+
+    def test_pattern_with_literal(self):
+        pattern = TriplePattern(AE, Resource("bornOn"), Literal("1879-03-14"))
+        assert pattern.is_fully_bound

@@ -1,0 +1,52 @@
+"""Unit tests for auto-completion."""
+
+import pytest
+
+from repro.demo.autocomplete import AutoCompleter
+
+
+@pytest.fixture(scope="module")
+def completer(paper_store_fixture):
+    return AutoCompleter(paper_store_fixture)
+
+
+class TestResourceCompletion:
+    def test_prefix(self, completer):
+        assert "AlbertEinstein" in completer.complete_resource("Alb")
+
+    def test_case_insensitive(self, completer):
+        assert "AlbertEinstein" in completer.complete_resource("alb")
+
+    def test_limit(self, completer):
+        assert len(completer.complete_resource("", limit=3)) == 3
+
+    def test_no_match(self, completer):
+        assert completer.complete_resource("Zzz") == []
+
+    def test_sorted(self, completer):
+        results = completer.complete_resource("")
+        assert results == sorted(results)
+
+
+class TestPhraseCompletion:
+    def test_phrase_prefix(self, completer):
+        assert "housed in" in completer.complete_phrase("hou")
+
+    def test_word_level_fallback(self, completer):
+        # 'nobel' is not a phrase prefix but occurs inside one.
+        assert any("nobel" in p for p in completer.complete_phrase("nobel"))
+
+    def test_empty_prefix_lists_phrases(self, completer):
+        assert completer.complete_phrase("", limit=2)
+
+
+class TestFieldCompletion:
+    def test_variable_no_completion(self, completer):
+        assert completer.complete("?x") == []
+
+    def test_quote_routes_to_phrases(self, completer):
+        results = completer.complete("'housed")
+        assert "'housed in'" in results
+
+    def test_bareword_routes_to_resources(self, completer):
+        assert "AlbertEinstein" in completer.complete("Albert")

@@ -1,0 +1,56 @@
+"""Unit tests for the trinit CLI."""
+
+import pytest
+
+from repro.demo.cli import main
+
+
+class TestCli:
+    def test_query_mode(self, capsys):
+        code = main(["--query", "AlbertEinstein bornIn ?x"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ulm" in out
+
+    def test_explain_flag(self, capsys):
+        code = main(
+            [
+                "--query",
+                "AlbertEinstein affiliation ?x ; ?x member IvyLeague",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Answer Explanation" in out
+        assert "housed in" in out
+
+    def test_suggest_flag(self, capsys):
+        code = main(["--query", "?x 'born in' Ulm", "--suggest"])
+        assert code == 0
+        assert "Query Suggestions" in capsys.readouterr().out
+
+    def test_rule_flag(self, capsys):
+        code = main(
+            [
+                "--query",
+                "AlbertEinstein worksAt ?x",
+                "--rule",
+                "?x worksAt ?y => ?x affiliation ?y @ 0.5",
+            ]
+        )
+        assert code == 0
+        assert "IAS" in capsys.readouterr().out
+
+    def test_k_flag(self, capsys):
+        code = main(["--query", "?x type ?y", "--k", "2"])
+        assert code == 0
+
+    def test_no_query_prints_help(self, capsys):
+        code = main([])
+        assert code == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--dataset", "mars", "--query", "?x p ?y"])

@@ -1,0 +1,57 @@
+"""Unit tests for the Figure 5/6 screen renderings."""
+
+import pytest
+
+from repro.demo.interface import DemoSession
+from repro.kg.paper_example import paper_engine
+
+
+@pytest.fixture()
+def session():
+    return DemoSession(paper_engine())
+
+
+class TestQueryScreen:
+    def test_renders_patterns_and_answers(self, session):
+        screen = session.render_query_screen(
+            "AlbertEinstein affiliation ?x ; ?x member IvyLeague"
+        )
+        assert "Query Interface" in screen
+        assert "affiliation" in screen
+        assert "PrincetonUniversity" in screen
+
+    def test_relaxed_answers_marked(self, session):
+        screen = session.render_query_screen(
+            "AlbertEinstein affiliation ?x ; ?x member IvyLeague"
+        )
+        assert "1.*" in screen  # the relaxation marker
+
+    def test_empty_results_rendered(self, session):
+        screen = session.render_query_screen("?x bornIn Atlantis")
+        assert "(no answers)" in screen
+
+    def test_user_rules_listed(self, session):
+        session.add_user_rule("?x worksAt ?y => ?x affiliation ?y @ 0.5")
+        screen = session.render_query_screen("AlbertEinstein worksAt ?x")
+        assert "worksAt" in screen
+        assert "IAS" in screen
+
+    def test_deterministic(self, session):
+        q = "AlbertEinstein affiliation ?x ; ?x member IvyLeague"
+        assert session.render_query_screen(q) == session.render_query_screen(q)
+
+
+class TestExplanationScreen:
+    def test_renders_provenance(self, session):
+        answers = session.run("AlbertEinstein affiliation ?x ; ?x member IvyLeague")
+        screen = session.render_explanation_screen(answers.top(), answers.query)
+        assert "Answer Explanation" in screen
+        assert "housed in" in screen
+
+
+class TestSuggestionScreen:
+    def test_renders(self, session):
+        session.run("?x 'born in' Ulm")
+        screen = session.render_suggestion_screen("?x 'born in' Ulm")
+        assert "Query Suggestions" in screen
+        assert "bornIn" in screen

@@ -1,0 +1,114 @@
+"""Unit tests for the 70-query benchmark generator."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.eval.benchmark import (
+    QUERY_CLASSES,
+    BenchmarkConfig,
+    generate_benchmark,
+    user_alias_rules,
+)
+from repro.kg.world import World, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.generate(WorldConfig(num_people=120, seed=3))
+
+
+@pytest.fixture(scope="module")
+def bench70(world):
+    return generate_benchmark(world, BenchmarkConfig(queries_per_class=10))
+
+
+class TestShape:
+    def test_seventy_queries(self, bench70):
+        assert len(bench70) == 70
+
+    def test_all_classes_present(self, bench70):
+        assert set(bench70.classes()) == set(QUERY_CLASSES)
+        for query_class in QUERY_CLASSES:
+            assert len(bench70.of_class(query_class)) == 10
+
+    def test_qids_unique(self, bench70):
+        qids = [q.qid for q in bench70]
+        assert len(set(qids)) == len(qids)
+
+    def test_deterministic(self, world):
+        a = generate_benchmark(world, BenchmarkConfig(queries_per_class=5))
+        b = generate_benchmark(world, BenchmarkConfig(queries_per_class=5))
+        assert [q.text for q in a] == [q.text for q in b]
+
+    def test_different_seed_differs(self, world):
+        a = generate_benchmark(world, BenchmarkConfig(seed=1, queries_per_class=10))
+        b = generate_benchmark(world, BenchmarkConfig(seed=2, queries_per_class=10))
+        assert [q.text for q in a] != [q.text for q in b]
+
+
+class TestQueries:
+    def test_all_parse(self, bench70):
+        for query in bench70:
+            parsed = query.parse()
+            assert query.target_variable in parsed.variables()
+
+    def test_every_query_answerable(self, bench70):
+        for query in bench70:
+            assert query.judgments.num_relevant >= 1
+
+    def test_misnomer_predicates_outside_kg_vocabulary(self, bench70):
+        kg_predicates = {
+            "bornIn", "bornOnDate", "diedIn", "citizenOf", "affiliation",
+            "graduatedFrom", "hasStudent", "wonPrize", "marriedTo",
+            "locatedIn", "member", "inField", "researchArea", "type",
+            "subclassOf",
+        }
+        for query in bench70.of_class("misnomer"):
+            parsed = query.parse()
+            predicates = {
+                p.p.lexical() for p in parsed.patterns if p.p.is_constant
+            }
+            assert not predicates & kg_predicates
+
+    def test_join_queries_multi_pattern(self, bench70):
+        for query in bench70.of_class("join"):
+            assert len(query.parse().patterns) >= 2
+
+    def test_synonym_queries_use_tokens(self, bench70):
+        for query in bench70.of_class("synonym"):
+            assert query.parse().has_token
+
+    def test_granularity_targets_countries(self, world, bench70):
+        country_ids = {c.id for c in world.countries}
+        for query in bench70.of_class("granularity"):
+            constants = {
+                t.lexical()
+                for p in query.parse().patterns
+                for t in p.terms()
+                if t.is_constant
+            }
+            assert constants & country_ids
+
+    def test_judgments_match_world(self, world, bench70):
+        """Spot-check: direct bornIn queries grade exactly the world set."""
+        for query in bench70.of_class("direct"):
+            if "bornIn" not in query.text:
+                continue
+            city = query.text.split()[-1]
+            expected = set(world.subjects_of("bornInCity", city))
+            graded = {
+                entity
+                for entity, grade in query.judgments.entities.items()
+                if grade >= 3.0
+            }
+            assert graded == expected
+
+
+class TestAliasRules:
+    def test_alias_rules_well_formed(self):
+        rules = user_alias_rules()
+        assert rules
+        assert all(0 < r.weight <= 1 for r in rules)
+        names = {r.original[0].p.lexical() for r in rules}
+        assert "hasAdvisor" in names
+        assert "worksFor" in names

@@ -1,0 +1,66 @@
+"""Unit tests for the evaluation harness and scale profiles."""
+
+import pytest
+
+from repro.eval.harness import SCALE_PROFILES, EvalHarness, HarnessConfig
+from repro.kg.world import WorldConfig
+from repro.openie.corpus import CorpusConfig
+
+
+class TestProfiles:
+    def test_all_profiles_defined(self):
+        assert set(SCALE_PROFILES) == {"tiny", "small", "medium", "large"}
+
+    def test_profiles_scale_monotonically(self):
+        sizes = [
+            SCALE_PROFILES[name].world.num_people
+            for name in ("tiny", "small", "medium", "large")
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_string_construction(self):
+        harness = EvalHarness("tiny")
+        assert harness.config.world.num_people == 60
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            EvalHarness("galactic")
+
+
+class TestCaching:
+    def test_components_cached(self, tiny_harness):
+        assert tiny_harness.world is tiny_harness.world
+        assert tiny_harness.xkg_store is tiny_harness.xkg_store
+        assert tiny_harness.engine is tiny_harness.engine
+
+    def test_kg_store_distinct_from_xkg(self, tiny_harness):
+        assert tiny_harness.kg_store is not tiny_harness.xkg_store
+        assert len(tiny_harness.kg_store) < len(tiny_harness.xkg_store)
+
+    def test_all_systems_have_unique_names(self, tiny_harness):
+        names = [s.name for s in tiny_harness.all_systems()]
+        assert len(set(names)) == len(names)
+        assert "trinit" in names
+
+    def test_ablation_systems_have_unique_names(self, tiny_harness):
+        names = [s.name for s in tiny_harness.ablation_systems()]
+        assert len(set(names)) == len(names)
+        assert len(names) == 5
+
+
+class TestEngineSetup:
+    def test_engine_has_granularity_rules(self, tiny_harness):
+        labels = [r.label for r in tiny_harness.engine.rules]
+        assert any("granularity" in label for label in labels)
+
+    def test_engine_has_alias_rules(self, tiny_harness):
+        origins = {r.origin for r in tiny_harness.engine.rules}
+        assert "paraphrase" in origins
+
+    def test_custom_config(self):
+        config = HarnessConfig(
+            world=WorldConfig(num_people=15, seed=99),
+            corpus=CorpusConfig(num_popularity_documents=5),
+        )
+        harness = EvalHarness(config)
+        assert len(harness.world.people) == 15

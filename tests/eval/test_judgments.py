@@ -1,0 +1,54 @@
+"""Unit tests for world-derived judgments."""
+
+import pytest
+
+from repro.core.terms import Resource, TextToken
+from repro.eval.judgments import GRADE_EXACT, GRADE_NEAR, Judgments
+from repro.kg.world import World, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.generate(WorldConfig(num_people=30, seed=3))
+
+
+class TestJudgments:
+    def test_grade_by_entity_id(self, world):
+        person = world.people[0]
+        judgments = Judgments()
+        judgments.add(world, person.id, GRADE_EXACT)
+        assert judgments.grade(Resource(person.id)) == GRADE_EXACT
+
+    def test_grade_by_surface_token(self, world):
+        """A TextToken answer carrying the surface form counts."""
+        person = world.people[0]
+        judgments = Judgments()
+        judgments.add(world, person.id, GRADE_EXACT)
+        assert judgments.grade(TextToken(person.surface)) == GRADE_EXACT
+
+    def test_irrelevant_term_zero(self, world):
+        judgments = Judgments()
+        judgments.add(world, world.people[0].id, GRADE_EXACT)
+        assert judgments.grade(Resource("SomeoneElse")) == 0.0
+
+    def test_higher_grade_wins(self, world):
+        person = world.people[0]
+        judgments = Judgments()
+        judgments.add(world, person.id, GRADE_NEAR)
+        judgments.add(world, person.id, GRADE_EXACT)
+        judgments.add(world, person.id, GRADE_NEAR)
+        assert judgments.grade(Resource(person.id)) == GRADE_EXACT
+
+    def test_positive_gains_one_per_entity(self, world):
+        judgments = Judgments()
+        judgments.add(world, world.people[0].id, GRADE_EXACT)
+        judgments.add(world, world.people[1].id, GRADE_NEAR)
+        gains = judgments.positive_gains()
+        assert sorted(gains, reverse=True) == [GRADE_EXACT, GRADE_NEAR]
+        assert judgments.num_relevant == 2
+        assert judgments.num_exact == 1
+
+    def test_literal_values_judgeable(self, world):
+        judgments = Judgments()
+        judgments.add(world, "1879-03-14", GRADE_EXACT)
+        assert judgments.grade(TextToken("1879-03-14")) == GRADE_EXACT

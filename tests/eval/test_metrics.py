@@ -1,0 +1,94 @@
+"""Unit tests for ranking metrics."""
+
+import math
+
+import pytest
+
+from repro.eval.metrics import (
+    average_precision,
+    dcg,
+    mean,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+
+class TestDcg:
+    def test_single_item(self):
+        assert dcg([3]) == pytest.approx((2**3 - 1) / math.log2(2))
+
+    def test_discounting(self):
+        # The same gain is worth less at a later rank.
+        assert dcg([0, 3]) < dcg([3, 0])
+
+    def test_k_truncation(self):
+        assert dcg([3, 3, 3], k=1) == dcg([3])
+
+    def test_zero_gains(self):
+        assert dcg([0, 0, 0]) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_ranking(self):
+        assert ndcg_at_k([3, 1], [3, 1], 5) == pytest.approx(1.0)
+
+    def test_perfect_despite_missing_tail_beyond_k(self):
+        assert ndcg_at_k([3], [3], 5) == pytest.approx(1.0)
+
+    def test_reversed_ranking_below_one(self):
+        assert ndcg_at_k([1, 3], [3, 1], 5) < 1.0
+
+    def test_relevant_at_rank_out_of_k(self):
+        assert ndcg_at_k([0, 3], [3], 1) == 0.0
+
+    def test_no_relevant_at_all(self):
+        assert ndcg_at_k([0, 0], [], 5) == 0.0
+
+    def test_graded_preference(self):
+        # Placing the higher grade first must score strictly better.
+        better = ndcg_at_k([3, 1], [3, 1], 5)
+        worse = ndcg_at_k([1, 3], [3, 1], 5)
+        assert better > worse
+
+    def test_bounded(self):
+        assert 0.0 <= ndcg_at_k([1, 0, 3], [3, 1, 1], 5) <= 1.0
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        assert precision_at_k([3, 0, 1, 0, 0], 5) == pytest.approx(0.4)
+
+    def test_precision_counts_missing_ranks_as_misses(self):
+        assert precision_at_k([3], 5) == pytest.approx(0.2)
+
+    def test_precision_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], 0)
+
+    def test_recall_at_k(self):
+        assert recall_at_k([3, 0, 1], 4, 3) == pytest.approx(0.5)
+
+    def test_recall_no_relevant(self):
+        assert recall_at_k([0], 0, 5) == 0.0
+
+
+class TestMapMrr:
+    def test_average_precision(self):
+        # Relevant at ranks 1 and 3, two relevant total.
+        expected = (1 / 1 + 2 / 3) / 2
+        assert average_precision([1, 0, 1], 2) == pytest.approx(expected)
+
+    def test_average_precision_counts_unretrieved(self):
+        assert average_precision([1], 2) == pytest.approx(0.5)
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank([0, 0, 2]) == pytest.approx(1 / 3)
+
+    def test_reciprocal_rank_none(self):
+        assert reciprocal_rank([0, 0]) == 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0

@@ -1,0 +1,104 @@
+"""Unit tests for the evaluation runner."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.core.terms import Resource, Term, Variable
+from repro.eval.benchmark import Benchmark, BenchmarkQuery
+from repro.eval.judgments import GRADE_EXACT, Judgments
+from repro.eval.runner import evaluate_systems, run_query
+from repro.kg.world import World, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.generate(WorldConfig(num_people=20, seed=3))
+
+
+def make_query(world, answers):
+    judgments = Judgments()
+    for answer in answers:
+        judgments.add(world, answer, GRADE_EXACT)
+    return BenchmarkQuery(
+        qid="q1",
+        query_class="direct",
+        text=f"?x bornIn {world.cities[0].id}",
+        target="x",
+        intent="test",
+        judgments=judgments,
+    )
+
+
+class PerfectSystem:
+    name = "perfect"
+
+    def __init__(self, answers):
+        self._answers = answers
+
+    def rank(self, query, target, k):
+        return [Resource(a) for a in self._answers[:k]]
+
+
+class EmptySystem:
+    name = "empty"
+
+    def rank(self, query, target, k):
+        return []
+
+
+class CrashingSystem:
+    name = "crashing"
+
+    def rank(self, query, target, k):
+        raise RuntimeError("boom")
+
+
+class TestRunQuery:
+    def test_perfect_scores_one(self, world):
+        answers = [world.people[0].id, world.people[1].id]
+        query = make_query(world, answers)
+        result = run_query(PerfectSystem(answers), query, k=10)
+        assert result.gains[:2] == [GRADE_EXACT, GRADE_EXACT]
+        assert result.ndcg5 == pytest.approx(1.0)
+
+    def test_empty_scores_zero(self, world):
+        query = make_query(world, [world.people[0].id])
+        result = run_query(EmptySystem(), query, k=10)
+        assert result.ndcg5 == 0.0
+
+    def test_crash_scores_zero_not_fatal(self, world):
+        query = make_query(world, [world.people[0].id])
+        result = run_query(CrashingSystem(), query, k=10)
+        assert result.gains == []
+
+
+class TestEvaluateSystems:
+    def test_report_aggregates(self, world):
+        answers = [world.people[0].id]
+        benchmark = Benchmark(queries=[make_query(world, answers)])
+        report = evaluate_systems(
+            [PerfectSystem(answers), EmptySystem()], benchmark, k=5
+        )
+        assert report.by_name("perfect").ndcg5 == pytest.approx(1.0)
+        assert report.by_name("empty").ndcg5 == 0.0
+
+    def test_render_table(self, world):
+        answers = [world.people[0].id]
+        benchmark = Benchmark(queries=[make_query(world, answers)])
+        report = evaluate_systems([PerfectSystem(answers)], benchmark)
+        table = report.render_table()
+        assert "NDCG@5" in table
+        assert "perfect" in table
+
+    def test_class_breakdown(self, world):
+        answers = [world.people[0].id]
+        benchmark = Benchmark(queries=[make_query(world, answers)])
+        report = evaluate_systems([PerfectSystem(answers)], benchmark)
+        breakdown = report.render_class_breakdown()
+        assert "direct" in breakdown
+
+    def test_unknown_system_raises(self, world):
+        benchmark = Benchmark(queries=[make_query(world, [world.people[0].id])])
+        report = evaluate_systems([EmptySystem()], benchmark)
+        with pytest.raises(KeyError):
+            report.by_name("ghost")

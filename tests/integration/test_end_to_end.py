@@ -1,0 +1,89 @@
+"""Integration tests over the generated pipeline (tiny profile)."""
+
+import pytest
+
+from repro.eval.runner import evaluate_systems
+
+
+class TestPipeline:
+    def test_xkg_larger_than_kg(self, tiny_harness):
+        report = tiny_harness.xkg_report
+        assert report.extension_triples > report.kg_triples * 0.5
+
+    def test_engine_has_mined_rules(self, tiny_harness):
+        origins = {rule.origin for rule in tiny_harness.engine.rules}
+        assert "mined-xkg" in origins
+        assert "paraphrase" in origins  # the alias repository
+        assert "structural" in origins  # inversions / granularity
+
+    def test_benchmark_generated(self, tiny_harness):
+        assert len(tiny_harness.benchmark) == 7 * 4  # tiny: 4 per class
+
+    def test_vocabulary_gap_query_answerable(self, tiny_harness):
+        world = tiny_harness.world
+        engine = tiny_harness.engine
+        fact = world.facts_of("lecturedAt")[0]
+        answers = engine.ask(f"{fact.subject} lecturedAt ?x", k=5)
+        found = {a.value("x").lexical() for a in answers}
+        assert fact.obj in found or world.entity(fact.obj).surface in {
+            f.lower() for f in found
+        }
+
+    def test_granularity_query_answerable(self, tiny_harness):
+        world = tiny_harness.world
+        country = world.countries[0]
+        cities = set(world.subjects_of("cityInCountry", country.id))
+        expected = {
+            person
+            for person, city in world.pairs("bornInCity")
+            if city in cities
+        }
+        answers = tiny_harness.engine.ask(f"?x bornIn {country.id}", k=10)
+        found = {a.value("x").lexical() for a in answers}
+        assert found & expected
+
+    def test_explanations_never_crash(self, tiny_harness):
+        engine = tiny_harness.engine
+        for query in list(tiny_harness.benchmark)[:10]:
+            answers = engine.ask(query.parse(), k=3)
+            for answer in answers:
+                assert engine.explain(answer).render()
+
+
+class TestEvaluationShape:
+    """The headline result's *shape* on the tiny profile: TriniT must beat
+    every baseline, and strict SPARQL must fail the mismatch classes."""
+
+    @pytest.fixture(scope="class")
+    def report(self, tiny_harness):
+        return evaluate_systems(
+            tiny_harness.all_systems(), tiny_harness.benchmark, k=10
+        )
+
+    def test_trinit_wins_overall(self, report):
+        trinit = report.by_name("trinit").ndcg5
+        for system in report.systems:
+            if system.name != "trinit":
+                assert trinit > system.ndcg5, system.name
+
+    def test_gap_is_large(self, report):
+        """Paper: 0.775 vs 0.419.  We require at least a 1.5× gap."""
+        trinit = report.by_name("trinit").ndcg5
+        best_baseline = max(
+            s.ndcg5 for s in report.systems if s.name != "trinit"
+        )
+        assert trinit > 1.5 * best_baseline
+
+    def test_strict_fails_mismatch_classes(self, report):
+        by_class = report.by_name("strict-sparql").ndcg5_by_class()
+        for query_class in ("synonym", "misnomer", "granularity", "incomplete"):
+            assert by_class.get(query_class, 0.0) == 0.0
+
+    def test_trinit_positive_everywhere(self, report):
+        by_class = report.by_name("trinit").ndcg5_by_class()
+        for query_class, score in by_class.items():
+            assert score > 0.0, query_class
+
+    def test_everyone_ok_on_direct(self, report):
+        for name in ("trinit", "strict-sparql", "qars-kg-relaxation"):
+            assert report.by_name(name).ndcg5_by_class()["direct"] > 0.5

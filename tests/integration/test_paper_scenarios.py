@@ -1,0 +1,139 @@
+"""Integration tests: the four Figure 2 user scenarios, end to end.
+
+These are the paper's motivating examples.  Each user's query fails (or is
+impossible) under strict KG evaluation; TriniT with the Figure 4 rules and
+the Figure 3 XKG extension answers all four.
+"""
+
+import pytest
+
+from repro.core.terms import Resource, TextToken
+from repro.kg.paper_example import paper_engine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return paper_engine()
+
+
+@pytest.fixture(scope="module")
+def strict(engine):
+    return engine.variant(
+        use_relaxation=False,
+        use_token_expansion=False,
+        unknown_resource_fallback=False,
+    )
+
+
+class TestUserA:
+    """'Who was born in Germany?' — KG stores birth *cities*."""
+
+    QUERY = "?x bornIn Germany"
+
+    def test_strict_fails(self, strict):
+        assert strict.ask(self.QUERY).is_empty
+
+    def test_trinit_answers(self, engine):
+        answers = engine.ask(self.QUERY)
+        assert answers.top().value("x") == Resource("AlbertEinstein")
+
+    def test_explanation_shows_granularity_chain(self, engine):
+        answers = engine.ask(self.QUERY)
+        rendered = engine.explain(answers.top(), answers.query).render()
+        assert "Ulm" in rendered           # the intermediate city
+        assert "locatedIn" in rendered
+        assert "Germany type country" in rendered  # the checked condition
+
+
+class TestUserB:
+    """'Who was the advisor of Albert Einstein?' — KG models hasStudent."""
+
+    QUERY = "AlbertEinstein hasAdvisor ?x"
+
+    def test_strict_fails(self, strict):
+        assert strict.ask(self.QUERY).is_empty
+
+    def test_trinit_answers(self, engine):
+        answers = engine.ask(self.QUERY)
+        assert answers.top().value("x") == Resource("AlfredKleiner")
+
+    def test_inversion_rule_in_derivation(self, engine):
+        answers = engine.ask(self.QUERY)
+        rules = answers.top().derivation.rules_used()
+        assert any("hasStudent" in rule.n3() for rule in rules)
+
+
+class TestUserC:
+    """'Ivy League university Einstein was affiliated with.' — IAS is only
+    *housed in* Princeton; the KG cannot connect them."""
+
+    QUERY = "SELECT ?x WHERE AlbertEinstein affiliation ?x ; ?x member IvyLeague"
+
+    def test_strict_fails(self, strict):
+        assert strict.ask(self.QUERY).is_empty
+
+    def test_trinit_answers_princeton(self, engine):
+        answers = engine.ask(self.QUERY)
+        assert answers.top().value("x") == Resource("PrincetonUniversity")
+
+    def test_explanation_matches_papers_narrative(self, engine):
+        """The paper: 'A more useful answer would be PrincetonUniversity
+        along with an explanation like the one above.'"""
+        answers = engine.ask(self.QUERY)
+        explanation = engine.explain(answers.top(), answers.query)
+        rendered = explanation.render()
+        assert "AlbertEinstein affiliation IAS" in rendered
+        assert "housed in" in rendered
+        assert explanation.used_xkg
+
+    def test_score_attenuated_by_rule_weight(self, engine):
+        answers = engine.ask(self.QUERY)
+        assert answers.top().score <= 0.8  # rule 3's weight caps it
+
+
+class TestUserD:
+    """'What did Albert Einstein win a Nobel prize for?' — no KG predicate
+    exists at all; only the XKG token triple knows.  (User D could not even
+    *formulate* a KG query; the extended language plus the XKG make the
+    information need expressible.)"""
+
+    QUERY = "AlbertEinstein 'won nobel for' ?x"
+
+    def test_kg_only_cannot_express(self):
+        from repro.core.engine import TriniT
+        from repro.kg.paper_example import paper_kg, paper_type_triples
+        from repro.storage.store import TripleStore
+
+        store = TripleStore("kg-only")
+        for triple in paper_kg() + paper_type_triples():
+            store.add(triple)
+        kg_only = TriniT(store.freeze())
+        assert kg_only.ask(self.QUERY).is_empty
+
+    def test_trinit_answers_from_xkg(self, engine):
+        answers = engine.ask(self.QUERY)
+        top = answers.top()
+        assert top.value("x") == TextToken("discovery of the photoelectric effect")
+
+    def test_answer_provenance_is_extraction(self, engine):
+        answers = engine.ask(self.QUERY)
+        explanation = engine.explain(answers.top())
+        assert explanation.used_xkg
+        assert not explanation.kg_triples
+
+
+class TestRanking:
+    def test_all_four_users_answered(self, engine):
+        queries = [
+            TestUserA.QUERY,
+            TestUserB.QUERY,
+            TestUserC.QUERY,
+            TestUserD.QUERY,
+        ]
+        for query in queries:
+            assert not engine.ask(query).is_empty, query
+
+    def test_exact_beats_relaxed_for_same_need(self, engine):
+        exact = engine.ask("AlbertEinstein affiliation ?x").top()
+        # IAS via exact match outranks Princeton via relaxation.
+        assert exact.value("x") == Resource("IAS")

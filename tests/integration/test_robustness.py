@@ -1,0 +1,127 @@
+"""Failure injection: the engine must degrade gracefully, never crash.
+
+Noisy extractions, adversarial rule sets (cycles, self-references, weight
+extremes), garbage queries, and hostile text inputs — the error paths a
+production system meets on day one.
+"""
+
+import pytest
+
+from repro.core.engine import TriniT
+from repro.core.parser import parse_query, parse_rule
+from repro.core.terms import Resource, TextToken
+from repro.core.triples import Provenance, Triple
+from repro.errors import ParseError, TrinitError
+from repro.relax.rules import RuleSet
+from repro.storage.store import TripleStore
+from repro.topk.processor import ProcessorConfig, TopKProcessor
+
+
+@pytest.fixture(scope="module")
+def noisy_engine():
+    """A store polluted with junk extractions alongside real facts."""
+    store = TripleStore()
+    store.add(Triple(Resource("Ada"), Resource("bornIn"), Resource("London")))
+    store.add(Triple(Resource("Ada"), Resource("affiliation"), Resource("RoyalSociety")))
+    junk = Provenance("openie", "spam-doc", "junk", "reverb")
+    for i in range(50):
+        store.add(
+            Triple(
+                TextToken(f"garbled phrase {i}"),
+                TextToken("click here for"),
+                TextToken(f"amazing deal {i}"),
+            ),
+            junk,
+            confidence=0.06,
+        )
+    store.add(
+        Triple(Resource("Ada"), TextToken("worked with"), Resource("Babbage")),
+        Provenance("openie", "doc-ok", "Ada worked with Babbage", "reverb"),
+        confidence=0.9,
+    )
+    return TriniT(store.freeze())
+
+
+class TestNoiseTolerance:
+    def test_real_facts_still_found(self, noisy_engine):
+        answers = noisy_engine.ask("Ada bornIn ?x")
+        assert answers.top().value("x") == Resource("London")
+
+    def test_noise_scores_below_signal(self, noisy_engine):
+        good = noisy_engine.ask("Ada 'worked with' ?x").top()
+        assert good.value("x") == Resource("Babbage")
+
+    def test_junk_queries_return_junk_not_crash(self, noisy_engine):
+        answers = noisy_engine.ask("?x 'click here for' ?y", k=5)
+        assert len(answers) == 5  # junk in, junk out — but ranked and scored
+        assert all(0 < a.score <= 1 for a in answers)
+
+
+class TestAdversarialRules:
+    def _engine_with_rules(self, *rule_texts):
+        store = TripleStore()
+        store.add(Triple(Resource("A"), Resource("p"), Resource("B")))
+        store.add(Triple(Resource("B"), Resource("q"), Resource("C")))
+        store.freeze()
+        rules = RuleSet(parse_rule(t) for t in rule_texts)
+        return TopKProcessor(store, rules=rules)
+
+    def test_rule_cycle_terminates(self):
+        processor = self._engine_with_rules(
+            "?x p ?y => ?x q ?y @ 0.9",
+            "?x q ?y => ?x p ?y @ 0.9",
+        )
+        answers = processor.query(parse_query("?x p ?y"), 10)
+        assert not answers.is_empty  # and we got here: no infinite loop
+
+    def test_self_inverse_rule_terminates(self):
+        processor = self._engine_with_rules("?x p ?y => ?y p ?x @ 0.9")
+        answers = processor.query(parse_query("?x p ?y"), 10)
+        assert len(answers) >= 1
+
+    def test_expanding_rule_chain_bounded(self):
+        processor = self._engine_with_rules(
+            "?x p ?y => ?x p ?z ; ?z q ?y @ 0.9",
+        )
+        answers = processor.query(parse_query("?x p ?y"), 10)
+        assert answers.stats.rewritings_enumerated <= 201  # max_rewrites + 1
+
+    def test_tiny_weights_pruned(self):
+        processor = self._engine_with_rules("?x p ?y => ?x q ?y @ 0.001")
+        answers = processor.query(parse_query("?x missing ?y"), 10)
+        assert answers.is_empty  # below min_cursor_multiplier / min weight
+
+
+class TestGarbageInputs:
+    @pytest.mark.parametrize(
+        "bad_query",
+        ["", "   ", "?x", "?x bornIn", "SELECT WHERE ?x p ?y",
+         "?x 'unclosed phrase", "?x p ?y LIMIT zero"],
+    )
+    def test_bad_queries_raise_parse_error(self, noisy_engine, bad_query):
+        with pytest.raises(ParseError):
+            noisy_engine.ask(bad_query)
+
+    def test_whitespace_token_rejected(self, noisy_engine):
+        with pytest.raises(TrinitError):
+            noisy_engine.ask("?x '   ' ?y")
+
+    def test_unicode_text_handled(self):
+        from repro.openie.reverb import ReverbExtractor
+
+        extractor = ReverbExtractor()
+        # Must not crash on non-ASCII or odd whitespace.
+        for text in ("Einstein wön a Nobel", "  \t ", "Ω λ π", "a" * 5000):
+            extractor.extract(text)
+
+    def test_giant_k_is_fine(self, noisy_engine):
+        answers = noisy_engine.ask("?x bornIn ?y", k=10_000)
+        assert len(answers) >= 1
+
+
+class TestEmptyStore:
+    def test_empty_store_engine(self):
+        engine = TriniT(TripleStore().freeze())
+        answers = engine.ask("?x p ?y")
+        assert answers.is_empty
+        assert engine.suggest("?x 'anything' ?y") == []

@@ -1,0 +1,96 @@
+"""Unit tests for the KG sampler (incompleteness structure)."""
+
+import pytest
+
+from repro.core.terms import Resource
+from repro.core.triples import TriplePattern, Variable
+from repro.kg.generator import DEFAULT_MAPPINGS, KgConfig, KgGenerator, RelationMapping
+from repro.kg.world import World, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.generate(WorldConfig(num_people=80, seed=3))
+
+
+@pytest.fixture(scope="module")
+def kg(world):
+    return KgGenerator(world).generate()
+
+
+class TestSampling:
+    def test_deterministic(self, world):
+        a = KgGenerator(world).generate()
+        b = KgGenerator(world).generate()
+        assert [t.n3() for t in a.triples] == [t.n3() for t in b.triples]
+
+    def test_vocabulary_gaps_absent(self, kg):
+        predicates = {t.p.lexical() for t in kg.triples}
+        for relation in ("lecturedAt", "housedIn", "prizeFor", "collaboratedWith"):
+            assert kg.predicate_for(relation) is None
+        assert "lecturedAt" not in predicates
+
+    def test_coverage_roughly_respected(self, kg):
+        for relation, mapping in DEFAULT_MAPPINGS.items():
+            if mapping.predicate is None:
+                assert kg.coverage_of(relation) == 0.0
+                continue
+            realized = kg.coverage_of(relation)
+            assert abs(realized - mapping.coverage) < 0.2
+
+    def test_inverted_relation_stored_flipped(self, kg, world):
+        student, advisor = next(iter(world.pairs("hasAdvisor")))
+        kept = {
+            (t.s.lexical(), t.o.lexical())
+            for t in kg.triples
+            if t.p == Resource("hasStudent")
+        }
+        # Every stored hasStudent edge must be a flipped world hasAdvisor.
+        world_flipped = {(a, s) for s, a in world.pairs("hasAdvisor")}
+        assert kept <= world_flipped
+
+    def test_type_triples_present(self, kg, world):
+        typed = {
+            t.s.lexical()
+            for t in kg.triples
+            if t.p == Resource("type")
+        }
+        assert len(typed) >= 0.9 * len(world.entities)
+
+    def test_subclass_triples_present(self, kg):
+        rendered = {t.n3() for t in kg.triples}
+        assert "physicist subclassOf scientist" in rendered
+
+    def test_dropped_facts_recorded(self, kg):
+        for relation in ("lecturedAt", "housedIn"):
+            assert kg.dropped_facts[relation]
+
+    def test_store_roundtrip(self, kg):
+        store = kg.store()
+        assert store.is_frozen
+        assert len(store) == len(set(kg.triples))
+
+    def test_store_queryable(self, kg, world):
+        store = kg.store()
+        x, y = Variable("x"), Variable("y")
+        matches = store.matches(TriplePattern(x, Resource("bornIn"), y))
+        assert matches
+        # Every stored bornIn fact is world-true.
+        for record in matches:
+            assert world.holds(
+                "bornInCity", record.triple.s.lexical(), record.triple.o.lexical()
+            )
+
+
+class TestCustomMappings:
+    def test_full_coverage_config(self, world):
+        mappings = dict(DEFAULT_MAPPINGS)
+        mappings["worksAt"] = RelationMapping("affiliation", 1.0)
+        kg = KgGenerator(world, KgConfig(mappings=mappings)).generate()
+        assert kg.coverage_of("worksAt") == 1.0
+
+    def test_inverting_literal_relation_rejected(self, world):
+        mappings = dict(DEFAULT_MAPPINGS)
+        mappings["bornOnDate"] = RelationMapping("bornOn", 1.0, inverted=True)
+        with pytest.raises(ValueError):
+            KgGenerator(world, KgConfig(mappings=mappings)).generate()

@@ -1,0 +1,44 @@
+"""Unit tests for deterministic name generation."""
+
+from repro.kg.names import NameFactory, to_camel
+from repro.util.rand import SeededRng
+
+
+class TestToCamel:
+    def test_basic(self):
+        assert to_camel("albert einstein") == "AlbertEinstein"
+
+    def test_multiword(self):
+        assert to_camel("brenford state university") == "BrenfordStateUniversity"
+
+
+class TestNameFactory:
+    def test_deterministic(self):
+        a = NameFactory(SeededRng(5))
+        b = NameFactory(SeededRng(5))
+        assert [a.person() for _ in range(10)] == [b.person() for _ in range(10)]
+
+    def test_uniqueness_under_collisions(self):
+        factory = NameFactory(SeededRng(5))
+        names = [factory.city() for _ in range(300)]
+        camels = [to_camel(n) for n in names]
+        assert len(set(camels)) == len(camels)
+
+    def test_person_has_two_parts(self):
+        factory = NameFactory(SeededRng(5))
+        assert len(factory.person().split()) >= 2
+
+    def test_org_names_avoid_prepositions(self):
+        factory = NameFactory(SeededRng(5))
+        for _ in range(20):
+            for name in (factory.university("Testcity"), factory.institute("test field")):
+                words = set(name.lower().split())
+                assert not words & {"of", "for"}
+
+    def test_university_mentions_city(self):
+        factory = NameFactory(SeededRng(5))
+        assert "testcity" in factory.university("testcity").lower()
+
+    def test_prize_mentions_field(self):
+        factory = NameFactory(SeededRng(5))
+        assert "optics" in factory.prize("applied optics")

@@ -1,0 +1,53 @@
+"""Unit tests for the class taxonomy."""
+
+from repro.core.terms import Resource
+from repro.kg.taxonomy import PERSON_LEAF_CLASSES, Taxonomy
+
+
+class TestTaxonomy:
+    def test_all_person_leaves_reach_person(self):
+        taxonomy = Taxonomy()
+        for leaf in PERSON_LEAF_CLASSES:
+            assert taxonomy.is_subclass(leaf, "person")
+            assert taxonomy.is_subclass(leaf, "entity")
+
+    def test_reflexive(self):
+        taxonomy = Taxonomy()
+        assert taxonomy.is_subclass("city", "city")
+
+    def test_not_subclass_sideways(self):
+        taxonomy = Taxonomy()
+        assert not taxonomy.is_subclass("city", "organization")
+        assert not taxonomy.is_subclass("person", "physicist")  # no downcast
+
+    def test_ancestors_transitive(self):
+        taxonomy = Taxonomy()
+        ancestors = taxonomy.ancestors("physicist")
+        assert {"scientist", "person", "entity"} <= ancestors
+
+    def test_parents_direct_only(self):
+        taxonomy = Taxonomy()
+        assert taxonomy.parents("physicist") == {"scientist"}
+
+    def test_contains(self):
+        taxonomy = Taxonomy()
+        assert "city" in taxonomy
+        assert "starship" not in taxonomy
+
+    def test_subclass_triples_shape(self):
+        taxonomy = Taxonomy()
+        triples = taxonomy.subclass_triples()
+        assert all(t.p == Resource("subclassOf") for t in triples)
+        rendered = {t.n3() for t in triples}
+        assert "physicist subclassOf scientist" in rendered
+
+    def test_type_closure_excludes_root(self):
+        taxonomy = Taxonomy()
+        closure = taxonomy.type_closure("physicist")
+        assert closure[0] == "physicist"
+        assert "entity" not in closure
+        assert "scientist" in closure
+
+    def test_classes_sorted(self):
+        taxonomy = Taxonomy()
+        assert taxonomy.classes() == sorted(taxonomy.classes())

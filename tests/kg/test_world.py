@@ -1,0 +1,122 @@
+"""Unit tests for the hidden world model."""
+
+import pytest
+
+from repro.kg.world import World, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.generate(WorldConfig(num_people=80, seed=3))
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = World.generate(WorldConfig(num_people=40, seed=9))
+        b = World.generate(WorldConfig(num_people=40, seed=9))
+        assert [f.relation + f.subject + f.obj for f in a.facts] == [
+            f.relation + f.subject + f.obj for f in b.facts
+        ]
+
+    def test_different_seeds_differ(self):
+        a = World.generate(WorldConfig(num_people=40, seed=1))
+        b = World.generate(WorldConfig(num_people=40, seed=2))
+        assert {e.id for e in a.people} != {e.id for e in b.people}
+
+    def test_sizes_respected(self, world):
+        config = world.config
+        assert len(world.people) == config.num_people
+        assert len(world.countries) == config.num_countries
+        assert len(world.universities) == config.num_universities
+
+    def test_entity_ids_unique(self, world):
+        assert len(world.entities) == len(
+            world.people
+        ) + len(world.cities) + len(world.countries) + len(
+            world.universities
+        ) + len(world.institutes) + len(world.companies) + len(
+            world.fields
+        ) + len(world.prizes) + len(world.groups)
+
+
+class TestInvariants:
+    def test_every_city_in_exactly_one_country(self, world):
+        for city in world.cities:
+            assert len(world.objects_of("cityInCountry", city.id)) == 1
+
+    def test_every_person_born_somewhere(self, world):
+        for person in world.people:
+            cities = world.objects_of("bornInCity", person.id)
+            assert len(cities) == 1
+            assert world.entities[cities[0]].kind == "city"
+
+    def test_nationality_matches_birth_city(self, world):
+        for person in world.people:
+            city = world.objects_of("bornInCity", person.id)[0]
+            country = world.objects_of("cityInCountry", city)[0]
+            assert world.objects_of("nationality", person.id) == [country]
+
+    def test_everyone_employed(self, world):
+        org_ids = {o.id for o in world.organizations()}
+        for person in world.people:
+            employers = world.objects_of("worksAt", person.id)
+            assert employers
+            assert set(employers) <= org_ids
+
+    def test_advisors_are_people(self, world):
+        people_ids = {p.id for p in world.people}
+        for student, advisor in world.pairs("hasAdvisor"):
+            assert student in people_ids
+            assert advisor in people_ids
+            assert student != advisor
+
+    def test_institutes_housed_in_universities(self, world):
+        university_ids = {u.id for u in world.universities}
+        for institute in world.institutes:
+            hosts = world.objects_of("housedIn", institute.id)
+            assert len(hosts) == 1
+            assert hosts[0] in university_ids
+
+    def test_lectures_not_at_employer(self, world):
+        for person, university in world.pairs("lecturedAt"):
+            assert university not in world.objects_of("worksAt", person)
+
+    def test_marriage_symmetric(self, world):
+        for a, b in world.pairs("marriedTo"):
+            assert world.holds("marriedTo", b, a)
+
+    def test_collaboration_symmetric(self, world):
+        for a, b in world.pairs("collaboratedWith"):
+            assert world.holds("collaboratedWith", b, a)
+
+    def test_prize_winners_have_prize_for(self, world):
+        for person, _prize in world.pairs("wonPrize"):
+            assert world.objects_of("prizeFor", person)
+
+    def test_born_dates_are_iso(self, world):
+        from datetime import date
+
+        for fact in world.facts_of("bornOnDate"):
+            assert fact.literal
+            date.fromisoformat(fact.obj)  # raises if malformed
+
+
+class TestAccessors:
+    def test_subjects_of(self, world):
+        city = world.cities[0]
+        for person in world.subjects_of("bornInCity", city.id):
+            assert world.holds("bornInCity", person, city.id)
+
+    def test_facts_of_unknown_relation(self, world):
+        assert world.facts_of("noSuchRelation") == []
+
+    def test_popularity_skew(self, world):
+        """Earlier people should attract more advisor edges (Zipf)."""
+        n = len(world.people)
+        first_half = sum(
+            1
+            for _s, advisor in world.pairs("hasAdvisor")
+            if advisor in {p.id for p in world.people[: n // 2]}
+        )
+        second_half = len(world.pairs("hasAdvisor")) - first_half
+        assert first_half > second_half

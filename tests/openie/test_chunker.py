@@ -1,0 +1,55 @@
+"""Unit tests for NP chunking."""
+
+from repro.openie.chunker import chunk_noun_phrases
+from repro.openie.postag import tag_tokens
+from repro.openie.tokenizer import tokenize
+
+
+def chunks_of(sentence: str) -> list[str]:
+    return [np.text for np in chunk_noun_phrases(tag_tokens(tokenize(sentence)))]
+
+
+class TestChunker:
+    def test_simple_proper_nouns(self):
+        assert chunks_of("Einstein lectured at Princeton University") == [
+            "Einstein",
+            "Princeton University",
+        ]
+
+    def test_determiner_adjective_noun(self):
+        assert chunks_of("He joined the famous quantum institute") == [
+            "the famous quantum institute"
+        ]
+
+    def test_no_noun_no_chunk(self):
+        assert chunks_of("was born in") == []
+
+    def test_numbers_inside_chunks(self):
+        chunks = chunks_of("Einstein was born on March 14 1879")
+        assert "March 14 1879" in chunks
+
+    def test_punctuation_breaks_chunk(self):
+        chunks = chunks_of("Einstein, Curie")
+        assert chunks == ["Einstein", "Curie"]
+
+    def test_determiner_stripping(self):
+        tagged = tag_tokens(tokenize("the Institute opened"))
+        nps = chunk_noun_phrases(tagged)
+        assert nps[0].text == "the Institute"
+        assert nps[0].text_without_determiner == "Institute"
+
+    def test_is_proper(self):
+        tagged = tag_tokens(tokenize("He visited Princeton University"))
+        nps = chunk_noun_phrases(tagged)
+        assert nps[-1].is_proper
+
+    def test_head_is_last_noun(self):
+        tagged = tag_tokens(tokenize("the famous quantum institute"))
+        nps = chunk_noun_phrases(tagged)
+        assert nps[0].head == "institute"
+
+    def test_spans_are_token_indexes(self):
+        tagged = tag_tokens(tokenize("Einstein joined Princeton"))
+        nps = chunk_noun_phrases(tagged)
+        assert (nps[0].start, nps[0].end) == (0, 1)
+        assert (nps[1].start, nps[1].end) == (2, 3)

@@ -1,0 +1,96 @@
+"""Unit tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.kg.world import World, WorldConfig
+from repro.openie.corpus import (
+    RELATION_TEMPLATES,
+    CorpusConfig,
+    CorpusGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.generate(WorldConfig(num_people=50, seed=3))
+
+
+@pytest.fixture(scope="module")
+def corpus(world):
+    return CorpusGenerator(world, CorpusConfig(num_popularity_documents=60)).generate()
+
+
+class TestGeneration:
+    def test_deterministic(self, world):
+        config = CorpusConfig(num_popularity_documents=30)
+        a = CorpusGenerator(world, config).generate()
+        b = CorpusGenerator(world, config).generate()
+        assert [d.text for d in a] == [d.text for d in b]
+
+    def test_doc_ids_unique(self, corpus):
+        ids = [d.doc_id for d in corpus]
+        assert len(set(ids)) == len(ids)
+
+    def test_coverage_pass_renders_most_facts(self, world, corpus):
+        verbalised = {
+            (s.fact.relation, s.fact.subject, s.fact.obj)
+            for d in corpus
+            for s in d.sentences
+            if s.fact is not None
+        }
+        templated_facts = [
+            f for f in world.facts if f.relation in RELATION_TEMPLATES
+        ]
+        covered = sum(
+            1
+            for f in templated_facts
+            if (f.relation, f.subject, f.obj) in verbalised
+        )
+        assert covered / len(templated_facts) > 0.85
+
+    def test_vocabulary_gap_relations_verbalised(self, world, corpus):
+        relations = {
+            s.fact.relation
+            for d in corpus
+            for s in d.sentences
+            if s.fact is not None
+        }
+        assert {"lecturedAt", "housedIn", "prizeFor"} <= relations
+
+
+class TestMentions:
+    def test_mention_offsets_correct(self, corpus):
+        for document in corpus[:50]:
+            for sentence in document.sentences:
+                for mention in sentence.mentions:
+                    assert (
+                        sentence.text[mention.start : mention.end]
+                        == mention.surface
+                    )
+
+    def test_mentions_reference_real_entities(self, world, corpus):
+        for document in corpus[:50]:
+            for sentence in document.sentences:
+                for mention in sentence.mentions:
+                    assert mention.entity_id in world.entities
+
+    def test_short_names_appear(self, world, corpus):
+        """Family-name-only mentions exist (the NED ambiguity source)."""
+        short = 0
+        for document in corpus:
+            for sentence in document.sentences:
+                for mention in sentence.mentions:
+                    entity = world.entities[mention.entity_id]
+                    if entity.kind == "person" and mention.surface != entity.surface:
+                        short += 1
+        assert short > 0
+
+    def test_literal_dates_rendered_readably(self, world):
+        generator = CorpusGenerator(world)
+        assert generator._render_literal("1879-03-14") == "March 14 1879"
+
+    def test_every_templated_relation_has_templates(self):
+        for templates in RELATION_TEMPLATES.values():
+            assert templates
+            for template in templates:
+                assert "{X}" in template and "{Y}" in template

@@ -1,0 +1,78 @@
+"""Unit tests for the entity linker."""
+
+import pytest
+
+from repro.kg.world import World, WorldConfig
+from repro.openie.corpus import CorpusConfig, CorpusGenerator
+from repro.openie.ned import EntityLinker
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.generate(WorldConfig(num_people=50, seed=3))
+
+
+@pytest.fixture(scope="module")
+def linker(world):
+    return EntityLinker(world)
+
+
+class TestCandidates:
+    def test_full_surface_exact(self, world, linker):
+        person = world.people[0]
+        assert person.id in linker.candidates(person.surface)
+
+    def test_family_name_candidates(self, world, linker):
+        person = world.people[0]
+        family = person.surface.split()[-1]
+        assert person.id in linker.candidates(family)
+
+    def test_case_insensitive(self, world, linker):
+        person = world.people[0]
+        assert linker.candidates(person.surface.upper())
+
+    def test_unknown_phrase_empty(self, linker):
+        assert linker.candidates("Zorbulon the Unpronounceable") == []
+
+
+class TestLinking:
+    def test_full_name_links_confidently(self, world, linker):
+        person = world.people[5]
+        result = linker.link(person.surface, "")
+        assert result.entity_id == person.id
+        assert result.confidence >= 0.5
+
+    def test_unknown_stays_unlinked(self, linker):
+        result = linker.link("some random phrase", "")
+        assert not result.linked
+
+    def test_organizations_link(self, world, linker):
+        org = world.universities[0]
+        assert linker.link(org.surface, "").entity_id == org.id
+
+    def test_context_helps_family_names(self, world, linker):
+        """An ambiguous family name should prefer the person whose related
+        entities appear in the sentence context."""
+        # Find two people sharing a family name, if any.
+        by_family: dict[str, list] = {}
+        for person in world.people:
+            by_family.setdefault(person.surface.split()[-1].lower(), []).append(person)
+        ambiguous = [group for group in by_family.values() if len(group) >= 2]
+        if not ambiguous:
+            pytest.skip("world has no ambiguous family names at this seed")
+        group = ambiguous[0]
+        target = group[0]
+        employer = world.objects_of("worksAt", target.id)[0]
+        context = f"works at {world.entities[employer].surface}"
+        result = linker.link(target.surface.split()[-1], context)
+        if result.linked:
+            assert result.entity_id == target.id
+
+    def test_evaluation_metrics(self, world, linker):
+        corpus = CorpusGenerator(
+            world, CorpusConfig(num_popularity_documents=30)
+        ).generate()
+        metrics = linker.evaluate(corpus[:60])
+        assert metrics["total_mentions"] > 0
+        assert metrics["precision"] >= 0.95  # dictionary NED: near-perfect
+        assert 0.5 <= metrics["recall"] <= 1.0  # ambiguity costs recall

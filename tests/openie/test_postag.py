@@ -1,0 +1,64 @@
+"""Unit tests for the POS tagger."""
+
+from repro.openie.postag import tag_tokens
+from repro.openie.tokenizer import tokenize
+
+
+def tags_of(sentence: str) -> list[str]:
+    return [t.tag for t in tag_tokens(tokenize(sentence))]
+
+
+class TestTagger:
+    def test_proper_nouns_mid_sentence(self):
+        assert tags_of("Einstein lectured at Princeton") == [
+            "NNP",
+            "VBD",
+            "IN",
+            "NNP",
+        ]
+
+    def test_copula_participle(self):
+        assert tags_of("Einstein was born in Ulm") == [
+            "NNP",
+            "VBD",
+            "VBN",
+            "IN",
+            "NNP",
+        ]
+
+    def test_determiners(self):
+        tags = tags_of("the a an his her")
+        assert all(t == "DT" for t in tags)
+
+    def test_prepositions(self):
+        tags = tags_of("in at of for with under")
+        assert all(t == "IN" for t in tags)
+
+    def test_numbers(self):
+        assert tags_of("1879")[0] == "CD"
+        assert tags_of("14th")[0] == "CD"
+
+    def test_ed_suffix_heuristic(self):
+        assert tags_of("he relocated")[-1] == "VBD"
+
+    def test_ing_suffix_heuristic(self):
+        assert tags_of("he was travelling")[-1] == "VBG"
+
+    def test_ly_suffix_heuristic(self):
+        assert tags_of("he spoke quietly")[-1] == "RB"
+
+    def test_plural_nouns(self):
+        assert tags_of("many lectures")[-1] == "NNS"
+
+    def test_punctuation_tag(self):
+        assert tags_of("Done .")[-1] == "."
+
+    def test_pronouns(self):
+        assert tags_of("she won")[0] == "PRP"
+
+    def test_verbs_third_person(self):
+        assert tags_of("Einstein works at Princeton")[1] == "VBZ"
+
+    def test_sentence_initial_capital_not_forced_nnp(self):
+        # 'The' at sentence start must stay DT despite capitalisation.
+        assert tags_of("The institute")[0] == "DT"

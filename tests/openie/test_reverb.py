@@ -1,0 +1,94 @@
+"""Unit tests for the ReVerb-style extractor."""
+
+import pytest
+
+from repro.openie.reverb import ReverbExtractor
+
+
+@pytest.fixture()
+def extractor():
+    return ReverbExtractor()
+
+
+def triples_of(extractor, sentence):
+    return [e.as_tuple() for e in extractor.extract(sentence)]
+
+
+class TestPatterns:
+    def test_plain_verb(self, extractor):
+        assert triples_of(extractor, "Einstein married Mileva") == [
+            ("Einstein", "married", "Mileva")
+        ]
+
+    def test_verb_preposition(self, extractor):
+        assert triples_of(extractor, "Einstein lectured at Princeton") == [
+            ("Einstein", "lectured at", "Princeton")
+        ]
+
+    def test_copula_participle_preposition(self, extractor):
+        assert triples_of(extractor, "Einstein was born in Ulm") == [
+            ("Einstein", "was born in", "Ulm")
+        ]
+
+    def test_longest_match_over_noun_material(self, extractor):
+        assert triples_of(extractor, "Einstein was a student of Kleiner") == [
+            ("Einstein", "was a student of", "Kleiner")
+        ]
+
+    def test_paper_nobel_example(self, extractor):
+        results = triples_of(
+            extractor, "Einstein won a Nobel for the photoelectric effect"
+        )
+        assert ("Einstein", "won a Nobel for", "photoelectric effect") in results
+
+    def test_no_verb_no_extraction(self, extractor):
+        assert triples_of(extractor, "The institute near Princeton") == []
+
+    def test_punctuation_breaks_clause(self, extractor):
+        assert triples_of(extractor, "Einstein. Princeton") == []
+
+    def test_determiner_stripped_from_arguments(self, extractor):
+        results = triples_of(extractor, "The institute is housed in Princeton")
+        assert results == [("institute", "is housed in", "Princeton")]
+
+    def test_chained_clauses(self, extractor):
+        results = triples_of(
+            extractor, "Einstein joined IAS and IAS is housed in Princeton"
+        )
+        # Scanning resumes at the object: two extractions share 'IAS'.
+        assert ("Einstein", "joined", "IAS") in results
+
+    def test_max_relation_length(self):
+        # With the relation capped at 2 tokens, the 4-token phrase
+        # 'was a student of' cannot be extracted; only the degenerate
+        # copula reading survives.
+        extractor = ReverbExtractor(max_relation_tokens=2)
+        relations = [
+            rel for _s, rel, _o in triples_of(
+                extractor, "Einstein was a student of Kleiner"
+            )
+        ]
+        assert "was a student of" not in relations
+
+
+class TestConfidence:
+    def test_proper_arguments_raise_confidence(self, extractor):
+        proper = extractor.extract("Einstein lectured at Princeton")[0]
+        common = extractor.extract("the man lectured at the school")[0]
+        assert proper.confidence > common.confidence
+
+    def test_confidence_bounds(self, extractor):
+        for sentence in (
+            "Einstein lectured at Princeton",
+            "the man gave a long convoluted speech about things at some place",
+        ):
+            for extraction in extractor.extract(sentence):
+                assert 0.05 <= extraction.confidence <= 0.95
+
+    def test_min_confidence_filters(self):
+        strict = ReverbExtractor(min_confidence=0.9)
+        assert strict.extract("the man lectured at the school") == []
+
+    def test_sentence_recorded(self, extractor):
+        sentence = "Einstein lectured at Princeton"
+        assert extractor.extract(sentence)[0].sentence == sentence

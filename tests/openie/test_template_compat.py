@@ -1,0 +1,64 @@
+"""Every corpus template must survive the ReVerb pattern.
+
+The XKG's usefulness depends on the extractor recovering the fact from each
+verbalisation: if a template drifts out of the V | V P | V W* P pattern, its
+relation silently vanishes from the XKG and downstream evaluation shapes
+degrade mysteriously.  This test pins the contract: for every relation
+template, rendering with dummy proper-noun arguments yields an extraction
+linking the two arguments (in either order — some templates are inverted by
+design, e.g. "Y supervised X").
+"""
+
+import pytest
+
+from repro.openie.corpus import RELATION_TEMPLATES
+from repro.openie.reverb import ReverbExtractor
+
+SUBJECT, OBJECT = "Aldora Hemwick", "Brenton Vale"
+
+ALL_TEMPLATES = [
+    (relation, template)
+    for relation, templates in RELATION_TEMPLATES.items()
+    for template in templates
+]
+
+
+@pytest.mark.parametrize("relation,template", ALL_TEMPLATES)
+def test_template_extractable(relation, template):
+    sentence = template.replace("{X}", SUBJECT).replace("{Y}", OBJECT)
+    extractions = ReverbExtractor().extract(sentence)
+    assert extractions, f"{relation}: {sentence!r} yields no extraction"
+    linked = [
+        e
+        for e in extractions
+        if {e.subject, e.object} == {SUBJECT, OBJECT}
+    ]
+    assert linked, (
+        f"{relation}: {sentence!r} extracted {extractions[0].as_tuple()} "
+        "instead of linking the two arguments"
+    )
+
+
+@pytest.mark.parametrize("relation,template", ALL_TEMPLATES)
+def test_template_confidence_usable(relation, template):
+    """Extraction confidence must clear the XKG builder's default filter."""
+    sentence = template.replace("{X}", SUBJECT).replace("{Y}", OBJECT)
+    extractions = ReverbExtractor().extract(sentence)
+    best = max(e.confidence for e in extractions)
+    assert best >= 0.35  # XkgBuilder's default min_confidence
+
+
+def test_relation_phrases_distinct():
+    """Templates of different relations must not collapse to one phrase
+    (the miners need distinguishable predicates)."""
+    from repro.util.text import match_key
+
+    phrase_owner: dict[tuple, str] = {}
+    for relation, template in ALL_TEMPLATES:
+        sentence = template.replace("{X}", SUBJECT).replace("{Y}", OBJECT)
+        for extraction in ReverbExtractor().extract(sentence):
+            key = match_key(extraction.relation, predicate=True)
+            owner = phrase_owner.setdefault(key, relation)
+            assert owner == relation, (
+                f"relations {owner} and {relation} share phrase key {key}"
+            )

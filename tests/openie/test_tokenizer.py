@@ -1,0 +1,49 @@
+"""Unit tests for the tokeniser."""
+
+from repro.openie.tokenizer import Token, detokenize, tokenize
+
+
+class TestTokenize:
+    def test_simple(self):
+        assert [t.text for t in tokenize("Einstein lectured at Princeton")] == [
+            "Einstein",
+            "lectured",
+            "at",
+            "Princeton",
+        ]
+
+    def test_punctuation_split(self):
+        tokens = [t.text for t in tokenize("He won. She cheered!")]
+        assert tokens == ["He", "won", ".", "She", "cheered", "!"]
+
+    def test_offsets_reconstruct_source(self):
+        text = "Einstein  won a   Nobel."
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    def test_apostrophes_kept(self):
+        tokens = [t.text for t in tokenize("Einstein's theory")]
+        assert tokens[0] == "Einstein's"
+
+    def test_hyphen_kept(self):
+        tokens = [t.text for t in tokenize("co-authored papers")]
+        assert tokens[0] == "co-authored"
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("   ") == []
+
+    def test_is_punctuation(self):
+        tokens = tokenize("Done.")
+        assert not tokens[0].is_punctuation
+        assert tokens[1].is_punctuation
+
+
+class TestDetokenize:
+    def test_reconstructs_span(self):
+        text = "Einstein won a Nobel"
+        tokens = tokenize(text)
+        assert detokenize(tokens[1:3], text) == "won a"
+
+    def test_empty(self):
+        assert detokenize([], "abc") == ""

@@ -1,0 +1,94 @@
+"""Property-based tests for relaxation rules and rewriting."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parser import parse_query, parse_rule
+from repro.relax.rewriting import RewriteEngine, canonical_form
+from repro.relax.rules import RuleSet
+
+predicate_names = st.sampled_from(["p0", "p1", "p2", "p3", "'works at'"])
+weights = st.sampled_from([0.2, 0.5, 0.8, 1.0])
+
+
+@st.composite
+def rules(draw):
+    source = draw(predicate_names)
+    target = draw(predicate_names.filter(lambda t: t != source))
+    weight = draw(weights)
+    inverted = draw(st.booleans())
+    shape = "?y {t} ?x" if inverted else "?x {t} ?y"
+    return parse_rule(f"?x {source} ?y => {shape.format(t=target)} @ {weight}")
+
+
+rule_sets = st.lists(rules(), max_size=6).map(RuleSet)
+query_texts = st.sampled_from(
+    ["?a p0 ?b", "E p1 ?b", "?a p2 ?b ; ?b p3 ?c", "?a 'works at' ?b"]
+)
+
+
+class TestRewriteProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(rule_sets, query_texts, st.integers(0, 2), st.integers(1, 30))
+    def test_budgets_respected(self, rule_set, query_text, depth, max_rewrites):
+        engine = RewriteEngine(rule_set, max_depth=depth, max_rewrites=max_rewrites)
+        rewrites = engine.rewrites(parse_query(query_text))
+        assert 1 <= len(rewrites) <= max_rewrites
+        assert all(r.depth <= depth for r in rewrites)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rule_sets, query_texts)
+    def test_weights_descending_and_bounded(self, rule_set, query_text):
+        engine = RewriteEngine(rule_set, max_depth=2, max_rewrites=50)
+        rewrites = engine.rewrites(parse_query(query_text))
+        weights = [r.weight for r in rewrites]
+        assert weights[0] == 1.0
+        assert weights == sorted(weights, reverse=True)
+        assert all(0 < w <= 1 for w in weights)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rule_sets, query_texts)
+    def test_no_duplicate_canonical_forms(self, rule_set, query_text):
+        engine = RewriteEngine(rule_set, max_depth=2, max_rewrites=50)
+        rewrites = engine.rewrites(parse_query(query_text))
+        forms = [canonical_form(r.query) for r in rewrites]
+        assert len(set(forms)) == len(forms)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rule_sets, query_texts)
+    def test_weight_is_product_of_applied_rules(self, rule_set, query_text):
+        engine = RewriteEngine(rule_set, max_depth=2, max_rewrites=50)
+        for rewriting in engine.rewrites(parse_query(query_text)):
+            product = 1.0
+            for application in rewriting.applications:
+                product *= application.rule.weight
+            assert abs(product - rewriting.weight) < 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(rule_sets, query_texts)
+    def test_projection_always_preserved(self, rule_set, query_text):
+        query = parse_query(query_text)
+        engine = RewriteEngine(rule_set, max_depth=2, max_rewrites=50)
+        for rewriting in engine.rewrites(query):
+            rewritten_vars = set(rewriting.query.variables())
+            assert set(rewriting.query.projection) <= rewritten_vars
+
+
+class TestRuleApplicationProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(rules(), query_texts)
+    def test_application_changes_query(self, rule, query_text):
+        query = parse_query(query_text)
+        fresh = (f"f{i}" for i in itertools.count())
+        for application in rule.apply(query, fresh):
+            assert set(application.query.patterns) != set(query.patterns)
+
+    @settings(max_examples=80, deadline=None)
+    @given(rules(), query_texts)
+    def test_removed_patterns_came_from_query(self, rule, query_text):
+        query = parse_query(query_text)
+        fresh = (f"f{i}" for i in itertools.count())
+        for application in rule.apply(query, fresh):
+            for removed in application.removed:
+                assert removed in query.patterns

@@ -1,0 +1,115 @@
+"""Unit tests for AMIE-style rule mining with PCA confidence."""
+
+import pytest
+
+from repro.core.terms import Resource
+from repro.core.triples import Triple
+from repro.relax.amie import mine_amie_rules
+from repro.storage.statistics import StoreStatistics
+from repro.storage.store import TripleStore
+
+
+def _kg():
+    """worksAt implied by employedBy for the subjects that have worksAt."""
+    store = TripleStore()
+    works = Resource("worksAt")
+    employed = Resource("employedBy")
+    # Three people with both facts (agreeing).
+    for i in range(3):
+        p, o = Resource(f"P{i}"), Resource(f"O{i}")
+        store.add(Triple(p, works, o))
+        store.add(Triple(p, employed, o))
+    # One person with employedBy only — under PCA this is NOT a
+    # counter-example because the subject has no worksAt fact at all.
+    store.add(Triple(Resource("P9"), employed, Resource("O9")))
+    # One genuine counter-example: has worksAt somewhere else.
+    store.add(Triple(Resource("P8"), employed, Resource("O8")))
+    store.add(Triple(Resource("P8"), works, Resource("Oother")))
+    return store.freeze()
+
+
+class TestPcaConfidence:
+    def test_pca_ignores_unknown_subjects(self):
+        rules = mine_amie_rules(
+            StoreStatistics(_kg()),
+            predicates=[Resource("worksAt")],
+            min_support=2,
+            min_confidence=0.1,
+            mine_chains=False,
+        )
+        syn = [
+            r
+            for r in rules
+            if r.replacement[0].p == Resource("employedBy")
+            and r.label.startswith("amie-syn")
+        ]
+        assert syn
+        # support 3; PCA body = 4 (P0-P2 and P8 have worksAt facts; P9 not
+        # counted) → confidence 3/4, NOT 3/5.
+        assert syn[0].weight == pytest.approx(3 / 4)
+
+    def test_min_confidence_filters(self):
+        rules = mine_amie_rules(
+            StoreStatistics(_kg()),
+            predicates=[Resource("worksAt")],
+            min_confidence=0.9,
+            mine_chains=False,
+        )
+        assert all(r.weight >= 0.9 for r in rules)
+
+    def test_inversion_shape(self):
+        store = TripleStore()
+        adv, stu = Resource("hasAdvisor"), Resource("hasStudent")
+        for i in range(3):
+            a, b = Resource(f"A{i}"), Resource(f"B{i}")
+            store.add(Triple(a, adv, b))
+            store.add(Triple(b, stu, a))
+        store.freeze()
+        rules = mine_amie_rules(
+            StoreStatistics(store), min_support=2, mine_chains=False
+        )
+        inv = [r for r in rules if "amie-inv" in r.label]
+        assert inv
+        assert inv[0].weight == pytest.approx(1.0)
+
+    def test_chain_rules(self):
+        store = TripleStore()
+        grandpa = Resource("grandparentOf")
+        parent = Resource("parentOf")
+        for i in range(3):
+            a = Resource(f"A{i}")
+            b = Resource(f"B{i}")
+            c = Resource(f"C{i}")
+            store.add(Triple(a, parent, b))
+            store.add(Triple(b, parent, c))
+            store.add(Triple(a, grandpa, c))
+        store.freeze()
+        rules = mine_amie_rules(
+            StoreStatistics(store),
+            predicates=[grandpa],
+            min_support=2,
+            min_confidence=0.5,
+        )
+        chains = [r for r in rules if "amie-chain" in r.label]
+        assert chains
+        assert len(chains[0].replacement) == 2
+        assert chains[0].replacement[0].p == parent
+        assert chains[0].replacement[1].p == parent
+
+    def test_token_predicates_ignored(self):
+        from repro.core.terms import TextToken
+
+        store = TripleStore()
+        store.add(Triple(Resource("A"), TextToken("works at"), Resource("B")))
+        store.add(Triple(Resource("A"), Resource("worksAt"), Resource("B")))
+        store.freeze()
+        rules = mine_amie_rules(StoreStatistics(store), min_support=1)
+        for rule in rules:
+            for pattern in rule.original + rule.replacement:
+                assert not pattern.p.is_token
+
+    def test_deterministic(self):
+        stats = StoreStatistics(_kg())
+        a = [r.n3() for r in mine_amie_rules(stats, min_support=1)]
+        b = [r.n3() for r in mine_amie_rules(stats, min_support=1)]
+        assert a == b

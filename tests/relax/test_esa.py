@@ -1,0 +1,79 @@
+"""Unit tests for ESA-style relatedness rules."""
+
+import pytest
+
+from repro.core.terms import Resource, TextToken
+from repro.core.triples import Triple
+from repro.relax.esa import EsaModel, esa_rules
+from repro.storage.statistics import StoreStatistics
+from repro.storage.store import TripleStore
+
+
+def _store():
+    store = TripleStore()
+    lectured = TextToken("lectured at")
+    teaches = TextToken("teaches at")
+    unrelated = Resource("ownsCar")
+    for i in range(3):
+        p, u = Resource(f"Prof{i}"), Resource(f"Uni{i}")
+        store.add(Triple(p, lectured, u))
+    for i in range(3, 6):
+        p, u = Resource(f"Prof{i}"), Resource(f"Uni{i}")
+        store.add(Triple(p, teaches, u))
+    store.add(Triple(Resource("Prof0"), unrelated, Resource("CarA")))
+    return store.freeze()
+
+
+class TestEsaModel:
+    def test_similarity_symmetric(self):
+        stats = StoreStatistics(_store())
+        model = EsaModel.for_predicates(stats)
+        a, b = TextToken("lectured at"), TextToken("teaches at")
+        assert model.similarity(a, b) == pytest.approx(model.similarity(b, a))
+
+    def test_self_similarity_is_one(self):
+        stats = StoreStatistics(_store())
+        model = EsaModel.for_predicates(stats)
+        token = TextToken("lectured at")
+        assert model.similarity(token, token) == pytest.approx(1.0)
+
+    def test_unknown_key_zero(self):
+        model = EsaModel({})
+        assert model.similarity(Resource("a"), Resource("b")) == 0.0
+
+    def test_shared_vocabulary_beats_unrelated(self):
+        stats = StoreStatistics(_store())
+        model = EsaModel.for_predicates(stats)
+        related = model.similarity(TextToken("lectured at"), TextToken("teaches at"))
+        unrelated = model.similarity(TextToken("lectured at"), Resource("ownsCar"))
+        # 'lectured at' and 'teaches at' share the preposition and the
+        # university-argument vocabulary; ownsCar shares almost nothing.
+        assert related > unrelated
+
+    def test_keys_sorted(self):
+        stats = StoreStatistics(_store())
+        model = EsaModel.for_predicates(stats)
+        keys = model.keys()
+        assert keys == sorted(keys, key=lambda t: t.sort_key())
+
+
+class TestEsaRules:
+    def test_rules_above_threshold(self):
+        stats = StoreStatistics(_store())
+        rules = esa_rules(stats, min_similarity=0.2)
+        assert all(r.weight >= 0.2 for r in rules)
+        assert all(r.origin == "esa" for r in rules)
+
+    def test_no_self_rules(self):
+        stats = StoreStatistics(_store())
+        rules = esa_rules(stats, min_similarity=0.0)
+        for rule in rules:
+            assert rule.original[0].p != rule.replacement[0].p
+
+    def test_cap(self):
+        stats = StoreStatistics(_store())
+        rules = esa_rules(stats, min_similarity=0.0, max_rules_per_predicate=1)
+        by_source: dict = {}
+        for rule in rules:
+            by_source.setdefault(rule.original[0].p, []).append(rule)
+        assert all(len(v) <= 1 for v in by_source.values())

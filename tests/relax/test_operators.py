@@ -1,0 +1,121 @@
+"""Unit tests for the relaxation-operator plug-in API."""
+
+import pytest
+
+from repro.core.parser import parse_rule
+from repro.errors import OperatorError
+from repro.relax.operators import OperatorContext, OperatorRegistry, operator
+from repro.relax.rules import RuleSet
+from repro.storage.statistics import StoreStatistics
+
+
+@pytest.fixture()
+def context(frozen_small_store):
+    return OperatorContext(frozen_small_store, StoreStatistics(frozen_small_store))
+
+
+RULE_A = parse_rule("?x a ?y => ?x b ?y @ 0.5")
+RULE_B = parse_rule("?x c ?y => ?x d ?y @ 0.7")
+
+
+class TestRegistry:
+    def test_register_and_run(self, context):
+        registry = OperatorRegistry()
+        registry.register("one", lambda ctx: [RULE_A])
+        registry.register("two", lambda ctx: [RULE_B])
+        rules = registry.run(context)
+        assert len(rules) == 2
+
+    def test_duplicate_name_rejected(self):
+        registry = OperatorRegistry()
+        registry.register("x", lambda ctx: [])
+        with pytest.raises(OperatorError):
+            registry.register("x", lambda ctx: [])
+
+    def test_empty_name_rejected(self):
+        registry = OperatorRegistry()
+        with pytest.raises(OperatorError):
+            registry.register("", lambda ctx: [])
+
+    def test_non_callable_rejected(self):
+        registry = OperatorRegistry()
+        with pytest.raises(OperatorError):
+            registry.register("x", "not callable")
+
+    def test_disable_skips_operator(self, context):
+        registry = OperatorRegistry()
+        registry.register("one", lambda ctx: [RULE_A])
+        registry.enable("one", False)
+        assert len(registry.run(context)) == 0
+        registry.enable("one", True)
+        assert len(registry.run(context)) == 1
+
+    def test_enable_unknown_raises(self):
+        registry = OperatorRegistry()
+        with pytest.raises(OperatorError):
+            registry.enable("ghost")
+
+    def test_unregister(self, context):
+        registry = OperatorRegistry()
+        registry.register("one", lambda ctx: [RULE_A])
+        registry.unregister("one")
+        assert "one" not in registry
+        with pytest.raises(OperatorError):
+            registry.unregister("one")
+
+    def test_bad_production_reported_with_name(self, context):
+        registry = OperatorRegistry()
+        registry.register("bad", lambda ctx: ["not a rule"])
+        with pytest.raises(OperatorError) as exc:
+            registry.run(context)
+        assert "bad" in str(exc.value)
+
+    def test_none_production_tolerated(self, context):
+        registry = OperatorRegistry()
+        registry.register("noop", lambda ctx: None)
+        assert len(registry.run(context)) == 0
+
+    def test_run_into_existing_ruleset(self, context):
+        registry = OperatorRegistry()
+        registry.register("one", lambda ctx: [RULE_A])
+        pool = RuleSet([RULE_B])
+        result = registry.run(context, into=pool)
+        assert result is pool
+        assert len(pool) == 2
+
+    def test_operator_receives_context(self, context):
+        received = []
+        registry = OperatorRegistry()
+        registry.register("probe", lambda ctx: received.append(ctx) or [])
+        registry.run(context)
+        assert received[0] is context
+        assert received[0].store is context.store
+
+    def test_describe(self, context):
+        registry = OperatorRegistry()
+        registry.register("one", lambda ctx: [], description="does nothing")
+        name, enabled, description = registry.describe()[0]
+        assert (name, enabled, description) == ("one", True, "does nothing")
+
+
+class TestDecorator:
+    def test_decorator_registers(self, context):
+        registry = OperatorRegistry()
+
+        @operator(registry, "decorated")
+        def my_operator(ctx):
+            """Produces rule A."""
+            return [RULE_A]
+
+        assert "decorated" in registry
+        assert len(registry.run(context)) == 1
+
+    def test_docstring_used_as_description(self):
+        registry = OperatorRegistry()
+
+        @operator(registry, "documented")
+        def my_operator(ctx):
+            """From the docstring."""
+            return []
+
+        assert registry.describe()[0][2] == "From the docstring."

@@ -1,0 +1,106 @@
+"""Unit tests for the paraphrase repository and alias rules."""
+
+import pytest
+
+from repro.core.terms import Resource, TextToken, Variable
+from repro.errors import RelaxationError
+from repro.relax.paraphrase import (
+    Paraphrase,
+    ParaphraseRepository,
+    paraphrase_rules,
+    predicate_alias_rules,
+)
+
+
+class TestRepository:
+    def test_add_and_len(self):
+        repo = ParaphraseRepository()
+        repo.add_alignment("affiliation", "works at", 0.9)
+        repo.add_alignment("affiliation", "lectured at", 0.7)
+        assert len(repo) == 2
+
+    def test_duplicate_keeps_higher_score(self):
+        repo = ParaphraseRepository()
+        repo.add_alignment("affiliation", "works at", 0.5)
+        repo.add_alignment("affiliation", "works at", 0.9)
+        repo.add_alignment("affiliation", "works at", 0.3)
+        assert len(repo) == 1
+        assert next(iter(repo)).score == 0.9
+
+    def test_inverted_is_distinct(self):
+        repo = ParaphraseRepository()
+        repo.add_alignment("hasStudent", "student of", 0.8, inverted=True)
+        repo.add_alignment("hasStudent", "student of", 0.7, inverted=False)
+        assert len(repo) == 2
+
+    def test_score_bounds(self):
+        with pytest.raises(RelaxationError):
+            Paraphrase(Resource("p"), TextToken("q"), 0.0)
+
+    def test_phrases_for(self):
+        repo = ParaphraseRepository()
+        repo.add_alignment("affiliation", "works at", 0.9)
+        repo.add_alignment("affiliation", "lectured at", 0.7)
+        repo.add_alignment("bornIn", "was born in", 0.95)
+        found = repo.phrases_for(Resource("affiliation"))
+        assert [p.phrase.norm for p in found] == ["works at", "lectured at"]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        repo = ParaphraseRepository()
+        repo.add_alignment("affiliation", "works at", 0.9)
+        repo.add_alignment("hasStudent", "student of", 0.8, inverted=True)
+        path = tmp_path / "paraphrases.json"
+        repo.save(path)
+        loaded = ParaphraseRepository.load(path)
+        assert len(loaded) == 2
+        assert {(p.predicate.name, p.phrase.norm, p.inverted) for p in loaded} == {
+            (p.predicate.name, p.phrase.norm, p.inverted) for p in repo
+        }
+
+
+class TestParaphraseRules:
+    def _repo(self):
+        repo = ParaphraseRepository()
+        repo.add_alignment("affiliation", "works at", 0.9)
+        repo.add_alignment("hasStudent", "studied under", 0.8, inverted=True)
+        return repo
+
+    def test_both_directions(self):
+        rules = paraphrase_rules(self._repo())
+        assert len(rules) == 4
+        renderings = {r.n3() for r in rules}
+        assert "?x affiliation ?y => ?x 'works at' ?y @ 0.9" in renderings
+        assert "?x 'works at' ?y => ?x affiliation ?y @ 0.9" in renderings
+
+    def test_single_direction(self):
+        rules = paraphrase_rules(self._repo(), both_directions=False)
+        assert len(rules) == 2
+        assert all(r.original[0].p.is_resource for r in rules)
+
+    def test_inverted_alignment_flips_arguments(self):
+        rules = paraphrase_rules(self._repo(), both_directions=False)
+        inverted = [r for r in rules if r.original[0].p == Resource("hasStudent")]
+        assert inverted[0].replacement[0].s == Variable("y")
+        assert inverted[0].replacement[0].o == Variable("x")
+
+    def test_min_score(self):
+        rules = paraphrase_rules(self._repo(), min_score=0.85)
+        assert all(r.weight >= 0.85 for r in rules)
+
+    def test_origin(self):
+        rules = paraphrase_rules(self._repo())
+        assert all(r.origin == "paraphrase" for r in rules)
+
+
+class TestAliasRules:
+    def test_resource_target(self):
+        rules = predicate_alias_rules([("worksFor", "affiliation", 0.9, False)])
+        assert rules[0].n3() == "?x worksFor ?y => ?x affiliation ?y @ 0.9"
+
+    def test_inverted_target(self):
+        rules = predicate_alias_rules([("hasAdvisor", "hasStudent", 1.0, True)])
+        assert rules[0].n3() == "?x hasAdvisor ?y => ?y hasStudent ?x @ 1"
+
+    def test_phrase_target(self):
+        rules = predicate_alias_rules([("lecturer", "'lectured at'", 0.8, False)])
+        assert rules[0].replacement[0].p == TextToken("lectured at")

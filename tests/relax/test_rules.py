@@ -1,0 +1,213 @@
+"""Unit tests for relaxation rules: validation, unification, application."""
+
+import itertools
+
+import pytest
+
+from repro.core.parser import parse_pattern, parse_query, parse_rule
+from repro.core.query import Query
+from repro.core.terms import Resource, TextToken, Variable
+from repro.core.triples import TriplePattern
+from repro.errors import RelaxationError
+from repro.relax.rules import RelaxationRule, RuleSet
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+ADVISOR = Resource("hasAdvisor")
+STUDENT = Resource("hasStudent")
+AE = Resource("AlbertEinstein")
+
+
+def fresh():
+    return (f"f{i}" for i in itertools.count())
+
+
+class TestValidation:
+    def test_weight_bounds(self):
+        pattern = TriplePattern(X, ADVISOR, Y)
+        replacement = TriplePattern(Y, STUDENT, X)
+        with pytest.raises(RelaxationError):
+            RelaxationRule((pattern,), (replacement,), 0.0)
+        with pytest.raises(RelaxationError):
+            RelaxationRule((pattern,), (replacement,), 1.5)
+
+    def test_empty_sides_rejected(self):
+        pattern = TriplePattern(X, ADVISOR, Y)
+        with pytest.raises(RelaxationError):
+            RelaxationRule((), (pattern,), 1.0)
+        with pytest.raises(RelaxationError):
+            RelaxationRule((pattern,), (), 1.0)
+
+    def test_must_share_a_variable(self):
+        original = TriplePattern(X, ADVISOR, Y)
+        unrelated = TriplePattern(Variable("a"), STUDENT, Variable("b"))
+        with pytest.raises(RelaxationError):
+            RelaxationRule((original,), (unrelated,), 1.0)
+
+    def test_is_single_pattern(self):
+        rule = parse_rule("?x hasAdvisor ?y => ?y hasStudent ?x")
+        assert rule.is_single_pattern
+        rule2 = parse_rule("?x a ?y ; ?y b ?z => ?x c ?z")
+        assert not rule2.is_single_pattern
+
+    def test_expands(self):
+        rule = parse_rule("?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y")
+        assert rule.expands
+
+    def test_fresh_variables(self):
+        rule = parse_rule("?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y")
+        assert rule.fresh_variables() == (Z,)
+
+
+class TestUnify:
+    def test_unifies_with_constant_subject(self):
+        rule = parse_rule("?x hasAdvisor ?y => ?y hasStudent ?x")
+        query = parse_query("AlbertEinstein hasAdvisor ?a")
+        results = list(rule.unify(query.patterns))
+        assert len(results) == 1
+        positions, theta = results[0]
+        assert positions == (0,)
+        assert theta[X] == AE
+        assert theta[Y] == Variable("a")
+
+    def test_constant_mismatch_fails(self):
+        rule = parse_rule("?x hasAdvisor ?y => ?y hasStudent ?x")
+        query = parse_query("AlbertEinstein hasStudent ?a")
+        assert list(rule.unify(query.patterns)) == []
+
+    def test_consistent_binding_required(self):
+        rule = RelaxationRule(
+            (TriplePattern(X, ADVISOR, X),),
+            (TriplePattern(X, STUDENT, X),),
+            1.0,
+        )
+        query = parse_query("AlbertEinstein hasAdvisor ?a")
+        # rule var X must bind both AE and ?a — impossible.
+        assert list(rule.unify(query.patterns)) == []
+
+    def test_multi_pattern_unification(self):
+        rule = parse_rule(
+            "?x bornIn ?y ; ?y type country => ?x bornIn ?z ; ?z locatedIn ?y"
+        )
+        query = parse_query("?p bornIn ?c ; ?c type country")
+        results = list(rule.unify(query.patterns))
+        assert len(results) == 1
+
+
+class TestApply:
+    def test_simple_application(self):
+        rule = parse_rule("?x hasAdvisor ?y => ?y hasStudent ?x @ 1.0")
+        query = parse_query("AlbertEinstein hasAdvisor ?a")
+        applications = rule.apply(query, fresh())
+        assert len(applications) == 1
+        rewritten = applications[0].query
+        assert rewritten.patterns == (
+            TriplePattern(Variable("a"), STUDENT, AE),
+        )
+
+    def test_fresh_variable_renamed(self):
+        rule = parse_rule(
+            "?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y @ 0.8"
+        )
+        query = parse_query("AlbertEinstein affiliation ?u")
+        applications = rule.apply(query, fresh())
+        assert len(applications) == 1
+        new_vars = {
+            v.name for p in applications[0].query.patterns for v in p.variables()
+        }
+        assert "u" in new_vars
+        assert "z" not in new_vars  # renamed to a fresh name
+
+    def test_no_op_skipped(self):
+        rule = parse_rule("?x knows ?y => ?x knows ?y @ 0.9")
+        query = parse_query("?a knows ?b")
+        assert rule.apply(query, fresh()) == []
+
+    def test_projection_preserving(self):
+        rule = parse_rule("?x hasAdvisor ?y => ?y hasStudent ?x @ 1.0")
+        query = parse_query("SELECT ?a WHERE AlbertEinstein hasAdvisor ?a")
+        applications = rule.apply(query, fresh())
+        assert applications[0].query.projection == (Variable("a"),)
+
+    def test_condition_checked_against_store(self):
+        rule = parse_rule(
+            "?x bornIn ?y ; ?y type country => "
+            "?x bornIn ?z ; ?z type city ; ?z locatedIn ?y @ 1.0"
+        )
+        query = parse_query("?x bornIn Germany")
+        held = []
+
+        def checker(pattern):
+            held.append(pattern)
+            return pattern.n3() == "Germany type country"
+
+        applications = rule.apply(query, fresh(), checker)
+        assert len(applications) == 1
+        assert applications[0].conditions == (parse_pattern("Germany type country"),)
+
+    def test_condition_rejected(self):
+        rule = parse_rule(
+            "?x bornIn ?y ; ?y type country => ?x bornIn ?z ; ?z locatedIn ?y @ 1.0"
+        )
+        query = parse_query("?x bornIn Ulm")  # Ulm is not a country
+        applications = rule.apply(query, fresh(), lambda p: False)
+        assert applications == []
+
+    def test_no_conditions_without_checker(self):
+        rule = parse_rule(
+            "?x bornIn ?y ; ?y type country => ?x bornIn ?z ; ?z locatedIn ?y @ 1.0"
+        )
+        query = parse_query("?x bornIn Germany")
+        # Without a checker, the two-pattern original cannot match the
+        # one-pattern query at all.
+        assert rule.apply(query, fresh()) == []
+
+
+class TestRuleSet:
+    def test_dedup_keeps_higher_weight(self):
+        a = parse_rule("?x p ?y => ?y q ?x @ 0.5")
+        b = parse_rule("?x p ?y => ?y q ?x @ 0.8")
+        rules = RuleSet([a, b])
+        assert len(rules) == 1
+        assert next(iter(rules)).weight == 0.8
+
+    def test_lower_weight_ignored(self):
+        a = parse_rule("?x p ?y => ?y q ?x @ 0.8")
+        b = parse_rule("?x p ?y => ?y q ?x @ 0.5")
+        rules = RuleSet([a, b])
+        assert next(iter(rules)).weight == 0.8
+
+    def test_best_first(self):
+        rules = RuleSet(
+            [
+                parse_rule("?x p ?y => ?x q ?y @ 0.3"),
+                parse_rule("?x p ?y => ?x r ?y @ 0.9"),
+            ]
+        )
+        assert [r.weight for r in rules.best_first()] == [0.9, 0.3]
+
+    def test_filtered(self):
+        rules = RuleSet(
+            [
+                parse_rule("?x p ?y => ?x q ?y @ 0.3"),
+                parse_rule("?x p ?y => ?x r ?y @ 0.9"),
+            ]
+        )
+        assert len(rules.filtered(0.5)) == 1
+
+    def test_partition_by_arity(self):
+        single = parse_rule("?x p ?y => ?x q ?y @ 0.5")
+        multi = parse_rule("?x p ?y ; ?y t c => ?x q ?y @ 0.5")
+        rules = RuleSet([single, multi])
+        assert rules.single_pattern_rules() == [single]
+        assert rules.multi_pattern_rules() == [multi]
+
+    def test_by_origin(self):
+        manual = parse_rule("?x p ?y => ?x q ?y @ 0.5")
+        rules = RuleSet([manual])
+        assert rules.by_origin("manual") == [manual]
+        assert rules.by_origin("amie") == []
+
+    def test_contains(self):
+        rule = parse_rule("?x p ?y => ?x q ?y @ 0.5")
+        rules = RuleSet([rule])
+        assert rule in rules

@@ -1,0 +1,160 @@
+"""Unit tests for structural rule generators (inversion, granularity, bridges)."""
+
+import pytest
+
+from repro.core.terms import Resource, TextToken, Variable
+from repro.core.triples import Triple
+from repro.relax.structural import (
+    granularity_rules,
+    inversion_rules,
+    kg_to_token_bridge_rules,
+)
+from repro.storage.statistics import StoreStatistics
+from repro.storage.store import TripleStore
+
+
+def _inverse_store():
+    store = TripleStore()
+    adv, stu = Resource("hasAdvisor"), Resource("hasStudent")
+    for i in range(4):
+        a, b = Resource(f"A{i}"), Resource(f"B{i}")
+        store.add(Triple(a, adv, b))
+        store.add(Triple(b, stu, a))
+    return store.freeze()
+
+
+class TestInversionRules:
+    def test_perfect_inverse_weight_one(self):
+        rules = inversion_rules(StoreStatistics(_inverse_store()), min_support=2)
+        pairs = {
+            (r.original[0].p.lexical(), r.replacement[0].p.lexical()): r.weight
+            for r in rules
+        }
+        assert pairs[("hasAdvisor", "hasStudent")] == pytest.approx(1.0)
+        assert pairs[("hasStudent", "hasAdvisor")] == pytest.approx(1.0)
+
+    def test_replacement_is_flipped(self):
+        rules = inversion_rules(StoreStatistics(_inverse_store()), min_support=2)
+        rule = rules[0]
+        # original ?x p ?y, replacement ?y q ?x
+        assert rule.original[0].s == Variable("x")
+        assert rule.replacement[0].s == Variable("y")
+        assert rule.replacement[0].o == Variable("x")
+
+    def test_min_weight_filters_partial_inverses(self):
+        store = TripleStore()
+        adv, stu = Resource("hasAdvisor"), Resource("hasStudent")
+        store.add(Triple(Resource("A"), adv, Resource("B")))
+        store.add(Triple(Resource("B"), stu, Resource("A")))
+        store.add(Triple(Resource("C"), stu, Resource("D")))
+        store.add(Triple(Resource("E"), stu, Resource("F")))
+        store.add(Triple(Resource("G"), stu, Resource("H")))
+        store.freeze()
+        rules = inversion_rules(
+            StoreStatistics(store), min_support=1, min_weight=0.5
+        )
+        # adv → stu has weight 1/4 (one of four stu pairs) — filtered out.
+        assert not any(
+            r.original[0].p == adv and r.replacement[0].p == stu for r in rules
+        )
+
+
+class TestGranularityRules:
+    def _geo_store(self):
+        store = TripleStore()
+        t = Resource("type")
+        located = Resource("locatedIn")
+        born = Resource("bornIn")
+        cities = [Resource(f"City{i}") for i in range(3)]
+        country = Resource("Freedonia")
+        store.add(Triple(country, t, Resource("country")))
+        for index, city in enumerate(cities):
+            store.add(Triple(city, t, Resource("city")))
+            store.add(Triple(city, located, country))
+            store.add(Triple(Resource(f"P{index}"), born, city))
+        return store.freeze()
+
+    def test_rule_generated_for_city_predicates(self):
+        stats = StoreStatistics(self._geo_store())
+        rules = granularity_rules(
+            stats,
+            type_predicate=Resource("type"),
+            containment_predicate=Resource("locatedIn"),
+            fine_class=Resource("city"),
+            coarse_class=Resource("country"),
+        )
+        born_rules = [r for r in rules if r.original[0].p == Resource("bornIn")]
+        assert len(born_rules) == 1
+        rule = born_rules[0]
+        assert len(rule.original) == 2  # bornIn + type guard
+        assert len(rule.replacement) == 3
+        assert rule.weight == 1.0
+
+    def test_skips_type_and_containment_predicates(self):
+        stats = StoreStatistics(self._geo_store())
+        rules = granularity_rules(
+            stats,
+            type_predicate=Resource("type"),
+            containment_predicate=Resource("locatedIn"),
+            fine_class=Resource("city"),
+            coarse_class=Resource("country"),
+        )
+        heads = {r.original[0].p for r in rules}
+        assert Resource("type") not in heads
+        assert Resource("locatedIn") not in heads
+
+    def test_no_fine_instances_no_rules(self):
+        store = TripleStore()
+        store.add(
+            Triple(Resource("A"), Resource("bornIn"), Resource("B"))
+        )
+        store.freeze()
+        rules = granularity_rules(
+            StoreStatistics(store),
+            type_predicate=Resource("type"),
+            containment_predicate=Resource("locatedIn"),
+            fine_class=Resource("city"),
+            coarse_class=Resource("country"),
+        )
+        assert rules == []
+
+    def test_min_fine_fraction(self):
+        stats = StoreStatistics(self._geo_store())
+        rules = granularity_rules(
+            stats,
+            type_predicate=Resource("type"),
+            containment_predicate=Resource("locatedIn"),
+            fine_class=Resource("city"),
+            coarse_class=Resource("country"),
+            min_fine_fraction=1.01,  # impossible
+        )
+        assert rules == []
+
+
+class TestBridgeRules:
+    def test_bridges_target_tokens_only(self):
+        store = TripleStore()
+        aff = Resource("affiliation")
+        works = TextToken("works at")
+        other = Resource("colleagueOf")
+        for i in range(3):
+            p, o = Resource(f"P{i}"), Resource(f"O{i}")
+            store.add(Triple(p, aff, o))
+            store.add(Triple(p, works, o))
+            store.add(Triple(p, other, o))
+        store.freeze()
+        rules = kg_to_token_bridge_rules(StoreStatistics(store), min_support=2)
+        assert rules
+        for rule in rules:
+            assert rule.original[0].p.is_resource
+            assert any(
+                term.is_token
+                for pattern in rule.replacement
+                for term in pattern.terms()
+            )
+
+    def test_empty_without_tokens(self):
+        store = TripleStore()
+        store.add(Triple(Resource("A"), Resource("p"), Resource("B")))
+        store.freeze()
+        assert kg_to_token_bridge_rules(StoreStatistics(store)) == []

@@ -1,0 +1,97 @@
+"""Unit tests for the query-likelihood pattern scorer."""
+
+import pytest
+
+from repro.core.terms import Resource, TextToken, Variable
+from repro.core.triples import Triple, TriplePattern
+from repro.errors import ScoringError
+from repro.scoring.language_model import PatternScorer, ScoringConfig
+from repro.storage.store import TripleStore
+
+X, Y = Variable("x"), Variable("y")
+BORN = Resource("bornIn")
+
+
+class TestConfig:
+    def test_smoothing_bounds(self):
+        with pytest.raises(ScoringError):
+            ScoringConfig(smoothing=1.0)
+        with pytest.raises(ScoringError):
+            ScoringConfig(smoothing=-0.1)
+        assert ScoringConfig(smoothing=0.0).smoothing == 0.0
+
+    def test_requires_frozen(self, small_store):
+        with pytest.raises(ScoringError):
+            PatternScorer(small_store)
+
+
+class TestScores:
+    def test_probabilities_sum_to_one_unsmoothed(self, frozen_small_store):
+        scorer = PatternScorer(frozen_small_store, ScoringConfig(smoothing=0.0))
+        pattern = TriplePattern(X, BORN, Y)
+        total = sum(
+            scorer.score(pattern, record)
+            for record in frozen_small_store.matches(pattern)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_scores_in_unit_interval(self, frozen_small_store):
+        scorer = PatternScorer(frozen_small_store)
+        for pattern in (
+            TriplePattern(X, BORN, Y),
+            TriplePattern(X, TextToken("lectured at"), Y),
+            TriplePattern(X, Variable("p"), Y),
+        ):
+            for record in frozen_small_store.matches(pattern):
+                assert 0.0 < scorer.score(pattern, record) <= 1.0
+
+    def test_tf_effect(self, frozen_small_store):
+        """More observations → higher score for the same pattern."""
+        scorer = PatternScorer(frozen_small_store)
+        pattern = TriplePattern(X, TextToken("lectured at"), Y)
+        matches = frozen_small_store.matches(pattern)
+        heavier = max(matches, key=lambda r: r.weight)
+        lighter = min(matches, key=lambda r: r.weight)
+        assert scorer.score(pattern, heavier) > scorer.score(pattern, lighter)
+
+    def test_idf_effect(self, frozen_small_store):
+        """The same triple scores higher under a more selective pattern."""
+        scorer = PatternScorer(frozen_small_store, ScoringConfig(smoothing=0.0))
+        ae = Resource("AlbertEinstein")
+        record = frozen_small_store.lookup(Triple(ae, BORN, Resource("Ulm")))
+        broad = TriplePattern(X, BORN, Y)        # 2 matches
+        narrow = TriplePattern(ae, BORN, Y)       # 1 match
+        assert scorer.score(narrow, record) > scorer.score(broad, record)
+
+    def test_fully_bound_pattern_scores_near_one(self, frozen_small_store):
+        scorer = PatternScorer(frozen_small_store)
+        ae = Resource("AlbertEinstein")
+        record = frozen_small_store.lookup(Triple(ae, BORN, Resource("Ulm")))
+        pattern = TriplePattern(ae, BORN, Resource("Ulm"))
+        assert scorer.score(pattern, record) >= 0.9
+
+    def test_smoothing_shifts_mass_to_collection(self, frozen_small_store):
+        plain = PatternScorer(frozen_small_store, ScoringConfig(smoothing=0.0))
+        smooth = PatternScorer(frozen_small_store, ScoringConfig(smoothing=0.5))
+        pattern = TriplePattern(X, BORN, Y)
+        record = frozen_small_store.matches(pattern)[0]
+        assert smooth.score(pattern, record) < plain.score(pattern, record)
+
+    def test_max_score_is_first_posting(self, frozen_small_store):
+        scorer = PatternScorer(frozen_small_store)
+        pattern = TriplePattern(X, TextToken("lectured at"), Y)
+        scores = [
+            scorer.score(pattern, record)
+            for record in frozen_small_store.matches(pattern)
+        ]
+        assert scorer.max_score(pattern) == pytest.approx(max(scores))
+
+    def test_max_score_empty_pattern(self, frozen_small_store):
+        scorer = PatternScorer(frozen_small_store)
+        assert scorer.max_score(TriplePattern(X, Resource("nope"), Y)) == 0.0
+
+    def test_scored_matches_descending(self, frozen_small_store):
+        scorer = PatternScorer(frozen_small_store)
+        pattern = TriplePattern(X, Variable("p"), Y)
+        scores = [s for s, _r in scorer.scored_matches(pattern)]
+        assert scores == sorted(scores, reverse=True)

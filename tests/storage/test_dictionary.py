@@ -1,0 +1,70 @@
+"""Unit tests for the term dictionary."""
+
+import pytest
+
+from repro.core.terms import Resource, TextToken
+from repro.errors import DictionaryError
+from repro.storage.dictionary import TermDictionary
+
+
+class TestTermDictionary:
+    def test_encode_is_dense_and_stable(self):
+        d = TermDictionary()
+        a = d.encode(Resource("A"))
+        b = d.encode(Resource("B"))
+        assert (a, b) == (0, 1)
+        assert d.encode(Resource("A")) == 0
+
+    def test_decode_roundtrip(self):
+        d = TermDictionary()
+        term = TextToken("housed in")
+        term_id = d.encode(term)
+        assert d.decode(term_id) == term
+
+    def test_id_of_missing_is_none(self):
+        d = TermDictionary()
+        assert d.id_of(Resource("Missing")) is None
+
+    def test_require_id_raises(self):
+        d = TermDictionary()
+        with pytest.raises(DictionaryError):
+            d.require_id(Resource("Missing"))
+
+    def test_decode_out_of_range(self):
+        d = TermDictionary()
+        with pytest.raises(DictionaryError):
+            d.decode(0)
+        d.encode(Resource("A"))
+        with pytest.raises(DictionaryError):
+            d.decode(1)
+        with pytest.raises(DictionaryError):
+            d.decode(-1)
+
+    def test_contains_and_len(self):
+        d = TermDictionary()
+        assert len(d) == 0
+        d.encode(Resource("A"))
+        assert Resource("A") in d
+        assert Resource("B") not in d
+        assert len(d) == 1
+
+    def test_token_identity_by_normalisation(self):
+        d = TermDictionary()
+        first = d.encode(TextToken("Housed In"))
+        second = d.encode(TextToken("housed  in"))
+        assert first == second
+
+    def test_ids_of_kind(self):
+        d = TermDictionary()
+        d.encode(Resource("A"))
+        d.encode(TextToken("a phrase"))
+        d.encode(Resource("B"))
+        assert d.ids_of_kind("resource") == [0, 2]
+        assert d.ids_of_kind("token") == [1]
+
+    def test_iteration_order(self):
+        d = TermDictionary()
+        terms = [Resource("C"), Resource("A"), Resource("B")]
+        for term in terms:
+            d.encode(term)
+        assert list(d) == terms

@@ -1,0 +1,84 @@
+"""Unit tests for fuzzy token matching (TokenMatcher)."""
+
+import pytest
+
+from repro.core.terms import Resource, TextToken
+from repro.errors import StorageError
+from repro.storage.text_index import PREDICATE, SUBJECT, TokenMatcher
+
+
+@pytest.fixture()
+def matcher(frozen_small_store):
+    return TokenMatcher(frozen_small_store)
+
+
+class TestConstruction:
+    def test_requires_frozen(self, small_store):
+        with pytest.raises(StorageError):
+            TokenMatcher(small_store)
+
+    def test_phrases_in_slot(self, matcher):
+        phrases = [p.norm for p in matcher.phrases_in_slot(PREDICATE)]
+        assert "lectured at" in phrases
+        assert "won a nobel for" in phrases
+
+
+class TestExactAndKeyMatches:
+    def test_exact_match_scores_one(self, matcher):
+        matches = matcher.matches(TextToken("lectured at"), PREDICATE)
+        assert matches[0].token == TextToken("lectured at")
+        assert matches[0].similarity == 1.0
+
+    def test_same_key_different_surface(self, matcher):
+        # 'lectures at' stems to the same key as 'lectured at'.
+        matches = matcher.matches(TextToken("lectures at"), PREDICATE)
+        assert any(
+            m.token == TextToken("lectured at") and m.similarity == pytest.approx(0.95)
+            for m in matches
+        )
+
+    def test_subsequence_match_attenuated(self, matcher):
+        # 'nobel for' ⊂ 'won a nobel for' (key: win nobel for).
+        matches = matcher.matches(TextToken("nobel for"), PREDICATE)
+        found = [m for m in matches if m.token == TextToken("won a nobel for")]
+        assert found
+        assert 0.6 <= found[0].similarity < 0.95
+
+    def test_non_contiguous_no_match(self, matcher):
+        matches = matcher.matches(TextToken("won for"), PREDICATE)
+        assert not any(m.token == TextToken("won a nobel for") for m in matches)
+
+    def test_no_match_returns_empty(self, matcher):
+        assert matcher.matches(TextToken("completely unrelated"), PREDICATE) == []
+
+    def test_bad_slot_rejected(self, matcher):
+        with pytest.raises(StorageError):
+            matcher.matches(TextToken("x"), 5)
+
+    def test_results_sorted_by_similarity(self, matcher):
+        matches = matcher.matches(TextToken("lectured at"), PREDICATE)
+        sims = [m.similarity for m in matches]
+        assert sims == sorted(sims, reverse=True)
+
+
+class TestResourceMatching:
+    def test_token_matches_resource_surface(self, matcher):
+        # 'born in' equals bornIn's camel-split surface exactly, so the
+        # only attenuation is the resource factor.
+        matches = matcher.matches(TextToken("born in"), PREDICATE)
+        resource_matches = [m for m in matches if m.token == Resource("bornIn")]
+        assert resource_matches
+        assert resource_matches[0].similarity == pytest.approx(0.95)
+
+    def test_subject_entity_by_surface(self, matcher):
+        matches = matcher.matches(TextToken("albert einstein"), SUBJECT)
+        assert any(m.token == Resource("AlbertEinstein") for m in matches)
+
+    def test_resources_disabled(self, frozen_small_store):
+        matcher = TokenMatcher(frozen_small_store, include_resources=False)
+        matches = matcher.matches(TextToken("born in"), PREDICATE)
+        assert not any(isinstance(m.token, Resource) for m in matches)
+
+    def test_phrase_preferred_over_resource_on_tie(self, matcher):
+        matches = matcher.matches(TextToken("lectured at"), PREDICATE)
+        assert isinstance(matches[0].token, TextToken)

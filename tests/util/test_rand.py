@@ -1,0 +1,78 @@
+"""Unit tests for seeded randomness helpers."""
+
+from repro.util.rand import SeededRng, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_differs_by_part(self):
+        assert stable_hash("a", 1) != stable_hash("a", 2)
+
+    def test_order_sensitive(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(42)
+        b = SeededRng(42)
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = SeededRng(1)
+        b = SeededRng(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_fork_independent_of_parent_draws(self):
+        parent1 = SeededRng(7)
+        fork_before = parent1.fork("child")
+        stream_before = [fork_before.random() for _ in range(5)]
+
+        parent2 = SeededRng(7)
+        parent2.random()  # extra draw on the parent
+        fork_after = parent2.fork("child")
+        stream_after = [fork_after.random() for _ in range(5)]
+
+        assert stream_before == stream_after
+
+    def test_forks_with_different_labels_differ(self):
+        parent = SeededRng(7)
+        a = parent.fork("a")
+        b = parent.fork("b")
+        assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+    def test_chance_extremes(self):
+        rng = SeededRng(3)
+        assert not any(rng.chance(0.0) for _ in range(20))
+        assert all(rng.chance(1.0) for _ in range(20))
+
+    def test_zipf_index_bounds(self):
+        rng = SeededRng(5)
+        draws = [rng.zipf_index(10) for _ in range(200)]
+        assert all(0 <= d < 10 for d in draws)
+
+    def test_zipf_skews_to_head(self):
+        rng = SeededRng(5)
+        draws = [rng.zipf_index(50) for _ in range(2000)]
+        head = sum(1 for d in draws if d < 5)
+        tail = sum(1 for d in draws if d >= 45)
+        assert head > tail * 3
+
+    def test_zipf_rejects_empty(self):
+        rng = SeededRng(5)
+        try:
+            rng.zipf_index(0)
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+    def test_subset_probability_extremes(self):
+        rng = SeededRng(9)
+        assert rng.subset(range(10), 0.0) == []
+        assert rng.subset(range(10), 1.0) == list(range(10))

@@ -1,0 +1,126 @@
+"""Unit tests for text normalisation utilities."""
+
+import pytest
+
+from repro.util.text import (
+    camel_to_words,
+    dice,
+    is_subsequence,
+    jaccard,
+    match_key,
+    normalize_phrase,
+    normalize_token,
+    overlap_coefficient,
+    stem,
+    tokenize_phrase,
+)
+
+
+class TestStem:
+    def test_irregular_forms(self):
+        assert stem("won") == "win"
+        assert stem("taught") == "teach"
+        assert stem("studied") == "study"
+
+    def test_ing_suffix(self):
+        assert stem("lecturing") == "lectur"
+
+    def test_ed_suffix(self):
+        assert stem("lectured") == "lectur"
+
+    def test_plural_suffix(self):
+        assert stem("lectures") == "lectur"
+
+    def test_short_tokens_unchanged(self):
+        assert stem("in") == "in"
+        assert stem("at") == "at"
+
+    def test_double_s_not_stripped(self):
+        assert stem("glass") == "glass"
+
+    def test_conflates_verb_forms(self):
+        assert stem("lectured") == stem("lectures") == stem("lecturing")
+
+
+class TestNormalize:
+    def test_token_lowercase_and_punctuation(self):
+        assert normalize_token("Nobel,") == "nobel"
+        assert normalize_token("U.S.A.") == "usa"
+
+    def test_phrase_whitespace_collapse(self):
+        assert normalize_phrase("  Won a   NOBEL for ") == "won a nobel for"
+
+    def test_tokenize_drops_empty(self):
+        assert tokenize_phrase("a ,, b") == ["a", "b"]
+
+    def test_normalize_idempotent(self):
+        once = normalize_phrase("Won a Nobel For")
+        assert normalize_phrase(once) == once
+
+
+class TestMatchKey:
+    def test_drops_articles_and_stems(self):
+        assert match_key("won a Nobel for") == ("win", "nobel", "for")
+
+    def test_predicate_drops_copulas(self):
+        assert match_key("was born in", predicate=True) == ("born", "in")
+
+    def test_keeps_prepositions(self):
+        key = match_key("housed in", predicate=True)
+        assert key[-1] == "in"
+
+    def test_same_key_for_paraphrases(self):
+        a = match_key("lectured at", predicate=True)
+        b = match_key("lectures at", predicate=True)
+        assert a == b
+
+    def test_empty_phrase_empty_key(self):
+        assert match_key("the a an", predicate=True) == ()
+
+
+class TestIsSubsequence:
+    def test_contiguous_inside(self):
+        assert is_subsequence(("b", "c"), ("a", "b", "c", "d"))
+
+    def test_non_contiguous_rejected(self):
+        assert not is_subsequence(("b", "d"), ("a", "b", "c", "d"))
+
+    def test_empty_needle(self):
+        assert is_subsequence((), ("a",))
+
+    def test_needle_longer_than_haystack(self):
+        assert not is_subsequence(("a", "b"), ("a",))
+
+    def test_identical(self):
+        assert is_subsequence(("a", "b"), ("a", "b"))
+
+
+class TestSetSimilarities:
+    def test_jaccard(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_jaccard_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_dice(self):
+        assert dice({1, 2}, {2, 3}) == pytest.approx(0.5)
+
+    def test_overlap_coefficient(self):
+        assert overlap_coefficient({1, 2}, {2}) == 1.0
+
+    def test_overlap_empty_side(self):
+        assert overlap_coefficient(set(), {1}) == 0.0
+
+
+class TestCamelToWords:
+    def test_simple(self):
+        assert camel_to_words("bornIn") == "born in"
+
+    def test_pascal(self):
+        assert camel_to_words("AlbertEinstein") == "albert einstein"
+
+    def test_with_digits(self):
+        assert camel_to_words("Yago2s") == "yago2s"
+
+    def test_acronym_run(self):
+        assert camel_to_words("IAS") == "ias"

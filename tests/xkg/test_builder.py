@@ -1,0 +1,94 @@
+"""Unit tests for XKG construction."""
+
+import pytest
+
+from repro.core.terms import Resource, TextToken
+from repro.kg.generator import KgGenerator
+from repro.kg.world import World, WorldConfig
+from repro.openie.corpus import CorpusConfig, CorpusGenerator
+from repro.openie.ned import EntityLinker
+from repro.xkg.builder import XkgBuilder, build_xkg
+
+
+@pytest.fixture(scope="module")
+def setup():
+    world = World.generate(WorldConfig(num_people=50, seed=3))
+    kg = KgGenerator(world).generate()
+    corpus = CorpusGenerator(world, CorpusConfig(num_popularity_documents=60)).generate()
+    linker = EntityLinker(world)
+    store, report = build_xkg(kg.triples, corpus, linker=linker)
+    return world, kg, corpus, store, report
+
+
+class TestBuild:
+    def test_kg_triples_all_present(self, setup):
+        _w, kg, _c, store, report = setup
+        assert report.kg_triples == len(set(kg.triples))
+        for triple in kg.triples[:50]:
+            assert store.lookup(triple) is not None
+
+    def test_extension_larger_than_zero(self, setup):
+        *_rest, report = setup
+        assert report.extension_triples > 0
+        assert report.extension_ratio > 0.5
+
+    def test_extension_triples_have_provenance(self, setup):
+        _w, _kg, _c, store, _r = setup
+        for record in store.records():
+            if record.triple.is_token_triple:
+                assert any(p.is_extraction for p in record.provenances)
+                assert record.confidence < 1.0
+
+    def test_arguments_linked_to_resources(self, setup):
+        """NED must canonicalise a decent share of S/O arguments."""
+        _w, _kg, _c, _store, report = setup
+        linked_fraction = report.arguments_linked / (
+            report.arguments_linked + report.arguments_unlinked
+        )
+        assert linked_fraction > 0.5
+
+    def test_repeated_facts_accumulate_counts(self, setup):
+        _w, _kg, _c, store, _r = setup
+        counts = [r.count for r in store.records() if r.triple.is_token_triple]
+        assert max(counts) > 1  # popular facts observed repeatedly
+
+    def test_store_frozen(self, setup):
+        _w, _kg, _c, store, _r = setup
+        assert store.is_frozen
+
+    def test_report_summary_renders(self, setup):
+        *_rest, report = setup
+        summary = report.summary()
+        assert "distinct triples" in summary
+        assert "ratio" in summary
+
+
+class TestBuilderOptions:
+    def test_without_linker_all_tokens(self):
+        world = World.generate(WorldConfig(num_people=20, seed=4))
+        kg = KgGenerator(world).generate()
+        corpus = CorpusGenerator(
+            world, CorpusConfig(num_popularity_documents=10)
+        ).generate()
+        store, report = build_xkg(kg.triples, corpus, linker=None)
+        assert report.arguments_linked == 0
+        for record in store.records():
+            if record.triple.is_token_triple and not record.provenances[0].is_kg:
+                # With no NED every extraction argument is a token.
+                assert record.triple.p.is_token
+
+    def test_min_confidence_filters(self):
+        world = World.generate(WorldConfig(num_people=20, seed=4))
+        kg = KgGenerator(world).generate()
+        corpus = CorpusGenerator(
+            world, CorpusConfig(num_popularity_documents=10)
+        ).generate()
+        permissive = XkgBuilder(min_confidence=0.0).build(kg.triples, corpus)[1]
+        strict = XkgBuilder(min_confidence=0.9).build(kg.triples, corpus)[1]
+        assert strict.extractions_kept < permissive.extractions_kept
+
+    def test_unfrozen_option(self):
+        world = World.generate(WorldConfig(num_people=10, seed=4))
+        kg = KgGenerator(world).generate()
+        store, _report = XkgBuilder().build(kg.triples, [], freeze=False)
+        assert not store.is_frozen
