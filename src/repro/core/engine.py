@@ -15,6 +15,7 @@ operator registry), scoring, top-k processing, explanation and suggestion::
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
@@ -45,9 +46,15 @@ class EngineConfig:
     Attributes
     ----------
     processor:
-        Top-k processing knobs (budgets, ablation switches).
+        Top-k processing knobs (budgets, ablation switches) — including
+        ``execution`` ("idspace" hot path vs "termspace" reference).
     scoring:
         Language-model smoothing.
+    storage_backend:
+        Storage backend the engine's store should use ("columnar", "dict",
+        or any registered name).  ``None`` keeps whatever backend the given
+        store was built with; a concrete name converts the store at engine
+        construction if it differs.
     mine_arg_overlap, mine_chains, mine_inversions:
         Default rule-mining operators to register and run at startup.
     mine_amie, mine_esa:
@@ -61,6 +68,7 @@ class EngineConfig:
 
     processor: ProcessorConfig = field(default_factory=ProcessorConfig)
     scoring: ScoringConfig = field(default_factory=ScoringConfig)
+    storage_backend: str | None = None
     mine_arg_overlap: bool = True
     mine_chains: bool = True
     mine_inversions: bool = True
@@ -97,6 +105,11 @@ class TriniT:
         registry: OperatorRegistry | None = None,
     ):
         self.config = config if config is not None else EngineConfig()
+        if (
+            self.config.storage_backend is not None
+            and store.backend_name != self.config.storage_backend
+        ):
+            store = store.convert(self.config.storage_backend)
         if not store.is_frozen:
             store.freeze()
         self.store = store
@@ -133,12 +146,20 @@ class TriniT:
         """Build an engine from curated triples plus scored extractions.
 
         ``extension_triples`` entries are (triple, provenance, confidence);
-        repeated statements accumulate observation counts.
+        repeated statements accumulate observation counts.  Extractions
+        sharing provenance and confidence are loaded in bulk via
+        :meth:`TripleStore.add_all`.
         """
         store = TripleStore()
         store.add_all(kg_triples)
-        for triple, provenance, confidence in extension_triples:
-            store.add(triple, provenance, confidence)
+        for (provenance, confidence), group in itertools.groupby(
+            extension_triples, key=lambda entry: (entry[1], entry[2])
+        ):
+            store.add_all(
+                [triple for triple, _p, _c in group],
+                provenance,
+                confidence=confidence,
+            )
         return cls(store.freeze(), **kwargs)
 
     def _register_default_operators(self) -> None:

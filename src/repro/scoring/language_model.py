@@ -65,9 +65,18 @@ class PatternScorer:
         The caller guarantees the record matches the pattern; the score of a
         non-matching record is meaningless (but still finite).
         """
+        return self.score_weight(pattern, record.weight)
+
+    def score_weight(self, pattern: TriplePattern, weight: float) -> float:
+        """P(t | pattern) for a match of the given observation weight.
+
+        The id-space hot path calls this with weights read straight from the
+        store's weight column; the float arithmetic is identical to
+        :meth:`score`, which is what backend/execution equivalence tests
+        rely on.
+        """
         lam = self.config.smoothing
         mass = self.pattern_mass(pattern)
-        weight = record.weight
         foreground = weight / mass if mass > 0 else 0.0
         if lam == 0.0:
             return foreground
@@ -75,6 +84,20 @@ class PatternScorer:
             weight / self._collection_mass if self._collection_mass > 0 else 0.0
         )
         return (1.0 - lam) * foreground + lam * background
+
+    def emission_model(self, pattern: TriplePattern) -> tuple[float, float, float]:
+        """(λ, pattern mass, collection mass) for inlined per-weight scoring.
+
+        Cursors that walk thousands of postings fetch these three constants
+        once and compute ``(1-λ)·w/mass + λ·w/cmass`` locally, keeping the
+        per-item cost at two multiplies — with bit-identical results to
+        :meth:`score`.
+        """
+        return (
+            self.config.smoothing,
+            self.pattern_mass(pattern),
+            self._collection_mass,
+        )
 
     def max_score(self, pattern: TriplePattern) -> float:
         """Upper bound on P(t | pattern): the score of the best match.

@@ -6,6 +6,9 @@ matching triples in descending score order, incrementally*.  This package
 provides that contract with an in-memory store:
 
 * :mod:`dictionary` — bidirectional term ↔ integer-id encoding,
+* :mod:`backend` — the pluggable :class:`StorageBackend` boundary (the
+  sharding / persistence seam) with the hash-index :class:`DictBackend`,
+* :mod:`columnar` — the compact array-column backend (:class:`ColumnarBackend`),
 * :mod:`index` — posting lists for every bound-slot signature, pre-sorted by
   observation weight so sorted access is an array walk,
 * :mod:`store` — the :class:`TripleStore` facade (add / freeze / match),
@@ -15,6 +18,14 @@ provides that contract with an in-memory store:
 * :mod:`persistence` — JSONL save/load.
 """
 
+from repro.storage.backend import (
+    BACKENDS,
+    DictBackend,
+    StorageBackend,
+    make_backend,
+    register_backend,
+)
+from repro.storage.columnar import ColumnarBackend
 from repro.storage.dictionary import TermDictionary
 from repro.storage.store import StoredTriple, TripleStore
 from repro.storage.statistics import StoreStatistics
@@ -22,12 +33,18 @@ from repro.storage.text_index import TokenMatcher, TokenMatch
 from repro.storage.persistence import load_store, save_store
 
 __all__ = [
+    "BACKENDS",
+    "ColumnarBackend",
+    "DictBackend",
+    "StorageBackend",
     "TermDictionary",
     "TripleStore",
     "StoredTriple",
     "StoreStatistics",
     "TokenMatcher",
     "TokenMatch",
+    "make_backend",
+    "register_backend",
     "save_store",
     "load_store",
 ]

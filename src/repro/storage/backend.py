@@ -1,0 +1,178 @@
+"""The pluggable storage backend boundary.
+
+The top-k machinery needs a narrow contract from physical storage: *given the
+bound-slot signature and key of a triple pattern, enumerate matching triple
+ids in descending score order*, plus O(1) id-level access to each triple's
+slot ids and sort weight.  Everything above this boundary (cursors, rank
+join, scoring) speaks integer ids only, so swapping the physical layout —
+hash-bucketed posting lists, columnar arrays, later a sharded or persistent
+backend — never touches query processing.
+
+Two backends ship in-tree:
+
+* :class:`DictBackend` — the original hash-index layout
+  (:class:`~repro.storage.index.PostingIndex` underneath): one dict per
+  bound-slot signature mapping key tuples to posting tuples.
+* :class:`~repro.storage.columnar.ColumnarBackend` — compact parallel
+  columns (``array('i')`` for s/p/o ids, ``array('d')`` for weights) with
+  posting lists represented as index *ranges* into per-signature permutation
+  arrays; lookups return zero-copy read-only memoryview slices.
+
+Backends register themselves in :data:`BACKENDS`; :func:`make_backend`
+resolves a name (as carried by ``EngineConfig.storage_backend``) to a fresh
+instance.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.errors import StorageError
+from repro.storage.index import PostingIndex
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Physical storage contract for one :class:`~repro.storage.store.TripleStore`.
+
+    Build phase: :meth:`insert` every triple id with its (s, p, o) term ids,
+    then :meth:`freeze` once with the per-triple sort weights.  After
+    freezing the backend is immutable and lookups are allowed.
+    """
+
+    #: Registry name ("dict", "columnar", ...).
+    name: str
+
+    @property
+    def is_frozen(self) -> bool: ...
+
+    def __len__(self) -> int:
+        """Number of triples inserted."""
+        ...
+
+    def insert(self, triple_id: int, slot_ids: tuple[int, int, int]) -> None:
+        """Register one triple.  Ids must arrive densely, in order."""
+        ...
+
+    def freeze(
+        self, weights: Sequence[float], counts: Sequence[int] | None = None
+    ) -> None:
+        """Finalise: sort posting structures by (weight desc, triple id asc).
+
+        ``counts`` is the optional per-triple observation-count column;
+        backends may retain it (the columnar backend does, for
+        introspection and future persistence) or ignore it.
+        """
+        ...
+
+    def postings(
+        self, bound_slots: Sequence[bool], key: tuple[int, ...]
+    ) -> Sequence[int]:
+        """Score-sorted triple ids for a bound-slot lookup.
+
+        The returned sequence is immutable (tuple or read-only memoryview);
+        callers may hold it indefinitely without copying.
+        """
+        ...
+
+    def distinct_keys(self, bound_slots: Sequence[bool]) -> list[tuple[int, ...]]:
+        """All keys present for a signature (statistics and mining)."""
+        ...
+
+    def slot_ids(self, triple_id: int) -> tuple[int, int, int]:
+        """The (s, p, o) term ids of one triple."""
+        ...
+
+    def weight(self, triple_id: int) -> float:
+        """The sort weight the backend was frozen with."""
+        ...
+
+
+class DictBackend:
+    """Hash-bucketed posting lists — the original storage layout."""
+
+    name = "dict"
+
+    def __init__(self):
+        self._index = PostingIndex()
+        self._keys: list[tuple[int, int, int]] = []
+        self._weights: Sequence[float] = ()
+
+    @property
+    def is_frozen(self) -> bool:
+        return self._index.is_frozen
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def insert(self, triple_id: int, slot_ids: tuple[int, int, int]) -> None:
+        if triple_id != len(self._keys):
+            raise StorageError(
+                f"Triple ids must be dense: expected {len(self._keys)}, "
+                f"got {triple_id}"
+            )
+        self._keys.append(slot_ids)
+        self._index.insert(triple_id, slot_ids)
+
+    def freeze(
+        self, weights: Sequence[float], counts: Sequence[int] | None = None
+    ) -> None:
+        if len(weights) != len(self._keys):
+            raise StorageError(
+                f"{len(self._keys)} triples but {len(weights)} weights"
+            )
+        self._weights = tuple(weights)
+        self._index.freeze(self._weights)
+
+    def postings(
+        self, bound_slots: Sequence[bool], key: tuple[int, ...]
+    ) -> Sequence[int]:
+        return self._index.postings(bound_slots, key)
+
+    def distinct_keys(self, bound_slots: Sequence[bool]) -> list[tuple[int, ...]]:
+        return self._index.distinct_keys(bound_slots)
+
+    def slot_ids(self, triple_id: int) -> tuple[int, int, int]:
+        return self._keys[triple_id]
+
+    def weight(self, triple_id: int) -> float:
+        return self._weights[triple_id]
+
+
+#: Name -> constructor registry.  The columnar backend registers itself on
+#: import (see bottom of this module); third-party backends may register too.
+BACKENDS: dict[str, type] = {DictBackend.name: DictBackend}
+
+
+def register_backend(cls: type) -> type:
+    """Register a backend class under its ``name``.  Usable as a decorator."""
+    name = getattr(cls, "name", None)
+    if not name or not isinstance(name, str):
+        raise StorageError(f"Backend {cls!r} has no string 'name' attribute")
+    BACKENDS[name] = cls
+    return cls
+
+
+def make_backend(backend: "str | StorageBackend | None") -> StorageBackend:
+    """Resolve a backend spec: None -> default, name -> new instance."""
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if isinstance(backend, str):
+        cls = BACKENDS.get(backend)
+        if cls is None:
+            known = ", ".join(sorted(BACKENDS))
+            raise StorageError(f"Unknown storage backend {backend!r} (have: {known})")
+        return cls()
+    if len(backend) or backend.is_frozen:
+        raise StorageError("A shared backend instance must be empty and unfrozen")
+    return backend
+
+
+# Imported for the side effect of registering "columnar" in BACKENDS; the
+# import sits below the registry to avoid a cycle.
+from repro.storage import columnar as _columnar  # noqa: E402,F401
+
+#: Backend used when a store is built without an explicit choice.  Columnar
+#: is the compact, fast layout; "dict" remains available for comparison and
+#: as the reference for backend-equivalence tests.
+DEFAULT_BACKEND = "columnar"

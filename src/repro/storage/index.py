@@ -45,10 +45,12 @@ class PostingIndex:
     """
 
     def __init__(self):
-        self._lists: dict[tuple[int, ...], dict[tuple[int, ...], list[int]]] = {
+        # Buckets are mutable lists during the build phase; freeze() replaces
+        # them (and the scan list) with tuples.
+        self._lists: dict[tuple[int, ...], dict[tuple[int, ...], Sequence[int]]] = {
             sig: {} for sig in SIGNATURES
         }
-        self._scan: list[int] = []
+        self._scan: Sequence[int] = []
         self._frozen = False
 
     @property
@@ -69,7 +71,9 @@ class PostingIndex:
         """Sort every posting list by (weight desc, triple id asc).
 
         ``weights[i]`` is the sort weight of triple id ``i``.  Ascending id as
-        tie-break keeps ordering deterministic.
+        tie-break keeps ordering deterministic.  Posting lists are converted
+        to tuples here so no caller can ever mutate the index through a
+        returned list.
         """
         if self._frozen:
             raise StorageError("Index already frozen")
@@ -77,19 +81,22 @@ class PostingIndex:
         def order(tid: int) -> tuple[float, int]:
             return (-weights[tid], tid)
 
-        self._scan.sort(key=order)
-        for sig_lists in self._lists.values():
-            for posting in sig_lists.values():
-                posting.sort(key=order)
+        self._scan = tuple(sorted(self._scan, key=order))
+        for sig, sig_lists in self._lists.items():
+            self._lists[sig] = {
+                key: tuple(sorted(posting, key=order))
+                for key, posting in sig_lists.items()
+            }
         self._frozen = True
 
-    def postings(self, bound_slots: Sequence[bool], key: tuple[int, ...]) -> list[int]:
+    def postings(
+        self, bound_slots: Sequence[bool], key: tuple[int, ...]
+    ) -> tuple[int, ...]:
         """Return the posting list (score-sorted triple ids) for a lookup.
 
         ``bound_slots`` marks which of S/P/O are constants; ``key`` carries
         the term ids of the bound slots in S, P, O order.  An all-variables
-        lookup returns the global scan list.  The returned list is owned by
-        the index — callers must not mutate it.
+        lookup returns the global scan list.  Postings are immutable tuples.
         """
         if not self._frozen:
             raise StorageError("Index must be frozen before lookup")
@@ -110,4 +117,4 @@ class PostingIndex:
         return list(self._lists[sig].keys())
 
 
-_EMPTY: list[int] = []
+_EMPTY: tuple[int, ...] = ()

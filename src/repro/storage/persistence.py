@@ -118,8 +118,14 @@ def save_store(store: TripleStore, path: str | Path) -> int:
     return lines_written
 
 
-def load_store(path: str | Path, freeze: bool = True) -> TripleStore:
-    """Load a store previously written by :func:`save_store`."""
+def load_store(
+    path: str | Path, freeze: bool = True, backend: str | None = None
+) -> TripleStore:
+    """Load a store previously written by :func:`save_store`.
+
+    ``backend`` selects the storage backend of the loaded store (registry
+    name, e.g. "columnar" or "dict"); ``None`` keeps the default.
+    """
     path = Path(path)
     if not path.exists():
         raise PersistenceError(f"No such file: {path}")
@@ -135,7 +141,7 @@ def load_store(path: str | Path, freeze: bool = True) -> TripleStore:
             raise PersistenceError(
                 f"Not a {FORMAT_NAME} file: format={header.get('format')!r}"
             )
-        store = TripleStore(name=header.get("name", "XKG"))
+        store = TripleStore(name=header.get("name", "XKG"), backend=backend)
         for line_number, line in enumerate(handle, start=2):
             line = line.strip()
             if not line:

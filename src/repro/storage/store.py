@@ -7,6 +7,12 @@ distinct triple observed ten times — the tf-like evidence the scoring model
 uses) and keep the best confidence plus a bounded sample of provenances.
 :meth:`~TripleStore.freeze` then builds the posting-list indexes; afterwards
 the store is immutable and supports sorted access.
+
+Physical index layout is delegated to a pluggable
+:class:`~repro.storage.backend.StorageBackend` ("columnar" by default,
+"dict" for the original hash-index layout); the store also exposes the
+id-level accessors (:meth:`spo_ids`, :meth:`weight`, :meth:`postings_ids`)
+the id-space execution core runs on.
 """
 
 from __future__ import annotations
@@ -17,8 +23,8 @@ from typing import Iterator, Sequence
 from repro.core.terms import Term
 from repro.core.triples import KG_PROVENANCE, Provenance, Triple, TriplePattern
 from repro.errors import StorageError
+from repro.storage.backend import StorageBackend, make_backend
 from repro.storage.dictionary import TermDictionary
-from repro.storage.index import PostingIndex
 
 #: How many distinct provenance records are retained per triple.  Answer
 #: explanations show a sample of sources, not every one of potentially
@@ -48,14 +54,19 @@ class TripleStore:
     ----------
     name:
         Label used in provenance descriptions and persistence headers.
+    backend:
+        Storage backend: a registry name ("columnar", "dict") or a fresh
+        :class:`~repro.storage.backend.StorageBackend` instance.  ``None``
+        selects the default (columnar).
     """
 
-    def __init__(self, name: str = "XKG"):
+    def __init__(self, name: str = "XKG", backend: str | StorageBackend | None = None):
         self.name = name
         self.dictionary = TermDictionary()
         self._triples: list[StoredTriple] = []
         self._by_key: dict[tuple[int, int, int], int] = {}
-        self._index = PostingIndex()
+        self._backend = make_backend(backend)
+        self._weights: Sequence[float] = ()
         self._frozen = False
         self._pattern_total_cache: dict[object, float] = {}
 
@@ -103,20 +114,37 @@ class TripleStore:
             StoredTriple(triple, count, confidence, [provenance])
         )
         self._by_key[key] = triple_id
-        self._index.insert(triple_id, key)
+        self._backend.insert(triple_id, key)
         return triple_id
 
-    def add_all(self, triples: Sequence[Triple], provenance: Provenance | None = None) -> None:
-        """Bulk-add curated facts with shared provenance."""
-        for triple in triples:
-            self.add(triple, provenance)
+    def add_all(
+        self,
+        triples: Sequence[Triple],
+        provenance: Provenance | None = None,
+        *,
+        confidence: float = 1.0,
+        count: int = 1,
+    ) -> list[int]:
+        """Bulk-add facts with shared provenance/confidence/count.
+
+        The confidence and count apply to every triple in the batch, so bulk
+        extension loading (one corpus chunk, one extractor confidence) does
+        not need per-triple :meth:`add` calls.  Returns the triple ids in
+        input order.
+        """
+        return [
+            self.add(triple, provenance, confidence=confidence, count=count)
+            for triple in triples
+        ]
 
     def freeze(self) -> "TripleStore":
         """Finalise the store: sort posting lists.  Returns self for chaining."""
         if self._frozen:
             raise StorageError("Store already frozen")
-        weights = [record.weight for record in self._triples]
-        self._index.freeze(weights)
+        self._weights = tuple(record.weight for record in self._triples)
+        self._backend.freeze(
+            self._weights, [record.count for record in self._triples]
+        )
         self._frozen = True
         return self
 
@@ -125,6 +153,14 @@ class TripleStore:
     @property
     def is_frozen(self) -> bool:
         return self._frozen
+
+    @property
+    def backend(self) -> StorageBackend:
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
 
     def __len__(self) -> int:
         """Number of *distinct* triples."""
@@ -147,7 +183,27 @@ class TripleStore:
         return self.record(triple_id).triple
 
     def weight(self, triple_id: int) -> float:
+        if self._frozen:
+            if 0 <= triple_id < len(self._weights):
+                return self._weights[triple_id]
+            raise StorageError(f"Unknown triple id: {triple_id}")
         return self.record(triple_id).weight
+
+    def weights(self) -> Sequence[float]:
+        """The frozen per-triple weight column (index parallel to triple ids)."""
+        if not self._frozen:
+            raise StorageError("Weights are materialised at freeze time")
+        return self._weights
+
+    def spo_ids(self, triple_id: int) -> tuple[int, int, int]:
+        """The (s, p, o) term ids of one stored triple.
+
+        Validates the id; hot loops that walk trusted posting lists read
+        ``backend.slot_ids`` / :meth:`weights` directly instead.
+        """
+        if not 0 <= triple_id < len(self._triples):
+            raise StorageError(f"Unknown triple id: {triple_id}")
+        return self._backend.slot_ids(triple_id)
 
     def total_observations(self) -> float:
         """Collection-wide observation mass (for smoothing)."""
@@ -177,13 +233,14 @@ class TripleStore:
         triple_id = self._by_key.get(key)
         return None if triple_id is None else self._triples[triple_id]
 
-    def sorted_ids(self, pattern: TriplePattern) -> list[int]:
+    def sorted_ids(self, pattern: TriplePattern) -> Sequence[int]:
         """Triple ids matching the pattern's *constant slots*, best first.
 
         Token constants match exactly (same normalised phrase); fuzzy token
         expansion is layered on top by :class:`~repro.storage.text_index.
         TokenMatcher`.  Patterns with repeated variables need post-filtering
-        — use :meth:`matches` or filter via ``pattern.bind``.
+        — use :meth:`matches` or filter via ``pattern.bind``.  The returned
+        sequence is immutable and owned by the backend.
         """
         if not self._frozen:
             raise StorageError("Store must be frozen before lookup")
@@ -193,9 +250,23 @@ class TripleStore:
             if term.is_constant:
                 term_id = self.dictionary.id_of(term)
                 if term_id is None:
-                    return []
+                    return ()
                 key.append(term_id)
-        return self._index.postings(bound, tuple(key))
+        return self._backend.postings(bound, tuple(key))
+
+    def postings_ids(
+        self, s: int | None, p: int | None, o: int | None
+    ) -> Sequence[int]:
+        """Score-sorted triple ids for an id-level lookup (None = unbound).
+
+        This is the hot-path twin of :meth:`sorted_ids` for callers that
+        already hold term ids (the id-space sub-join evaluator).
+        """
+        if not self._frozen:
+            raise StorageError("Store must be frozen before lookup")
+        bound = (s is not None, p is not None, o is not None)
+        key = tuple(i for i in (s, p, o) if i is not None)
+        return self._backend.postings(bound, key)
 
     def _has_repeated_variable(self, pattern: TriplePattern) -> bool:
         names = [t for t in pattern.terms() if t.is_variable]
@@ -228,10 +299,42 @@ class TripleStore:
         cached = self._pattern_total_cache.get(cache_key)
         if cached is not None:
             return cached
-        total = sum(self._triples[i].weight for i in self.sorted_ids(pattern))
+        weights = self._weights
+        total = sum(weights[i] for i in self.sorted_ids(pattern))
         self._pattern_total_cache[cache_key] = total
         return total
 
     def terms_of_kind(self, kind: str) -> list[Term]:
         """All distinct terms of a kind appearing anywhere in the store."""
         return [self.dictionary.decode(i) for i in self.dictionary.ids_of_kind(kind)]
+
+    # -- backend conversion ------------------------------------------------------------
+
+    def convert(self, backend: str | StorageBackend) -> "TripleStore":
+        """A copy of this store on a different backend.
+
+        Records are re-added in id order, so triple ids, dictionary ids, and
+        posting orders are identical to the original — the conversion is
+        observationally transparent to query processing.
+        """
+        clone = TripleStore(self.name, backend=backend)
+        for record in self._triples:
+            key = (
+                clone.dictionary.encode(record.triple.s),
+                clone.dictionary.encode(record.triple.p),
+                clone.dictionary.encode(record.triple.o),
+            )
+            triple_id = len(clone._triples)
+            clone._triples.append(
+                StoredTriple(
+                    record.triple,
+                    record.count,
+                    record.confidence,
+                    list(record.provenances),
+                )
+            )
+            clone._by_key[key] = triple_id
+            clone._backend.insert(triple_id, key)
+        if self._frozen:
+            clone.freeze()
+        return clone

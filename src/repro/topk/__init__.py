@@ -3,21 +3,38 @@
 This package implements the paper's extension of the incremental top-k
 algorithm of Theobald, Schenkel & Weikum (SIGIR 2005):
 
-* :mod:`cursors` — sorted access over a pattern's matches
-  (:class:`PostingCursor`), and lazily-materialised sorted access over a
-  multi-pattern relaxation's sub-join (:class:`MaterializedJoinCursor`);
+* :mod:`idspace` — the default execution core: cursors, rank join and
+  answer aggregation operating on dictionary-encoded integer ids end to
+  end, with decode-to-:class:`Term` deferred to answer materialisation;
+* :mod:`cursors` — the original term-space sorted access
+  (:class:`PostingCursor`, :class:`MaterializedJoinCursor`), retained as
+  the executable reference semantics;
 * :mod:`incremental_merge` — merges a pattern's cursor with its relaxed
-  forms' cursors, invoking a relaxation only when its upper bound reaches
-  the head of the merged stream;
-* :mod:`rank_join` — n-ary rank join across the merged per-pattern streams
-  with HRJN-style upper bounds and threshold termination;
+  forms' cursors (representation-agnostic: serves both cores), invoking a
+  relaxation only when its upper bound reaches the head of the merged
+  stream;
+* :mod:`rank_join` — term-space n-ary rank join with HRJN-style upper
+  bounds and threshold termination (id-space twin lives in
+  :mod:`idspace`);
 * :mod:`processor` — the :class:`TopKProcessor` tying rewriting enumeration,
-  cursor construction, joins, scoring and answer aggregation together;
+  cursor specs, joins, scoring and answer aggregation together, selecting
+  the execution core via ``ProcessorConfig.execution``;
 * :mod:`exhaustive` — the same semantics without early termination, used as
   the correctness reference and the efficiency-bench baseline.
 """
 
 from repro.topk.cursors import Cursor, PostingCursor, MaterializedJoinCursor, ScoredMatch
+from repro.topk.idspace import (
+    IdAnswerAggregator,
+    IdExecutionContext,
+    IdMatch,
+    IdPostingCursor,
+    IdRankJoin,
+    IdSubJoinCursor,
+    PatternPlan,
+    SlotTable,
+    UNBOUND,
+)
 from repro.topk.incremental_merge import IncrementalMergeCursor
 from repro.topk.rank_join import NaryRankJoin
 from repro.topk.processor import TopKProcessor, ProcessorConfig
@@ -28,6 +45,15 @@ __all__ = [
     "PostingCursor",
     "MaterializedJoinCursor",
     "ScoredMatch",
+    "IdAnswerAggregator",
+    "IdExecutionContext",
+    "IdMatch",
+    "IdPostingCursor",
+    "IdRankJoin",
+    "IdSubJoinCursor",
+    "PatternPlan",
+    "SlotTable",
+    "UNBOUND",
     "IncrementalMergeCursor",
     "NaryRankJoin",
     "TopKProcessor",

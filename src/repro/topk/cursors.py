@@ -20,7 +20,7 @@ relaxation only when it can contribute to the top-k answers".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Protocol
+from typing import Iterable, Protocol, Sequence
 
 from repro.core.results import BindingKey, PatternMatchInfo, QueryStats, binding_key
 from repro.core.terms import Term, Variable
@@ -95,7 +95,7 @@ class PostingCursor:
         self.rule = rule
         self.token_matches = token_matches
         self.stats = stats
-        self._ids: list[int] | None = None
+        self._ids: Sequence[int] | None = None
         self._position = 0
         self._needs_filter = _has_repeated_variable(pattern)
 

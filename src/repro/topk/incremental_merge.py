@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 import itertools
 
-from repro.core.results import BindingKey, QueryStats
+from repro.core.results import QueryStats
 from repro.topk.cursors import Cursor, ScoredMatch
 
 #: Tolerance when deciding whether a heap entry's cached peek is stale.
@@ -43,7 +43,10 @@ class IncrementalMergeCursor:
         self.stats = stats
         self._counter = itertools.count()
         self._heap: list[tuple[float, int, Cursor]] = []
-        self._emitted: set[BindingKey] = set()
+        # Bindings are only required to be hashable: term-space cursors emit
+        # BindingKey pair-tuples, id-space cursors emit int tuples — the
+        # merge serves both execution cores unchanged.
+        self._emitted: set = set()
         self._invoked: set[int] = set()
         self._cursor_index: dict[int, int] = {}
         for index, cursor in enumerate(cursors):

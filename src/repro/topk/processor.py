@@ -17,6 +17,19 @@ Pulls together the whole pipeline of Sections 3–4 of the paper:
 4. **Aggregation** — answers deduplicate by projection binding, keeping the
    maximal score over all derivation sequences.
 
+Streams are described once as *cursor specs* (pattern, multiplier, rule,
+token expansions) and then lowered onto one of two execution cores selected
+by ``config.execution``:
+
+* ``"idspace"`` (default) — the dictionary-encoded hot path of
+  :mod:`repro.topk.idspace`: bindings are int tuples, scores come straight
+  off the weight column, decoding to :class:`Term` happens only when the
+  final :class:`AnswerSet` materialises.
+* ``"termspace"`` — the original object-based cursors
+  (:mod:`repro.topk.cursors`); retained as the executable reference
+  semantics that the equivalence suite and the id-space benchmark compare
+  against.
+
 Setting ``config.exhaustive = True`` disables every early-termination check,
 yielding reference semantics (used by correctness tests and as the
 efficiency-comparison baseline).
@@ -38,11 +51,21 @@ from repro.relax.rules import RelaxationRule, RuleSet
 from repro.scoring.answer_scoring import AnswerAggregator
 from repro.scoring.language_model import PatternScorer, ScoringConfig
 from repro.storage.store import TripleStore
-from repro.storage.text_index import TokenMatcher
+from repro.storage.text_index import TokenMatch, TokenMatcher
 from repro.topk.cursors import Cursor, MaterializedJoinCursor, PostingCursor
+from repro.topk.idspace import (
+    IdAnswerAggregator,
+    IdExecutionContext,
+    IdPostingCursor,
+    IdRankJoin,
+    IdSubJoinCursor,
+)
 from repro.topk.incremental_merge import IncrementalMergeCursor
 from repro.topk.rank_join import NaryRankJoin
 from repro.util.heap import DistinctTopKTracker
+
+#: Valid values of :attr:`ProcessorConfig.execution`.
+EXECUTION_MODES = ("idspace", "termspace")
 
 
 @dataclass(frozen=True)
@@ -70,6 +93,9 @@ class ProcessorConfig:
         rewrite enumeration instead (ablation of incremental merging).
     exhaustive:
         Disable all early termination (reference evaluation).
+    execution:
+        Execution core: "idspace" (dictionary-encoded hot path, default) or
+        "termspace" (the original Term-object reference path).
     """
 
     k: int = 10
@@ -85,6 +111,7 @@ class ProcessorConfig:
     exhaustive: bool = False
     unknown_resource_fallback: bool = True
     unknown_resource_penalty: float = 0.9
+    execution: str = "idspace"
 
     def __post_init__(self):
         if self.k < 1:
@@ -93,6 +120,30 @@ class ProcessorConfig:
             raise TopKError("max_rewrite_depth must be >= 0")
         if not 0.0 <= self.min_rewriting_weight <= 1.0:
             raise TopKError("min_rewriting_weight must be in [0, 1]")
+        if self.execution not in EXECUTION_MODES:
+            raise TopKError(
+                f"execution must be one of {EXECUTION_MODES}, got {self.execution!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PostingSpec:
+    """One posting-cursor stream: a concrete pattern and its attenuation."""
+
+    pattern: TriplePattern
+    multiplier: float = 1.0
+    rule: RelaxationRule | None = None
+    token_matches: tuple[TokenMatch, ...] = ()
+
+
+@dataclass(frozen=True)
+class SubJoinSpec:
+    """One lazily-materialised sub-join stream (multi-pattern relaxation)."""
+
+    patterns: tuple[TriplePattern, ...]
+    interface_vars: tuple[Variable, ...]
+    multiplier: float = 1.0
+    rule: RelaxationRule | None = None
 
 
 class TopKProcessor:
@@ -170,7 +221,7 @@ class TopKProcessor:
         candidates.sort(key=lambda r: (-r.weight, r.n3()))
         return candidates
 
-    # -- stream construction ------------------------------------------------------
+    # -- stream planning ------------------------------------------------------
 
     def _effective_pattern(self, pattern: TriplePattern) -> tuple[TriplePattern, float]:
         """Handle vocabulary mismatch: unknown resources fall back to tokens.
@@ -208,9 +259,8 @@ class TopKProcessor:
         *,
         multiplier: float,
         rule: RelaxationRule | None,
-        stats: QueryStats,
-    ) -> list[Cursor]:
-        """Posting cursors for a pattern, fuzzy-expanding token constants."""
+    ) -> list[PostingSpec]:
+        """Posting specs for a pattern, fuzzy-expanding token constants."""
         pattern, penalty = self._effective_pattern(pattern)
         multiplier *= penalty
         token_slots = [
@@ -219,21 +269,12 @@ class TopKProcessor:
             if isinstance(term, TextToken)
         ]
         if not token_slots or not self.config.use_token_expansion:
-            return [
-                PostingCursor(
-                    self.store,
-                    self.scorer,
-                    pattern,
-                    multiplier=multiplier,
-                    rule=rule,
-                    stats=stats,
-                )
-            ]
+            return [PostingSpec(pattern, multiplier, rule)]
         options = []
         for slot, term in token_slots:
             matches = self.matcher.matches(term, slot)
             options.append(matches[: self.config.max_token_expansions])
-        cursors: list[Cursor] = []
+        specs: list[PostingSpec] = []
         for combo in itertools.product(*options):
             total = multiplier
             terms = list(pattern.terms())
@@ -242,29 +283,27 @@ class TopKProcessor:
                 terms[slot] = match.token
             if total < self.config.min_cursor_multiplier:
                 continue
-            cursors.append(
-                PostingCursor(
-                    self.store,
-                    self.scorer,
-                    TriplePattern(*terms),
-                    multiplier=total,
-                    rule=rule,
-                    token_matches=tuple(combo),
-                    stats=stats,
-                )
+            specs.append(
+                PostingSpec(TriplePattern(*terms), total, rule, tuple(combo))
             )
-        return cursors
+        return specs
 
-    def _build_stream(
+    def _stream_specs(
         self,
         pattern: TriplePattern,
         query: Query,
         fresh_names,
-        stats: QueryStats,
-    ) -> Cursor:
-        """The merged stream for one pattern of one rewriting."""
-        base = self._expand_pattern(pattern, multiplier=1.0, rule=None, stats=stats)
-        relaxation_cursors: list[tuple[float, int, Cursor]] = []
+    ) -> list[PostingSpec | SubJoinSpec]:
+        """The merged stream of one pattern, as an ordered list of specs.
+
+        The original pattern's (token-expanded) posting specs come first,
+        then the pattern-level relaxations, weight-descending and capped —
+        exactly the cursor order both execution cores merge.
+        """
+        base: list[PostingSpec | SubJoinSpec] = list(
+            self._expand_pattern(pattern, multiplier=1.0, rule=None)
+        )
+        relaxations: list[tuple[float, int, PostingSpec | SubJoinSpec]] = []
         if self.config.use_relaxation and self.config.pattern_level_merge:
             interface = self._interface_vars(pattern, query)
             order = itertools.count()
@@ -288,37 +327,28 @@ class TopKProcessor:
                     if replacement == (pattern,):
                         continue  # no-op
                     if len(replacement) == 1:
-                        for cursor in self._expand_pattern(
+                        for spec in self._expand_pattern(
                             replacement[0],
                             multiplier=rule.weight,
                             rule=rule,
-                            stats=stats,
                         ):
-                            relaxation_cursors.append(
-                                (rule.weight, next(order), cursor)
-                            )
+                            relaxations.append((rule.weight, next(order), spec))
                     else:
-                        cursor = MaterializedJoinCursor(
-                            self.store,
-                            self.scorer,
+                        spec = SubJoinSpec(
                             replacement,
                             tuple(sorted(interface, key=lambda v: v.name)),
                             multiplier=rule.weight,
                             rule=rule,
-                            stats=stats,
                         )
-                        relaxation_cursors.append((rule.weight, next(order), cursor))
-        relaxation_cursors.sort(key=lambda entry: (-entry[0], entry[1]))
+                        relaxations.append((rule.weight, next(order), spec))
+        relaxations.sort(key=lambda entry: (-entry[0], entry[1]))
         kept = [
-            cursor
-            for _weight, _order, cursor in relaxation_cursors[
+            spec
+            for _weight, _order, spec in relaxations[
                 : self.config.max_relaxations_per_pattern
             ]
         ]
-        cursors = base + kept
-        if len(cursors) == 1:
-            return cursors[0]
-        return IncrementalMergeCursor(cursors, stats)
+        return base + kept
 
     def _holds_in_store(self, pattern: TriplePattern) -> bool:
         """Condition check for rule application: does this fact hold?"""
@@ -334,19 +364,56 @@ class TopKProcessor:
                 visible |= set(other.variables())
         return own & visible
 
+    # -- spec lowering ------------------------------------------------------
+
+    def _term_cursor(self, spec: PostingSpec | SubJoinSpec, stats: QueryStats) -> Cursor:
+        if isinstance(spec, PostingSpec):
+            return PostingCursor(
+                self.store,
+                self.scorer,
+                spec.pattern,
+                multiplier=spec.multiplier,
+                rule=spec.rule,
+                token_matches=spec.token_matches,
+                stats=stats,
+            )
+        return MaterializedJoinCursor(
+            self.store,
+            self.scorer,
+            spec.patterns,
+            spec.interface_vars,
+            multiplier=spec.multiplier,
+            rule=spec.rule,
+            stats=stats,
+        )
+
+    @staticmethod
+    def _id_cursor(spec: PostingSpec | SubJoinSpec, ctx: IdExecutionContext):
+        if isinstance(spec, PostingSpec):
+            return IdPostingCursor(
+                ctx,
+                spec.pattern,
+                multiplier=spec.multiplier,
+                rule=spec.rule,
+                token_matches=spec.token_matches,
+            )
+        return IdSubJoinCursor(
+            ctx,
+            spec.patterns,
+            spec.interface_vars,
+            multiplier=spec.multiplier,
+            rule=spec.rule,
+        )
+
+    @staticmethod
+    def _merge(cursors: list[Cursor], stats: QueryStats) -> Cursor:
+        if len(cursors) == 1:
+            return cursors[0]
+        return IncrementalMergeCursor(cursors, stats)
+
     # -- querying ------------------------------------------------------------
 
-    def query(self, query: Query, k: int | None = None) -> AnswerSet:
-        """Evaluate ``query`` and return its top-k answer set."""
-        k = k if k is not None else (query.limit or self.config.k)
-        if k < 1:
-            raise TopKError(f"k must be >= 1, got {k}")
-        stats = QueryStats()
-        started = time.perf_counter()
-        aggregator = AnswerAggregator()
-        tracker = DistinctTopKTracker(k)
-        fresh_names = (f"pv{i}" for i in itertools.count())
-
+    def _make_rewriter(self) -> RewriteEngine:
         if self.config.use_relaxation:
             rule_filter = (
                 (
@@ -356,7 +423,7 @@ class TopKProcessor:
                 if self.config.pattern_level_merge
                 else None
             )
-            rewriter = RewriteEngine(
+            return RewriteEngine(
                 self.rules,
                 max_depth=self.config.max_rewrite_depth,
                 max_rewrites=self.config.max_rewrites,
@@ -364,8 +431,26 @@ class TopKProcessor:
                 rule_filter=rule_filter,
                 condition_checker=self._holds_in_store,
             )
+        return RewriteEngine(RuleSet(), max_depth=0, max_rewrites=1)
+
+    def query(self, query: Query, k: int | None = None) -> AnswerSet:
+        """Evaluate ``query`` and return its top-k answer set."""
+        k = k if k is not None else (query.limit or self.config.k)
+        if k < 1:
+            raise TopKError(f"k must be >= 1, got {k}")
+        stats = QueryStats()
+        started = time.perf_counter()
+        tracker = DistinctTopKTracker(k)
+        fresh_names = (f"pv{i}" for i in itertools.count())
+        rewriter = self._make_rewriter()
+        id_space = self.config.execution == "idspace"
+
+        if id_space:
+            aggregator = IdAnswerAggregator(
+                tuple(sorted(query.projection, key=lambda v: v.name))
+            )
         else:
-            rewriter = RewriteEngine(RuleSet(), max_depth=0, max_rewrites=1)
+            aggregator = AnswerAggregator()
 
         for rewriting in rewriter.iter_rewrites(query):
             stats.rewritings_enumerated += 1
@@ -375,24 +460,48 @@ class TopKProcessor:
                 and tracker.threshold >= rewriting.weight
             ):
                 break  # rewritings are weight-descending: nothing can improve
-            streams = [
-                self._build_stream(pattern, rewriting.query, fresh_names, stats)
+            spec_lists = [
+                self._stream_specs(pattern, rewriting.query, fresh_names)
                 for pattern in rewriting.query.patterns
             ]
             stats.rewritings_processed += 1
-            join = NaryRankJoin(
-                rewriting.query,
-                streams,
-                rewriting_weight=rewriting.weight,
-                rewriting=rewriting.applications,
-                aggregator=aggregator,
-                tracker=tracker,
-                stats=stats,
-                exhaustive=self.config.exhaustive,
-            )
+            if id_space:
+                ctx = IdExecutionContext(self.store, self.scorer, stats)
+                streams = [
+                    self._merge([self._id_cursor(s, ctx) for s in specs], stats)
+                    for specs in spec_lists
+                ]
+                join = IdRankJoin(
+                    rewriting.query,
+                    streams,
+                    ctx,
+                    rewriting_weight=rewriting.weight,
+                    rewriting=rewriting.applications,
+                    aggregator=aggregator,
+                    tracker=tracker,
+                    exhaustive=self.config.exhaustive,
+                )
+            else:
+                streams = [
+                    self._merge([self._term_cursor(s, stats) for s in specs], stats)
+                    for specs in spec_lists
+                ]
+                join = NaryRankJoin(
+                    rewriting.query,
+                    streams,
+                    rewriting_weight=rewriting.weight,
+                    rewriting=rewriting.applications,
+                    aggregator=aggregator,
+                    tracker=tracker,
+                    stats=stats,
+                    exhaustive=self.config.exhaustive,
+                )
             join.run()
 
-        answers = aggregator.ranked_answers(k)
+        if id_space:
+            answers = aggregator.ranked_answers(self.store, k)
+        else:
+            answers = aggregator.ranked_answers(k)
         stats.elapsed_seconds = time.perf_counter() - started
         return AnswerSet(query=query, answers=answers, k=k, stats=stats)
 

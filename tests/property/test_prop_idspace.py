@@ -1,0 +1,137 @@
+"""Property-based equivalence: id-space × backends × termination modes.
+
+Random worlds (triple soups with weighted observations and token phrases),
+random single-pattern relaxation rules, and random conjunctive queries —
+every combination of execution core ("idspace"/"termspace"), storage backend
+("columnar"/"dict") and termination (adaptive/exhaustive) must produce the
+*same* :class:`AnswerSet`: identical projection bindings, identical scores,
+and identical explanation provenance (derivation triples, rules applied,
+token expansions).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parser import parse_query, parse_rule
+from repro.core.terms import Resource, TextToken
+from repro.core.triples import Provenance, Triple
+from repro.relax.rules import RuleSet
+from repro.storage.store import TripleStore
+from repro.topk.processor import ProcessorConfig, TopKProcessor
+
+resources = st.integers(0, 9).map(lambda i: Resource(f"E{i}"))
+predicates = st.one_of(
+    st.integers(0, 3).map(lambda i: Resource(f"p{i}")),
+    st.just(TextToken("works at")),
+    st.just(TextToken("lives in")),
+)
+observations = st.tuples(
+    st.builds(Triple, resources, predicates, resources),
+    st.sampled_from([0.5, 0.8, 1.0]),
+    st.integers(min_value=1, max_value=4),
+)
+
+rule_texts = st.lists(
+    st.tuples(
+        st.sampled_from(["p0", "p1", "p2", "p3", "'works at'"]),
+        st.sampled_from(["p0", "p1", "p2", "p3", "'works at'", "'lives in'"]),
+        st.sampled_from([0.4, 0.6, 0.9]),
+        st.booleans(),
+    ).filter(lambda r: r[0] != r[1]),
+    max_size=4,
+)
+
+queries = st.sampled_from(
+    [
+        "?x p0 ?y",
+        "E1 p1 ?y",
+        "?x p2 E2",
+        "?x 'works at' ?y",
+        "?x p3 ?x",
+        "?x p0 ?y ; ?y p1 ?z",
+        "?x 'works at' ?u ; ?u p2 ?c",
+    ]
+)
+
+
+def build(entries, rule_specs, backend):
+    store = TripleStore(backend=backend)
+    provenance = Provenance("openie", "doc-prop", "", "reverb")
+    for triple, confidence, count in entries:
+        store.add(triple, provenance, confidence=confidence, count=count)
+    store.freeze()
+    rules = RuleSet()
+    for source, target, weight, inverted in rule_specs:
+        shape = "?y {t} ?x" if inverted else "?x {t} ?y"
+        rules.add(
+            parse_rule(f"?x {source} ?y => {shape.format(t=target)} @ {weight}")
+        )
+    return store, rules
+
+
+def fingerprint(answers):
+    return [
+        (
+            answer.binding,
+            answer.score,
+            answer.num_derivations,
+            tuple(record.triple.n3() for record in answer.derivation.triples_used()),
+            tuple(rule.n3() for rule in answer.derivation.rules_used()),
+            tuple(
+                (tm.token.n3(), tm.similarity)
+                for tm in answer.derivation.token_matches_used()
+            ),
+        )
+        for answer in answers
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(observations, min_size=1, max_size=35), rule_texts, queries)
+def test_idspace_equals_termspace_across_backends(entries, rule_specs, query_text):
+    query = parse_query(query_text)
+    results = {}
+    for backend in ("columnar", "dict"):
+        store, rules = build(entries, rule_specs, backend)
+        for execution in ("idspace", "termspace"):
+            for exhaustive in (False, True):
+                processor = TopKProcessor(
+                    store,
+                    rules=rules,
+                    config=ProcessorConfig(
+                        execution=execution, exhaustive=exhaustive
+                    ),
+                )
+                results[(backend, execution, exhaustive)] = fingerprint(
+                    processor.query(query, 5)
+                )
+    reference = results[("dict", "termspace", True)]
+    for combination, observed in results.items():
+        assert observed == reference, combination
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(observations, min_size=1, max_size=35), rule_texts, queries)
+def test_idspace_adaptive_is_valid_topk_of_exhaustive(entries, rule_specs, query_text):
+    """Adaptive id-space does less work yet yields a valid top-k.
+
+    Score ties at the k boundary allow adaptive termination to surface a
+    different (equally-scored) answer than exhaustive evaluation, so the
+    invariant is the seed's: identical score profile, every answer present
+    in the exhaustive set — not binding-for-binding equality.
+    """
+    store, rules = build(entries, rule_specs, "columnar")
+    query = parse_query(query_text)
+    adaptive = TopKProcessor(store, rules=rules).query(query, 3)
+    exhaustive = TopKProcessor(
+        store, rules=rules, config=ProcessorConfig(exhaustive=True)
+    ).query(query, 10_000)
+    assert adaptive.stats.sorted_accesses <= exhaustive.stats.sorted_accesses
+    adaptive_sig = [(a.binding, round(a.score, 9)) for a in adaptive]
+    exhaustive_sig = [(a.binding, round(a.score, 9)) for a in exhaustive]
+    assert len(adaptive_sig) == min(3, len(exhaustive_sig))
+    assert [s for _b, s in adaptive_sig] == [
+        s for _b, s in exhaustive_sig[: len(adaptive_sig)]
+    ]
+    exhaustive_set = set(exhaustive_sig)
+    for entry in adaptive_sig:
+        assert entry in exhaustive_set

@@ -1,0 +1,208 @@
+"""Backend conformance: dict and columnar must be observationally identical.
+
+The StorageBackend protocol is the sharding/persistence seam — anything a
+backend leaks (mutable postings, divergent orders) becomes a query-processing
+bug, so these tests drive both implementations through the same scenarios
+and compare every observable.
+"""
+
+import pytest
+
+from repro.core.terms import Resource, TextToken, Variable
+from repro.core.triples import Triple, TriplePattern
+from repro.errors import StorageError
+from repro.storage.backend import (
+    BACKENDS,
+    DictBackend,
+    StorageBackend,
+    make_backend,
+)
+from repro.storage.columnar import ColumnarBackend
+from repro.storage.store import TripleStore
+
+X, Y, P = Variable("x"), Variable("y"), Variable("p")
+
+BACKEND_NAMES = ("dict", "columnar")
+
+
+def _sample_store(backend: str) -> TripleStore:
+    store = TripleStore("conformance", backend=backend)
+    ae, mc = Resource("AlbertEinstein"), Resource("MarieCurie")
+    born, aff = Resource("bornIn"), Resource("affiliation")
+    store.add(Triple(ae, born, Resource("Ulm")))
+    store.add(Triple(mc, born, Resource("Warsaw")), confidence=0.9, count=3)
+    store.add(Triple(ae, aff, Resource("IAS")), count=2)
+    store.add(Triple(mc, aff, Resource("Sorbonne")))
+    store.add(Triple(ae, TextToken("lectured at"), Resource("IAS")), confidence=0.8)
+    store.add(Triple(ae, Resource("knows"), ae))
+    return store.freeze()
+
+
+PATTERNS = [
+    TriplePattern(X, Resource("bornIn"), Y),
+    TriplePattern(Resource("AlbertEinstein"), P, Y),
+    TriplePattern(X, P, Resource("IAS")),
+    TriplePattern(X, TextToken("lectured at"), Y),
+    TriplePattern(X, P, Y),
+    TriplePattern(X, Resource("knows"), X),
+    TriplePattern(Resource("Nobody"), P, Y),
+]
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert set(BACKEND_NAMES) <= set(BACKENDS)
+
+    def test_make_backend_by_name(self):
+        assert isinstance(make_backend("dict"), DictBackend)
+        assert isinstance(make_backend("columnar"), ColumnarBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(StorageError):
+            make_backend("elasticsearch")
+
+    def test_protocol_conformance(self):
+        for name in BACKEND_NAMES:
+            assert isinstance(make_backend(name), StorageBackend)
+
+    def test_used_backend_instance_rejected(self):
+        backend = make_backend("columnar")
+        backend.insert(0, (1, 2, 3))
+        with pytest.raises(StorageError):
+            make_backend(backend)
+
+
+class TestCrossBackendEquivalence:
+    def test_sorted_ids_identical(self):
+        stores = {name: _sample_store(name) for name in BACKEND_NAMES}
+        for pattern in PATTERNS:
+            results = {
+                name: list(store.sorted_ids(pattern))
+                for name, store in stores.items()
+            }
+            assert results["dict"] == results["columnar"], pattern.n3()
+
+    def test_weights_and_slot_ids_identical(self):
+        stores = {name: _sample_store(name) for name in BACKEND_NAMES}
+        size = len(stores["dict"])
+        assert size == len(stores["columnar"])
+        for tid in range(size):
+            assert stores["dict"].spo_ids(tid) == stores["columnar"].spo_ids(tid)
+            assert stores["dict"].weight(tid) == stores["columnar"].weight(tid)
+
+    def test_distinct_keys_identical(self):
+        stores = {name: _sample_store(name) for name in BACKEND_NAMES}
+        for bound in ([True, False, False], [False, True, False], [True, True, False]):
+            keys = {
+                name: sorted(store.backend.distinct_keys(bound))
+                for name, store in stores.items()
+            }
+            assert keys["dict"] == keys["columnar"]
+
+    def test_postings_ids_matches_sorted_ids(self):
+        for name in BACKEND_NAMES:
+            store = _sample_store(name)
+            born = store.dictionary.id_of(Resource("bornIn"))
+            pattern_ids = list(store.sorted_ids(TriplePattern(X, Resource("bornIn"), Y)))
+            assert list(store.postings_ids(None, born, None)) == pattern_ids
+
+    def test_convert_preserves_everything(self):
+        original = _sample_store("dict")
+        converted = original.convert("columnar")
+        assert converted.backend_name == "columnar"
+        assert converted.is_frozen
+        assert len(converted) == len(original)
+        for pattern in PATTERNS:
+            assert list(converted.sorted_ids(pattern)) == list(
+                original.sorted_ids(pattern)
+            )
+        for tid in range(len(original)):
+            assert converted.record(tid).triple == original.record(tid).triple
+            assert converted.record(tid).count == original.record(tid).count
+            assert converted.spo_ids(tid) == original.spo_ids(tid)
+
+
+class TestImmutability:
+    def test_dict_postings_are_tuples(self):
+        store = _sample_store("dict")
+        postings = store.sorted_ids(TriplePattern(X, Resource("bornIn"), Y))
+        assert isinstance(postings, tuple)
+
+    def test_columnar_postings_are_readonly_views(self):
+        store = _sample_store("columnar")
+        postings = store.sorted_ids(TriplePattern(X, Resource("bornIn"), Y))
+        assert isinstance(postings, memoryview)
+        assert postings.readonly
+        with pytest.raises(TypeError):
+            postings[0] = 99
+
+    def test_scan_postings_are_immutable(self):
+        for name in BACKEND_NAMES:
+            store = _sample_store(name)
+            scan = store.sorted_ids(TriplePattern(X, P, Y))
+            assert not hasattr(scan, "append")
+            before = list(scan)
+            assert list(store.sorted_ids(TriplePattern(X, P, Y))) == before
+
+    def test_empty_lookup_shared_tuple_cannot_corrupt(self):
+        """The historical bug: the shared empty posting could be mutated."""
+        for name in BACKEND_NAMES:
+            store = _sample_store(name)
+            missing = TriplePattern(Resource("Nobody"), P, Y)
+            empty = store.sorted_ids(missing)
+            assert len(empty) == 0
+            assert not hasattr(empty, "append")
+            assert list(store.sorted_ids(missing)) == []
+
+
+class TestBuildPhaseGuards:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_dense_ids_required(self, name):
+        backend = make_backend(name)
+        backend.insert(0, (1, 2, 3))
+        with pytest.raises(StorageError):
+            backend.insert(2, (1, 2, 3))
+
+    def test_columnar_rejects_insert_after_freeze(self):
+        backend = ColumnarBackend()
+        backend.insert(0, (1, 2, 3))
+        backend.freeze([1.0])
+        with pytest.raises(StorageError):
+            backend.insert(1, (4, 5, 6))
+
+    def test_columnar_rejects_double_freeze(self):
+        backend = ColumnarBackend()
+        backend.freeze([])
+        with pytest.raises(StorageError):
+            backend.freeze([])
+
+    def test_columnar_weight_arity_checked(self):
+        backend = ColumnarBackend()
+        backend.insert(0, (1, 2, 3))
+        with pytest.raises(StorageError):
+            backend.freeze([1.0, 2.0])
+
+    def test_columnar_lookup_requires_freeze(self):
+        backend = ColumnarBackend()
+        backend.insert(0, (1, 2, 3))
+        with pytest.raises(StorageError):
+            backend.postings([True, False, False], (1,))
+
+    def test_columnar_memory_accounting(self):
+        store = _sample_store("columnar")
+        assert store.backend.memory_bytes() > 0
+
+
+class TestScanSignatureContract:
+    def test_distinct_keys_scan_raises_storage_error_on_both(self):
+        for name in BACKEND_NAMES:
+            store = _sample_store(name)
+            with pytest.raises(StorageError):
+                store.backend.distinct_keys([False, False, False])
+
+    def test_freeze_accepts_counts_column(self):
+        for name in BACKEND_NAMES:
+            backend = make_backend(name)
+            backend.insert(0, (1, 2, 3))
+            backend.freeze([2.0], [2])
+            assert list(backend.postings([True, False, False], (1,))) == [0]

@@ -48,23 +48,23 @@ class TestPostingIndex:
 
     def test_postings_by_subject(self):
         index = self._build()
-        assert index.postings([True, False, False], (10,)) == [1, 0]
+        assert list(index.postings([True, False, False], (10,))) == [1, 0]
 
     def test_postings_by_predicate_sorted_by_weight(self):
         index = self._build()
-        assert index.postings([False, True, False], (20,)) == [1, 2, 0]
+        assert list(index.postings([False, True, False], (20,))) == [1, 2, 0]
 
     def test_postings_full_triple(self):
         index = self._build()
-        assert index.postings([True, True, True], (10, 20, 30)) == [0]
+        assert list(index.postings([True, True, True], (10, 20, 30))) == [0]
 
     def test_missing_key_empty(self):
         index = self._build()
-        assert index.postings([True, False, False], (99,)) == []
+        assert list(index.postings([True, False, False], (99,))) == []
 
     def test_scan_sorted(self):
         index = self._build()
-        assert index.postings([False, False, False], ()) == [1, 2, 0]
+        assert list(index.postings([False, False, False], ())) == [1, 2, 0]
 
     def test_arity_mismatch_rejected(self):
         index = self._build()
@@ -76,7 +76,7 @@ class TestPostingIndex:
         index.insert(0, (1, 1, 1))
         index.insert(1, (1, 1, 2))
         index.freeze(weights=[2.0, 2.0])
-        assert index.postings([True, False, False], (1,)) == [0, 1]
+        assert list(index.postings([True, False, False], (1,))) == [0, 1]
 
     def test_distinct_keys(self):
         index = self._build()

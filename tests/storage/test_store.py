@@ -94,7 +94,7 @@ class TestLookup:
         ids = frozen_small_store.sorted_ids(
             TriplePattern(Resource("Nobody"), BORN, Y)
         )
-        assert ids == []
+        assert list(ids) == []
 
     def test_scan_returns_everything(self, frozen_small_store):
         ids = frozen_small_store.sorted_ids(TriplePattern(X, Variable("p"), Y))
@@ -155,3 +155,58 @@ class TestCounts:
     def test_record_bad_id(self, frozen_small_store):
         with pytest.raises(StorageError):
             frozen_small_store.record(10_000)
+
+
+class TestAddAll:
+    def test_add_all_returns_ids_in_order(self):
+        store = TripleStore()
+        locd = Resource("locatedIn")
+        ids = store.add_all(
+            [
+                Triple(AE, BORN, ULM),
+                Triple(ULM, locd, Resource("Germany")),
+            ]
+        )
+        assert ids == [0, 1]
+
+    def test_add_all_confidence_and_count_passthrough(self):
+        store = TripleStore()
+        prov = Provenance("openie", "doc-9", "bulk chunk", "reverb")
+        store.add_all(
+            [Triple(AE, TextToken("taught at"), ULM)],
+            prov,
+            confidence=0.7,
+            count=3,
+        )
+        record = store.record(0)
+        assert record.confidence == 0.7
+        assert record.count == 3
+        assert record.provenances == [prov]
+        assert record.weight == pytest.approx(2.1)
+
+    def test_add_all_duplicates_accumulate(self):
+        store = TripleStore()
+        store.add_all([Triple(AE, BORN, ULM), Triple(AE, BORN, ULM)], count=2)
+        assert len(store) == 1
+        assert store.record(0).count == 4
+
+    def test_add_all_validates_like_add(self):
+        store = TripleStore()
+        with pytest.raises(StorageError):
+            store.add_all([Triple(AE, BORN, ULM)], confidence=1.5)
+        with pytest.raises(StorageError):
+            store.add_all([Triple(AE, BORN, ULM)], count=0)
+
+
+class TestIdValidation:
+    def test_weight_rejects_bad_ids_when_frozen(self, frozen_small_store):
+        with pytest.raises(StorageError):
+            frozen_small_store.weight(-1)  # UNBOUND sentinel must not wrap
+        with pytest.raises(StorageError):
+            frozen_small_store.weight(10_000)
+
+    def test_spo_ids_rejects_bad_ids(self, frozen_small_store):
+        with pytest.raises(StorageError):
+            frozen_small_store.spo_ids(-1)
+        with pytest.raises(StorageError):
+            frozen_small_store.spo_ids(10_000)
