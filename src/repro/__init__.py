@@ -41,7 +41,13 @@ from repro.core import (
 )
 from repro.errors import TrinitError
 from repro.relax import RelaxationRule, RuleSet
-from repro.storage import TripleStore, load_store, save_store
+from repro.storage import (
+    TripleStore,
+    load_snapshot,
+    load_store,
+    save_snapshot,
+    save_store,
+)
 from repro.topk import ProcessorConfig, TopKProcessor
 
 __version__ = "1.0.0"
@@ -54,6 +60,8 @@ __all__ = [
     "TripleStore",
     "save_store",
     "load_store",
+    "save_snapshot",
+    "load_snapshot",
     "Term",
     "Resource",
     "Literal",

@@ -9,13 +9,16 @@ provides that contract with an in-memory store:
 * :mod:`backend` — the pluggable :class:`StorageBackend` boundary (the
   sharding / persistence seam) with the hash-index :class:`DictBackend`,
 * :mod:`columnar` — the compact array-column backend (:class:`ColumnarBackend`),
+* :mod:`sharded` — the segmented composite backend (:class:`ShardedBackend`):
+  hash-partitioned columnar shards with lazy k-way merged postings,
 * :mod:`index` — posting lists for every bound-slot signature, pre-sorted by
   observation weight so sorted access is an array walk,
 * :mod:`store` — the :class:`TripleStore` facade (add / freeze / match),
 * :mod:`statistics` — pattern cardinalities, ``args(p)`` subject-object pair
   sets for relaxation mining, collection frequencies for scoring,
 * :mod:`text_index` — fuzzy phrase matching for text-token query slots,
-* :mod:`persistence` — JSONL save/load.
+* :mod:`persistence` — JSONL save/load (with format sniffing),
+* :mod:`snapshot` — binary columnar snapshots loaded back via ``mmap``.
 """
 
 from repro.storage.backend import (
@@ -27,15 +30,18 @@ from repro.storage.backend import (
 )
 from repro.storage.columnar import ColumnarBackend
 from repro.storage.dictionary import TermDictionary
+from repro.storage.sharded import ShardedBackend
 from repro.storage.store import StoredTriple, TripleStore
 from repro.storage.statistics import StoreStatistics
 from repro.storage.text_index import TokenMatcher, TokenMatch
 from repro.storage.persistence import load_store, save_store
+from repro.storage.snapshot import load_snapshot, save_snapshot
 
 __all__ = [
     "BACKENDS",
     "ColumnarBackend",
     "DictBackend",
+    "ShardedBackend",
     "StorageBackend",
     "TermDictionary",
     "TripleStore",
@@ -47,4 +53,6 @@ __all__ = [
     "register_backend",
     "save_store",
     "load_store",
+    "save_snapshot",
+    "load_snapshot",
 ]

@@ -8,7 +8,7 @@ join, scoring) speaks integer ids only, so swapping the physical layout —
 hash-bucketed posting lists, columnar arrays, later a sharded or persistent
 backend — never touches query processing.
 
-Two backends ship in-tree:
+Three backends ship in-tree:
 
 * :class:`DictBackend` — the original hash-index layout
   (:class:`~repro.storage.index.PostingIndex` underneath): one dict per
@@ -16,7 +16,12 @@ Two backends ship in-tree:
 * :class:`~repro.storage.columnar.ColumnarBackend` — compact parallel
   columns (``array('i')`` for s/p/o ids, ``array('d')`` for weights) with
   posting lists represented as index *ranges* into per-signature permutation
-  arrays; lookups return zero-copy read-only memoryview slices.
+  arrays; lookups return zero-copy read-only memoryview slices.  This is
+  also the layout the binary snapshot format (:mod:`repro.storage.snapshot`)
+  maps back from disk.
+* :class:`~repro.storage.sharded.ShardedBackend` — a segmented composite:
+  triples hash-partitioned across N inner columnar segments, postings
+  answered by a lazy k-way heap merge of the segments' score-sorted lists.
 
 Backends register themselves in :data:`BACKENDS`; :func:`make_backend`
 resolves a name (as carried by ``EngineConfig.storage_backend``) to a fresh
@@ -87,6 +92,14 @@ class StorageBackend(Protocol):
         """The sort weight the backend was frozen with."""
         ...
 
+    def count(self, triple_id: int) -> int:
+        """The observation count the backend was frozen with.
+
+        Raises :class:`~repro.errors.StorageError` for unknown triple ids
+        and when the backend was frozen without a counts column.
+        """
+        ...
+
 
 class DictBackend:
     """Hash-bucketed posting lists — the original storage layout."""
@@ -97,6 +110,7 @@ class DictBackend:
         self._index = PostingIndex()
         self._keys: list[tuple[int, int, int]] = []
         self._weights: Sequence[float] = ()
+        self._counts: Sequence[int] | None = None
 
     @property
     def is_frozen(self) -> bool:
@@ -121,6 +135,12 @@ class DictBackend:
             raise StorageError(
                 f"{len(self._keys)} triples but {len(weights)} weights"
             )
+        if counts is not None:
+            if len(counts) != len(self._keys):
+                raise StorageError(
+                    f"{len(self._keys)} triples but {len(counts)} counts"
+                )
+            self._counts = tuple(counts)
         self._weights = tuple(weights)
         self._index.freeze(self._weights)
 
@@ -137,6 +157,13 @@ class DictBackend:
 
     def weight(self, triple_id: int) -> float:
         return self._weights[triple_id]
+
+    def count(self, triple_id: int) -> int:
+        if not 0 <= triple_id < len(self._keys):
+            raise StorageError(f"Unknown triple id: {triple_id}")
+        if self._counts is None:
+            raise StorageError("Backend was frozen without a counts column")
+        return self._counts[triple_id]
 
 
 #: Name -> constructor registry.  The columnar backend registers itself on
@@ -168,9 +195,10 @@ def make_backend(backend: "str | StorageBackend | None") -> StorageBackend:
     return backend
 
 
-# Imported for the side effect of registering "columnar" in BACKENDS; the
-# import sits below the registry to avoid a cycle.
+# Imported for the side effect of registering "columnar" and "sharded" in
+# BACKENDS; the imports sit below the registry to avoid a cycle.
 from repro.storage import columnar as _columnar  # noqa: E402,F401
+from repro.storage import sharded as _sharded  # noqa: E402,F401
 
 #: Backend used when a store is built without an explicit choice.  Columnar
 #: is the compact, fast layout; "dict" remains available for comparison and

@@ -48,6 +48,43 @@ class ColumnarBackend:
         self._offsets: dict[tuple[int, ...], dict[tuple[int, ...], tuple[int, int]]] = {}
         self._scan_view: memoryview | None = None
         self._frozen = False
+        # Set by _restore: keeps a snapshot's mmap (or bytes) buffer alive
+        # for as long as the views over it exist.
+        self._buffer = None
+
+    @classmethod
+    def _restore(
+        cls,
+        *,
+        s,
+        p,
+        o,
+        weights,
+        counts,
+        scan_view,
+        perm_views,
+        offsets,
+        buffer=None,
+    ) -> "ColumnarBackend":
+        """Assemble an already-frozen backend from snapshot sections.
+
+        Columns and permutation views may be read-only memoryviews straight
+        over a mapped snapshot file (see :mod:`repro.storage.snapshot`) —
+        nothing is copied and no freeze-time sorting happens: the on-disk
+        permutations *are* the posting lists.
+        """
+        backend = cls.__new__(cls)
+        backend._s = s
+        backend._p = p
+        backend._o = o
+        backend._weights = weights
+        backend._counts = counts
+        backend._perm_views = perm_views
+        backend._offsets = offsets
+        backend._scan_view = scan_view
+        backend._frozen = True
+        backend._buffer = buffer
+        return backend
 
     @property
     def is_frozen(self) -> bool:
@@ -81,6 +118,8 @@ class ColumnarBackend:
             raise StorageError(f"{n} triples but {len(weights)} weights")
         self._weights = array("d", weights)
         if counts is not None:
+            if len(counts) != n:
+                raise StorageError(f"{n} triples but {len(counts)} counts")
             self._counts = array(ID_TYPECODE, counts)
         w = self._weights
         columns = (self._s, self._p, self._o)
@@ -143,6 +182,10 @@ class ColumnarBackend:
         return self._weights[triple_id]
 
     def count(self, triple_id: int) -> int:
+        if not 0 <= triple_id < len(self._s):
+            raise StorageError(f"Unknown triple id: {triple_id}")
+        if len(self._counts) != len(self._s):
+            raise StorageError("Backend was frozen without a counts column")
         return self._counts[triple_id]
 
     # -- introspection ------------------------------------------------------------
@@ -150,7 +193,7 @@ class ColumnarBackend:
     def memory_bytes(self) -> int:
         """Approximate resident bytes of the column + permutation arrays."""
         total = sum(
-            sys.getsizeof(col)
+            col.nbytes if isinstance(col, memoryview) else sys.getsizeof(col)
             for col in (self._s, self._p, self._o, self._weights, self._counts)
         )
         for view in self._perm_views.values():

@@ -1,98 +1,54 @@
-"""JSONL persistence for triple stores.
+"""Save/load for triple stores: JSONL statements + binary snapshots.
 
-Format: the first line is a header object (``{"format": ..., "name": ...,
-"triples": N}``); every following line is one distinct triple::
+Two formats share :func:`load_store`:
 
-    {"s": ["r", "AlbertEinstein"], "p": ["t", "won nobel for"],
-     "o": ["t", "discovery of the photoelectric effect"],
-     "count": 3, "conf": 0.82,
-     "prov": [{"origin": "openie", "source": "doc-17", ...}]}
+* **JSONL** (written by :func:`save_store`): the first line is a header
+  object (``{"format": ..., "name": ..., "triples": N}``); every following
+  line is one distinct triple::
 
-Term encoding is a two-element array ``[kind_tag, lexical]`` with tags
-``r`` (resource), ``l`` (literal), ``t`` (token).  Literal values round-trip
-through the same auto-typing the query parser uses.
+      {"s": ["r", "AlbertEinstein"], "p": ["t", "won nobel for"],
+       "o": ["t", "discovery of the photoelectric effect"],
+       "count": 3, "conf": 0.82,
+       "prov": [{"origin": "openie", "source": "doc-17", ...}]}
+
+  Term encoding is a two-element array ``[kind_tag, lexical]`` with tags
+  ``r`` (resource), ``l`` (literal), ``t`` (token) — see
+  :mod:`repro.storage.termcodec`.  Confidences are written with full float
+  precision (``repr`` round-trip), so a reloaded store's weights — and
+  therefore its answer rankings — are bit-identical to the saved one.
+
+* **Binary snapshot** (written by :func:`repro.storage.snapshot.
+  save_snapshot`): the frozen columnar arrays, mapped back without
+  re-ingestion.  :func:`load_store` sniffs the leading magic bytes and
+  dispatches automatically.
 """
 
 from __future__ import annotations
 
 import json
-from datetime import date
 from pathlib import Path
 
-from repro.core.terms import Literal, Resource, Term, TextToken
-from repro.core.terms import _auto_type  # canonical literal typing
-from repro.core.triples import Provenance, Triple
+from repro.core.triples import Triple
 from repro.errors import PersistenceError
 from repro.storage.store import TripleStore
+from repro.storage.termcodec import (
+    decode_provenance,
+    decode_term,
+    encode_provenance,
+    encode_term,
+)
 
 FORMAT_NAME = "trinit-xkg-jsonl"
 FORMAT_VERSION = 1
-
-
-def _encode_term(term: Term) -> list[str]:
-    if isinstance(term, Resource):
-        return ["r", term.name]
-    if isinstance(term, TextToken):
-        return ["t", term.norm]
-    if isinstance(term, Literal):
-        # The datatype travels along so "1879-03-14"-the-string and
-        # 1879-03-14-the-date round-trip to exactly what was stored.
-        return ["l", term.lexical(), term.datatype]
-    raise PersistenceError(f"Cannot persist term of kind {term.kind}")
-
-
-def _decode_literal(value: str, datatype: str) -> Literal:
-    if datatype == "string":
-        return Literal(value)
-    if datatype == "integer":
-        return Literal(int(value))
-    if datatype == "double":
-        return Literal(float(value))
-    if datatype == "date":
-        return Literal(date.fromisoformat(value))
-    raise PersistenceError(f"Unknown literal datatype: {datatype!r}")
-
-
-def _decode_term(encoded: list) -> Term:
-    if not isinstance(encoded, list) or len(encoded) not in (2, 3):
-        raise PersistenceError(f"Bad term encoding: {encoded!r}")
-    tag, value = encoded[0], encoded[1]
-    if tag == "r":
-        return Resource(value)
-    if tag == "t":
-        return TextToken(value)
-    if tag == "l":
-        if len(encoded) == 3:
-            return _decode_literal(value, encoded[2])
-        return Literal(_auto_type(value))  # legacy 2-element form
-    raise PersistenceError(f"Unknown term tag: {tag!r}")
-
-
-def _encode_provenance(prov: Provenance) -> dict:
-    record = {"origin": prov.origin}
-    if prov.source:
-        record["source"] = prov.source
-    if prov.sentence:
-        record["sentence"] = prov.sentence
-    if prov.extractor:
-        record["extractor"] = prov.extractor
-    return record
-
-
-def _decode_provenance(record: dict) -> Provenance:
-    return Provenance(
-        origin=record.get("origin", "kg"),
-        source=record.get("source", ""),
-        sentence=record.get("sentence", ""),
-        extractor=record.get("extractor", ""),
-    )
 
 
 def save_store(store: TripleStore, path: str | Path) -> int:
     """Write ``store`` to ``path``; returns the number of triples written.
 
     The store need not be frozen; what is saved is the distinct-triple level
-    (statements, counts, confidences, provenance samples).
+    (statements, counts, confidences, provenance samples).  Confidences are
+    serialised exactly (shortest round-trip ``repr``), never rounded: a
+    truncated confidence would shift reloaded weights and reorder answers.
     """
     path = Path(path)
     lines_written = 0
@@ -106,12 +62,12 @@ def save_store(store: TripleStore, path: str | Path) -> int:
         handle.write(json.dumps(header) + "\n")
         for record in store.records():
             payload = {
-                "s": _encode_term(record.triple.s),
-                "p": _encode_term(record.triple.p),
-                "o": _encode_term(record.triple.o),
+                "s": encode_term(record.triple.s),
+                "p": encode_term(record.triple.p),
+                "o": encode_term(record.triple.o),
                 "count": record.count,
-                "conf": round(record.confidence, 6),
-                "prov": [_encode_provenance(p) for p in record.provenances],
+                "conf": record.confidence,
+                "prov": [encode_provenance(p) for p in record.provenances],
             }
             handle.write(json.dumps(payload, ensure_ascii=False) + "\n")
             lines_written += 1
@@ -121,14 +77,32 @@ def save_store(store: TripleStore, path: str | Path) -> int:
 def load_store(
     path: str | Path, freeze: bool = True, backend: str | None = None
 ) -> TripleStore:
-    """Load a store previously written by :func:`save_store`.
+    """Load a store previously written by :func:`save_store` or
+    :func:`repro.storage.snapshot.save_snapshot`.
 
-    ``backend`` selects the storage backend of the loaded store (registry
-    name, e.g. "columnar" or "dict"); ``None`` keeps the default.
+    The format is sniffed from the file's first bytes.  ``backend`` selects
+    the storage backend of the loaded store (registry name, e.g. "columnar",
+    "dict" or "sharded"); ``None`` keeps the default (for snapshots: the
+    mapped columnar backend, zero-copy).  Snapshot files are inherently
+    frozen, so ``freeze=False`` is rejected for them.
     """
     path = Path(path)
     if not path.exists():
         raise PersistenceError(f"No such file: {path}")
+
+    from repro.storage.snapshot import is_snapshot, load_snapshot
+
+    if is_snapshot(path):
+        if not freeze:
+            raise PersistenceError(
+                "Snapshot stores are always frozen; freeze=False is not "
+                "supported for snapshot files"
+            )
+        store = load_snapshot(path)
+        if backend is not None and backend != store.backend_name:
+            store = store.convert(backend)
+        return store
+
     with path.open("r", encoding="utf-8") as handle:
         header_line = handle.readline()
         if not header_line:
@@ -149,12 +123,12 @@ def load_store(
             try:
                 payload = json.loads(line)
                 triple = Triple(
-                    _decode_term(payload["s"]),
-                    _decode_term(payload["p"]),
-                    _decode_term(payload["o"]),
+                    decode_term(payload["s"]),
+                    decode_term(payload["p"]),
+                    decode_term(payload["o"]),
                 )
                 provenances = [
-                    _decode_provenance(p) for p in payload.get("prov", [])
+                    decode_provenance(p) for p in payload.get("prov", [])
                 ] or [None]
                 store.add(
                     triple,
@@ -162,11 +136,12 @@ def load_store(
                     confidence=float(payload.get("conf", 1.0)),
                     count=int(payload.get("count", 1)),
                 )
-                # Extra provenance samples beyond the first.
+                # Extra provenance samples beyond the first go through the
+                # same capped path TripleStore.add uses, so no file can
+                # inflate a record past MAX_PROVENANCES.
                 record = store.lookup(triple)
                 for extra in provenances[1:]:
-                    if extra is not None and extra not in record.provenances:
-                        record.provenances.append(extra)
+                    record.add_provenance(extra)
             except (KeyError, ValueError, TypeError) as exc:
                 raise PersistenceError(
                     f"Bad triple at {path}:{line_number}: {exc}"

@@ -1,0 +1,273 @@
+"""Segmented composite backend: hash-partitioned columnar shards.
+
+The paper's system served its XKG from a sharded ElasticSearch index; this
+backend reproduces the shape behind the same :class:`~repro.storage.backend.
+StorageBackend` protocol.  Triples are hash-partitioned by their (s, p, o)
+term ids across N inner :class:`~repro.storage.columnar.ColumnarBackend`
+segments; each segment freezes its own permutation arrays over *local* ids,
+and a thin global layer keeps the id translation (global → segment/local,
+segment/local → global) plus the global weight and count columns.
+
+``postings()`` answers with a **lazy k-way heap merge** of the segments'
+score-sorted lists: segment heads are compared by (weight desc, global id
+asc) — exactly the global sort key the single-segment backends freeze with —
+so the merged stream is element-identical to a columnar posting list, while
+only the consumed prefix is ever materialised.  The id-space execution core
+runs over a partitioned store unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from typing import Iterator, Sequence
+
+from repro.errors import StorageError
+from repro.storage.columnar import ID_TYPECODE, ColumnarBackend
+from repro.storage.index import signature_of
+
+_EMPTY: tuple[int, ...] = ()
+
+#: Segment count used when the backend is built by registry name.
+DEFAULT_SEGMENTS = 4
+
+
+class MergedPostings:
+    """Immutable posting sequence materialised lazily from a merge stream.
+
+    Length is known up front (each global id lives in exactly one segment,
+    so the merged length is the sum of the part lengths); items are pulled
+    from the heap merge only as far as callers index or iterate.  Cursors
+    that abandon a posting list after a few sorted accesses never pay for
+    the full merge.
+    """
+
+    __slots__ = ("_items", "_source", "_length")
+
+    def __init__(self, source: Iterator[int], length: int):
+        self._items = array(ID_TYPECODE)
+        self._source: Iterator[int] | None = source
+        self._length = length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    @property
+    def materialized(self) -> int:
+        """How many items have been pulled from the merge so far (tests)."""
+        return len(self._items)
+
+    def _fill(self, needed: int) -> None:
+        items, source = self._items, self._source
+        if source is None:
+            return
+        while len(items) < needed:
+            head = next(source, None)
+            if head is None:
+                self._source = None
+                return
+            items.append(head)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._length)
+            self._fill(start + 1 if step < 0 else stop)
+            return tuple(self._items[start:stop:step])
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"Posting index out of range: {index}")
+        self._fill(index + 1)
+        return self._items[index]
+
+    def __iter__(self) -> Iterator[int]:
+        position = 0
+        while position < self._length:
+            if position >= len(self._items):
+                self._fill(position + 1)
+                if position >= len(self._items):
+                    return
+            yield self._items[position]
+            position += 1
+
+    def __contains__(self, value: object) -> bool:
+        return any(item == value for item in self)
+
+
+class ShardedBackend:
+    """Hash-partitioned composite of N columnar segments."""
+
+    name = "sharded"
+
+    def __init__(self, num_segments: int = DEFAULT_SEGMENTS):
+        if num_segments < 1:
+            raise StorageError(f"Need at least one segment, got {num_segments}")
+        self._segments = [ColumnarBackend() for _ in range(num_segments)]
+        # Global triple id -> owning segment / local id within it.
+        self._seg_of = array(ID_TYPECODE)
+        self._local_of = array(ID_TYPECODE)
+        # Per segment: local id -> global id (ascending, since globals
+        # arrive densely — which keeps local posting order equal to global
+        # (weight desc, id asc) order within each segment).
+        self._globals = [array(ID_TYPECODE) for _ in range(num_segments)]
+        self._weights = array("d")
+        self._counts = array(ID_TYPECODE)
+        self._frozen = False
+
+    @property
+    def is_frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._seg_of)
+
+    def segment_sizes(self) -> list[int]:
+        """Triples per segment (introspection and partitioning tests)."""
+        return [len(globals_) for globals_ in self._globals]
+
+    # -- build phase ------------------------------------------------------------
+
+    def _place(self, slot_ids: tuple[int, int, int]) -> int:
+        """Deterministic hash partition over the (s, p, o) term ids."""
+        s, p, o = slot_ids
+        return ((s * 2654435761 + p * 40503 + o) & 0x7FFFFFFF) % len(
+            self._segments
+        )
+
+    def insert(self, triple_id: int, slot_ids: tuple[int, int, int]) -> None:
+        if self._frozen:
+            raise StorageError("Cannot insert into a frozen backend")
+        if triple_id != len(self._seg_of):
+            raise StorageError(
+                f"Triple ids must be dense: expected {len(self._seg_of)}, "
+                f"got {triple_id}"
+            )
+        segment_index = self._place(slot_ids)
+        globals_ = self._globals[segment_index]
+        local_id = len(globals_)
+        self._segments[segment_index].insert(local_id, slot_ids)
+        globals_.append(triple_id)
+        self._seg_of.append(segment_index)
+        self._local_of.append(local_id)
+
+    def freeze(
+        self, weights: Sequence[float], counts: Sequence[int] | None = None
+    ) -> None:
+        if self._frozen:
+            raise StorageError("Backend already frozen")
+        n = len(self._seg_of)
+        if len(weights) != n:
+            raise StorageError(f"{n} triples but {len(weights)} weights")
+        self._weights = array("d", weights)
+        if counts is not None:
+            if len(counts) != n:
+                raise StorageError(f"{n} triples but {len(counts)} counts")
+            self._counts = array(ID_TYPECODE, counts)
+        for segment_index, segment in enumerate(self._segments):
+            globals_ = self._globals[segment_index]
+            local_weights = [self._weights[g] for g in globals_]
+            local_counts = (
+                [self._counts[g] for g in globals_] if counts is not None else None
+            )
+            segment.freeze(local_weights, local_counts)
+        self._frozen = True
+
+    # -- lookup ------------------------------------------------------------
+
+    def _merge(
+        self, parts: list[tuple[Sequence[int], array]]
+    ) -> Iterator[int]:
+        """Lazy k-way heap merge of per-segment postings, in global sort order.
+
+        Each part yields local ids in (weight desc, local id asc) order;
+        locals map to globals monotonically, so every mapped stream is
+        already sorted by (-weight, global id) and ``heapq.merge`` over that
+        key reproduces the exact single-segment order.
+        """
+        weights = self._weights
+        # map() binds each part's globals_ eagerly (a lazy genexp here would
+        # close over the loop variable and read the last part's map).
+        streams = [
+            map(globals_.__getitem__, postings) for postings, globals_ in parts
+        ]
+        return heapq.merge(
+            *streams, key=lambda global_id: (-weights[global_id], global_id)
+        )
+
+    def postings(
+        self, bound_slots: Sequence[bool], key: tuple[int, ...]
+    ) -> Sequence[int]:
+        if not self._frozen:
+            raise StorageError("Backend must be frozen before lookup")
+        sig = signature_of(bound_slots)
+        if sig and len(key) != len(sig):
+            raise StorageError(
+                f"Key arity {len(key)} does not match signature {sig}"
+            )
+        parts: list[tuple[Sequence[int], array]] = []
+        total = 0
+        for segment_index, segment in enumerate(self._segments):
+            postings = segment.postings(bound_slots, key)
+            if len(postings):
+                parts.append((postings, self._globals[segment_index]))
+                total += len(postings)
+        if not total:
+            return _EMPTY
+        return MergedPostings(self._merge(parts), total)
+
+    def distinct_keys(self, bound_slots: Sequence[bool]) -> list[tuple[int, ...]]:
+        if not self._frozen:
+            raise StorageError("Backend must be frozen before lookup")
+        sig = signature_of(bound_slots)
+        if not sig:
+            raise StorageError("The scan signature has no keys")
+        # Walk global ids so keys come out in first-occurrence order — the
+        # same order the single-segment backends produce.
+        seen: dict[tuple[int, ...], None] = {}
+        for triple_id in range(len(self._seg_of)):
+            spo = self.slot_ids(triple_id)
+            seen[tuple(spo[slot] for slot in sig)] = None
+        return list(seen)
+
+    def slot_ids(self, triple_id: int) -> tuple[int, int, int]:
+        return self._segments[self._seg_of[triple_id]].slot_ids(
+            self._local_of[triple_id]
+        )
+
+    def weight(self, triple_id: int) -> float:
+        return self._weights[triple_id]
+
+    def count(self, triple_id: int) -> int:
+        if not 0 <= triple_id < len(self._seg_of):
+            raise StorageError(f"Unknown triple id: {triple_id}")
+        if len(self._counts) != len(self._seg_of):
+            raise StorageError("Backend was frozen without a counts column")
+        return self._counts[triple_id]
+
+    # -- introspection ------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes across all segments + the id maps."""
+        import sys
+
+        total = sum(segment.memory_bytes() for segment in self._segments)
+        total += sum(
+            sys.getsizeof(column)
+            for column in (self._seg_of, self._local_of, self._weights, self._counts)
+        )
+        total += sum(sys.getsizeof(globals_) for globals_ in self._globals)
+        return total
+
+
+# Register under "sharded" without importing repro.storage.backend at module
+# top level (backend.py imports this module at its bottom).
+from repro.storage.backend import register_backend  # noqa: E402
+
+register_backend(ShardedBackend)

@@ -1,0 +1,333 @@
+"""Binary columnar snapshots: persistence that maps the arrays, not rows.
+
+The JSONL format (:mod:`repro.storage.persistence`) re-ingests every
+statement on load — JSON parsing, dictionary re-encoding, backend inserts,
+and a full freeze-time re-sort of every posting structure.  A snapshot
+instead writes the frozen :class:`~repro.storage.columnar.ColumnarBackend`
+state *as laid out in memory*:
+
+* the s/p/o id columns, the weight column, and the counts column,
+* the global scan permutation and the per-signature permutation arrays,
+* the per-signature offset tables (key → posting range),
+* the term dictionary (in id order) and the per-triple record metadata
+  (exact binary confidences, counts, provenance samples).
+
+Loading ``mmap``-s the file and exposes the permutation arrays and columns
+as zero-copy read-only memoryviews directly over the mapped pages — no
+re-ingestion, no re-freeze, and posting lists byte-identical to the store
+the snapshot was written from.  Confidences and weights travel as binary
+IEEE doubles, so reloaded scores are bit-exact, not round-tripped through
+decimal text.
+
+File layout (all integers little/big per the writing platform, recorded in
+the header)::
+
+    [ magic "XKGSNAP\\x01" ][ uint64 header offset ][ sections ... ][ header JSON ]
+
+The header JSON carries the format name/version, store name, byte order,
+item sizes, and a section table ``{name: [offset, length]}``.  Placing the
+header *after* the sections keeps section offsets stable while the header
+is being composed.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+import sys
+from array import array
+from pathlib import Path
+
+from repro.core.triples import Triple
+from repro.errors import PersistenceError
+from repro.storage.columnar import ID_TYPECODE, ColumnarBackend
+from repro.storage.dictionary import TermDictionary
+from repro.storage.index import SIGNATURES
+from repro.storage.store import StoredTriple, TripleStore
+from repro.storage.termcodec import (
+    decode_provenance,
+    decode_term,
+    encode_provenance,
+    encode_term,
+)
+
+#: First bytes of every snapshot file; :func:`repro.storage.persistence.
+#: load_store` sniffs it to dispatch between formats.
+MAGIC = b"XKGSNAP\x01"
+FORMAT_NAME = "trinit-xkg-snapshot"
+FORMAT_VERSION = 1
+
+WEIGHT_TYPECODE = "d"
+_ALIGN = 8
+_OFFSET_STRUCT = struct.Struct("<Q")
+
+
+def _sig_key(sig: tuple[int, ...]) -> str:
+    return "".join(str(slot) for slot in sig)
+
+
+def _column_bytes(column) -> bytes:
+    """Raw bytes of a column, whether a live array or a restored memoryview."""
+    return column.tobytes()
+
+
+def save_snapshot(store: TripleStore, path: str | Path) -> int:
+    """Write ``store``'s frozen columnar state to ``path``; returns bytes written.
+
+    The store must be frozen (snapshots capture posting structures, which
+    only exist after freeze) and on the "columnar" backend — convert other
+    backends first (``store.convert("columnar")``).
+    """
+    if not store.is_frozen:
+        raise PersistenceError("Only frozen stores can be snapshotted")
+    backend = store.backend
+    if not isinstance(backend, ColumnarBackend):
+        raise PersistenceError(
+            f"Snapshots require the columnar backend, not {store.backend_name!r}"
+            ' — use store.convert("columnar") first'
+        )
+    path = Path(path)
+
+    records = list(store.records())
+    sections: dict[str, bytes] = {}
+    sections["terms"] = json.dumps(
+        [encode_term(term) for term in store.dictionary], ensure_ascii=False
+    ).encode("utf-8")
+    sections["prov"] = json.dumps(
+        [[encode_provenance(p) for p in record.provenances] for record in records],
+        ensure_ascii=False,
+    ).encode("utf-8")
+    sections["confidence"] = array(
+        WEIGHT_TYPECODE, [record.confidence for record in records]
+    ).tobytes()
+    sections["counts"] = _column_bytes(backend._counts)
+    sections["col:s"] = _column_bytes(backend._s)
+    sections["col:p"] = _column_bytes(backend._p)
+    sections["col:o"] = _column_bytes(backend._o)
+    sections["weights"] = _column_bytes(backend._weights)
+    sections["scan"] = bytes(backend._scan_view)
+    for sig in SIGNATURES:
+        key = _sig_key(sig)
+        sections[f"perm:{key}"] = bytes(backend._perm_views[sig])
+        flat = array(ID_TYPECODE)
+        for group_key, (start, stop) in backend._offsets[sig].items():
+            flat.extend(group_key)
+            flat.append(start)
+            flat.append(stop)
+        sections[f"offsets:{key}"] = flat.tobytes()
+
+    table: dict[str, list[int]] = {}
+    with path.open("wb") as handle:
+        handle.write(MAGIC)
+        handle.write(_OFFSET_STRUCT.pack(0))  # header offset, patched below
+        position = len(MAGIC) + _OFFSET_STRUCT.size
+        for name, payload in sections.items():
+            if position % _ALIGN:
+                padding = _ALIGN - position % _ALIGN
+                handle.write(b"\x00" * padding)
+                position += padding
+            table[name] = [position, len(payload)]
+            handle.write(payload)
+            position += len(payload)
+        header = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "name": store.name,
+            "triples": len(store),
+            "terms": len(store.dictionary),
+            "byteorder": sys.byteorder,
+            "id_itemsize": array(ID_TYPECODE).itemsize,
+            "weight_itemsize": array(WEIGHT_TYPECODE).itemsize,
+            "signatures": [_sig_key(sig) for sig in SIGNATURES],
+            "sections": table,
+        }
+        header_offset = position
+        handle.write(json.dumps(header, ensure_ascii=False).encode("utf-8"))
+        total = handle.tell()
+        handle.seek(len(MAGIC))
+        handle.write(_OFFSET_STRUCT.pack(header_offset))
+    return total
+
+
+def _read_header(base: memoryview) -> dict:
+    if bytes(base[: len(MAGIC)]) != MAGIC:
+        raise PersistenceError("Not a snapshot file (bad magic)")
+    (header_offset,) = _OFFSET_STRUCT.unpack_from(base, len(MAGIC))
+    if not len(MAGIC) + _OFFSET_STRUCT.size <= header_offset <= len(base):
+        raise PersistenceError("Corrupt snapshot: header offset out of range")
+    try:
+        header = json.loads(bytes(base[header_offset:]).decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise PersistenceError(f"Corrupt snapshot header: {exc}") from exc
+    if header.get("format") != FORMAT_NAME:
+        raise PersistenceError(
+            f"Not a {FORMAT_NAME} file: format={header.get('format')!r}"
+        )
+    if header.get("version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"Unsupported snapshot version: {header.get('version')!r}"
+        )
+    if header.get("byteorder") != sys.byteorder:
+        raise PersistenceError(
+            f"Snapshot written on a {header.get('byteorder')}-endian platform "
+            f"cannot be mapped on a {sys.byteorder}-endian one"
+        )
+    if header.get("id_itemsize") != array(ID_TYPECODE).itemsize:
+        raise PersistenceError(
+            f"Snapshot id itemsize {header.get('id_itemsize')} does not match "
+            f"this platform's {array(ID_TYPECODE).itemsize}"
+        )
+    if header.get("weight_itemsize") != array(WEIGHT_TYPECODE).itemsize:
+        raise PersistenceError(
+            f"Snapshot weight itemsize {header.get('weight_itemsize')} does "
+            f"not match this platform's {array(WEIGHT_TYPECODE).itemsize}"
+        )
+    return header
+
+
+def load_snapshot(path: str | Path, *, map_file: bool = True) -> TripleStore:
+    """Load a snapshot written by :func:`save_snapshot`.
+
+    With ``map_file=True`` (the default) the file is ``mmap``-ed and every
+    column and permutation array is a read-only memoryview over the mapped
+    pages — the OS pages postings in on demand and shares them across
+    processes.  ``map_file=False`` reads the file into memory once instead
+    (same views, private buffer); useful where mapping is unavailable.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"No such file: {path}")
+    if map_file:
+        with path.open("rb") as handle:
+            buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    else:
+        buffer = path.read_bytes()
+    base = memoryview(buffer)
+    header = _read_header(base)
+    sections = header["sections"]
+
+    def view(name: str) -> memoryview:
+        entry = sections.get(name)
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 2
+            or not all(isinstance(v, int) for v in entry)
+        ):
+            raise PersistenceError(f"Snapshot is missing section {name!r}")
+        offset, length = entry
+        if offset < 0 or length < 0 or offset + length > len(base):
+            raise PersistenceError(f"Corrupt snapshot: section {name!r} truncated")
+        return base[offset : offset + length]
+
+    def cast(name: str, typecode: str) -> memoryview:
+        raw = view(name)
+        itemsize = array(typecode).itemsize
+        if len(raw) % itemsize:
+            raise PersistenceError(
+                f"Corrupt snapshot: section {name!r} is not a whole number "
+                f"of {itemsize}-byte items"
+            )
+        return raw.cast(typecode)
+
+    def ids(name: str) -> memoryview:
+        return cast(name, ID_TYPECODE)
+
+    def doubles(name: str) -> memoryview:
+        return cast(name, WEIGHT_TYPECODE)
+
+    n = header["triples"]
+    col_s, col_p, col_o = ids("col:s"), ids("col:p"), ids("col:o")
+    weights = doubles("weights")
+    counts = ids("counts")
+    confidences = doubles("confidence")
+    if not (
+        len(col_s) == len(col_p) == len(col_o) == len(weights)
+        == len(counts) == len(confidences) == n
+    ):
+        raise PersistenceError(
+            f"Header declares {n} triples but the columns disagree"
+        )
+
+    if header.get("signatures") != [_sig_key(sig) for sig in SIGNATURES]:
+        raise PersistenceError("Snapshot signature set does not match this build")
+    perm_views: dict[tuple[int, ...], memoryview] = {}
+    offsets: dict[tuple[int, ...], dict[tuple[int, ...], tuple[int, int]]] = {}
+    for sig in SIGNATURES:
+        key = _sig_key(sig)
+        perm = ids(f"perm:{key}")
+        if len(perm) != n:
+            raise PersistenceError(
+                f"Corrupt snapshot: permutation {key} has {len(perm)} entries, "
+                f"expected {n}"
+            )
+        perm_views[sig] = perm
+        flat = ids(f"offsets:{key}")
+        arity = len(sig)
+        stride = arity + 2
+        if len(flat) % stride:
+            raise PersistenceError(f"Corrupt snapshot: offset table {key}")
+        table: dict[tuple[int, ...], tuple[int, int]] = {}
+        for i in range(0, len(flat), stride):
+            table[tuple(flat[i : i + arity])] = (
+                flat[i + arity],
+                flat[i + arity + 1],
+            )
+        offsets[sig] = table
+    scan = ids("scan")
+    if len(scan) != n:
+        raise PersistenceError("Corrupt snapshot: scan permutation truncated")
+
+    dictionary = TermDictionary()
+    try:
+        encoded_terms = json.loads(bytes(view("terms")).decode("utf-8"))
+        prov_lists = json.loads(bytes(view("prov")).decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise PersistenceError(f"Corrupt snapshot metadata: {exc}") from exc
+    for encoded in encoded_terms:
+        dictionary.encode(decode_term(encoded))
+    if len(dictionary) != header["terms"]:
+        raise PersistenceError(
+            f"Header declares {header['terms']} terms but "
+            f"{len(dictionary)} were decoded"
+        )
+    if len(prov_lists) != n:
+        raise PersistenceError("Corrupt snapshot: provenance table truncated")
+
+    backend = ColumnarBackend._restore(
+        s=col_s,
+        p=col_p,
+        o=col_o,
+        weights=weights,
+        counts=counts,
+        scan_view=scan,
+        perm_views=perm_views,
+        offsets=offsets,
+        buffer=buffer,
+    )
+
+    decode = dictionary.decode
+    records: list[StoredTriple] = []
+    by_key: dict[tuple[int, int, int], int] = {}
+    for tid in range(n):
+        key = (col_s[tid], col_p[tid], col_o[tid])
+        triple = Triple(decode(key[0]), decode(key[1]), decode(key[2]))
+        record = StoredTriple(triple, counts[tid], confidences[tid], [])
+        for encoded in prov_lists[tid]:
+            record.add_provenance(decode_provenance(encoded))
+        records.append(record)
+        by_key[key] = tid
+
+    return TripleStore._adopt_frozen(
+        header.get("name", "XKG"), dictionary, records, by_key, backend, weights
+    )
+
+
+def is_snapshot(path: str | Path) -> bool:
+    """True if ``path`` starts with the snapshot magic (format sniffing)."""
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False

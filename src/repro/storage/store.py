@@ -46,6 +46,23 @@ class StoredTriple:
         """Sort/score weight: observations × extraction confidence."""
         return self.count * self.confidence
 
+    def add_provenance(self, provenance: Provenance | None) -> bool:
+        """Append one provenance sample; return True if it was retained.
+
+        This is the single code path enforcing the :data:`MAX_PROVENANCES`
+        bound — both live :meth:`TripleStore.add` calls and the persistence
+        loaders route through it, so no format (hand-edited or future) can
+        inflate a record past the documented cap.
+        """
+        if provenance is None:
+            return False
+        if len(self.provenances) >= MAX_PROVENANCES:
+            return False
+        if provenance in self.provenances:
+            return False
+        self.provenances.append(provenance)
+        return True
+
 
 class TripleStore:
     """Dictionary-encoded triple store with score-sorted posting lists.
@@ -69,6 +86,34 @@ class TripleStore:
         self._weights: Sequence[float] = ()
         self._frozen = False
         self._pattern_total_cache: dict[object, float] = {}
+
+    @classmethod
+    def _adopt_frozen(
+        cls,
+        name: str,
+        dictionary: TermDictionary,
+        records: list[StoredTriple],
+        by_key: dict[tuple[int, int, int], int],
+        backend: StorageBackend,
+        weights: Sequence[float],
+    ) -> "TripleStore":
+        """Assemble an already-frozen store from restored parts.
+
+        Entry point for the snapshot loader (:mod:`repro.storage.snapshot`):
+        the backend arrives frozen with its posting structures intact, so no
+        re-ingestion and no :meth:`freeze` re-sort happens — posting lists
+        are byte-identical to the store the snapshot was written from.
+        """
+        store = cls.__new__(cls)
+        store.name = name
+        store.dictionary = dictionary
+        store._triples = records
+        store._by_key = by_key
+        store._backend = backend
+        store._weights = weights
+        store._frozen = True
+        store._pattern_total_cache = {}
+        return store
 
     # -- load phase ------------------------------------------------------------
 
@@ -103,11 +148,7 @@ class TripleStore:
             record = self._triples[existing]
             record.count += count
             record.confidence = max(record.confidence, confidence)
-            if (
-                len(record.provenances) < MAX_PROVENANCES
-                and provenance not in record.provenances
-            ):
-                record.provenances.append(provenance)
+            record.add_provenance(provenance)
             return existing
         triple_id = len(self._triples)
         self._triples.append(
@@ -284,10 +325,30 @@ class TripleStore:
         return [self._triples[i] for i in ids]
 
     def cardinality(self, pattern: TriplePattern) -> int:
-        """Number of distinct triples matching ``pattern``'s constants."""
-        if self._has_repeated_variable(pattern):
-            return len(self.matches(pattern))
-        return len(self.sorted_ids(pattern))
+        """Number of distinct triples matching ``pattern``'s constants.
+
+        Repeated-variable patterns are counted directly on the id columns —
+        no :class:`StoredTriple` lists are materialised just to be measured
+        (cardinality is called per pattern per sub-join ordering, so this
+        sits on the planning path).
+        """
+        ids = self.sorted_ids(pattern)
+        if not self._has_repeated_variable(pattern):
+            return len(ids)
+        first_position: dict[Term, int] = {}
+        repeat_pairs: list[tuple[int, int]] = []
+        for position, term in enumerate(pattern.terms()):
+            if term.is_variable:
+                seen_at = first_position.setdefault(term, position)
+                if seen_at != position:
+                    repeat_pairs.append((seen_at, position))
+        slot_ids = self._backend.slot_ids
+        total = 0
+        for tid in ids:
+            spo = slot_ids(tid)
+            if all(spo[a] == spo[b] for a, b in repeat_pairs):
+                total += 1
+        return total
 
     def observation_mass(self, pattern: TriplePattern) -> float:
         """Total observation weight of the pattern's matches (idf-like term).

@@ -1,0 +1,78 @@
+"""Shared term / provenance codecs for the persistence formats.
+
+Both on-disk formats — the JSONL statement file (:mod:`repro.storage.
+persistence`) and the binary columnar snapshot (:mod:`repro.storage.
+snapshot`) — serialise terms and provenance records the same way, so the
+codecs live here, below both modules.
+
+Term encoding is a two-element array ``[kind_tag, lexical]`` with tags
+``r`` (resource), ``l`` (literal), ``t`` (token).  Literals carry their
+datatype as a third element so ``"1879-03-14"``-the-string and
+1879-03-14-the-date round-trip to exactly what was stored.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from repro.core.terms import Literal, Resource, Term, TextToken
+from repro.core.terms import _auto_type  # canonical literal typing
+from repro.core.triples import Provenance
+from repro.errors import PersistenceError
+
+
+def encode_term(term: Term) -> list[str]:
+    if isinstance(term, Resource):
+        return ["r", term.name]
+    if isinstance(term, TextToken):
+        return ["t", term.norm]
+    if isinstance(term, Literal):
+        return ["l", term.lexical(), term.datatype]
+    raise PersistenceError(f"Cannot persist term of kind {term.kind}")
+
+
+def _decode_literal(value: str, datatype: str) -> Literal:
+    if datatype == "string":
+        return Literal(value)
+    if datatype == "integer":
+        return Literal(int(value))
+    if datatype == "double":
+        return Literal(float(value))
+    if datatype == "date":
+        return Literal(date.fromisoformat(value))
+    raise PersistenceError(f"Unknown literal datatype: {datatype!r}")
+
+
+def decode_term(encoded: list) -> Term:
+    if not isinstance(encoded, list) or len(encoded) not in (2, 3):
+        raise PersistenceError(f"Bad term encoding: {encoded!r}")
+    tag, value = encoded[0], encoded[1]
+    if tag == "r":
+        return Resource(value)
+    if tag == "t":
+        return TextToken(value)
+    if tag == "l":
+        if len(encoded) == 3:
+            return _decode_literal(value, encoded[2])
+        return Literal(_auto_type(value))  # legacy 2-element form
+    raise PersistenceError(f"Unknown term tag: {tag!r}")
+
+
+def encode_provenance(prov: Provenance) -> dict:
+    record = {"origin": prov.origin}
+    if prov.source:
+        record["source"] = prov.source
+    if prov.sentence:
+        record["sentence"] = prov.sentence
+    if prov.extractor:
+        record["extractor"] = prov.extractor
+    return record
+
+
+def decode_provenance(record: dict) -> Provenance:
+    return Provenance(
+        origin=record.get("origin", "kg"),
+        source=record.get("source", ""),
+        sentence=record.get("sentence", ""),
+        extractor=record.get("extractor", ""),
+    )

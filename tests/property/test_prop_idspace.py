@@ -3,10 +3,13 @@
 Random worlds (triple soups with weighted observations and token phrases),
 random single-pattern relaxation rules, and random conjunctive queries —
 every combination of execution core ("idspace"/"termspace"), storage backend
-("columnar"/"dict") and termination (adaptive/exhaustive) must produce the
-*same* :class:`AnswerSet`: identical projection bindings, identical scores,
-and identical explanation provenance (derivation triples, rules applied,
-token expansions).
+("columnar"/"dict"/"sharded") and termination (adaptive/exhaustive) must
+produce the *same* :class:`AnswerSet`: identical projection bindings,
+identical scores, and identical explanation provenance (derivation triples,
+rules applied, token expansions).  Equality is asserted within each
+termination mode — across modes only the score profile is pinned, since
+adaptive termination may surface a different equally-scored answer at the
+k boundary.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -90,7 +93,7 @@ def fingerprint(answers):
 def test_idspace_equals_termspace_across_backends(entries, rule_specs, query_text):
     query = parse_query(query_text)
     results = {}
-    for backend in ("columnar", "dict"):
+    for backend in ("columnar", "dict", "sharded"):
         store, rules = build(entries, rule_specs, backend)
         for execution in ("idspace", "termspace"):
             for exhaustive in (False, True):
@@ -104,9 +107,15 @@ def test_idspace_equals_termspace_across_backends(entries, rule_specs, query_tex
                 results[(backend, execution, exhaustive)] = fingerprint(
                     processor.query(query, 5)
                 )
-    reference = results[("dict", "termspace", True)]
-    for combination, observed in results.items():
-        assert observed == reference, combination
+    # One reference per termination mode: adaptive termination may surface a
+    # different *equally-scored* answer than exhaustive evaluation at the k
+    # boundary (see test_idspace_adaptive_is_valid_topk_of_exhaustive), so
+    # only combinations sharing the termination mode must be identical.
+    for exhaustive in (False, True):
+        reference = results[("dict", "termspace", exhaustive)]
+        for combination, observed in results.items():
+            if combination[2] == exhaustive:
+                assert observed == reference, combination
 
 
 @settings(max_examples=30, deadline=None)

@@ -95,3 +95,50 @@ def test_observation_mass_additive(entries):
     assert abs(
         store.observation_mass(pattern) - store.total_observations()
     ) < 1e-9
+
+
+def _probe_patterns(entries):
+    sample = entries[0][0]
+    return [
+        TriplePattern(X, P, Y),
+        TriplePattern(sample.s, P, Y),
+        TriplePattern(X, sample.p, Y),
+        TriplePattern(X, P, sample.o),
+        TriplePattern(sample.s, sample.p, Y),
+        TriplePattern(sample.s, sample.p, sample.o),
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(entries=st.lists(observations, min_size=1, max_size=40))
+def test_snapshot_round_trip_byte_identical(tmp_path_factory, entries):
+    """freeze → snapshot → mmap-load preserves postings, weights, records."""
+    from repro.storage.snapshot import load_snapshot, save_snapshot
+
+    store = build_store(entries)
+    path = tmp_path_factory.mktemp("snap") / "store.snap"
+    save_snapshot(store, path)
+    loaded = load_snapshot(path)
+    assert len(loaded) == len(store)
+    assert list(loaded.weights()) == list(store.weights())
+    for pattern in _probe_patterns(entries):
+        assert bytes(loaded.sorted_ids(pattern)) == bytes(store.sorted_ids(pattern))
+    for tid in range(len(store)):
+        assert loaded.record(tid).triple == store.record(tid).triple
+        assert loaded.record(tid).confidence == store.record(tid).confidence
+        assert loaded.record(tid).count == store.record(tid).count
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(observations, min_size=1, max_size=40))
+def test_sharded_postings_identical_to_columnar(entries):
+    """Hash-partitioned segments merge back to the exact global order."""
+    columnar = build_store(entries)
+    sharded = TripleStore(backend="sharded")
+    for triple, confidence, count in entries:
+        sharded.add(triple, confidence=confidence, count=count)
+    sharded.freeze()
+    for pattern in _probe_patterns(entries):
+        assert list(sharded.sorted_ids(pattern)) == list(
+            columnar.sorted_ids(pattern)
+        )

@@ -1,9 +1,9 @@
-"""Backend conformance: dict and columnar must be observationally identical.
+"""Backend conformance: dict, columnar and sharded must be observationally identical.
 
 The StorageBackend protocol is the sharding/persistence seam — anything a
 backend leaks (mutable postings, divergent orders) becomes a query-processing
-bug, so these tests drive both implementations through the same scenarios
-and compare every observable.
+bug, so these tests drive all implementations through the same scenarios
+and compare every observable against the "dict" reference.
 """
 
 import pytest
@@ -18,11 +18,12 @@ from repro.storage.backend import (
     make_backend,
 )
 from repro.storage.columnar import ColumnarBackend
+from repro.storage.sharded import ShardedBackend
 from repro.storage.store import TripleStore
 
 X, Y, P = Variable("x"), Variable("y"), Variable("p")
 
-BACKEND_NAMES = ("dict", "columnar")
+BACKEND_NAMES = ("dict", "columnar", "sharded")
 
 
 def _sample_store(backend: str) -> TripleStore:
@@ -50,12 +51,13 @@ PATTERNS = [
 
 
 class TestRegistry:
-    def test_both_backends_registered(self):
+    def test_all_backends_registered(self):
         assert set(BACKEND_NAMES) <= set(BACKENDS)
 
     def test_make_backend_by_name(self):
         assert isinstance(make_backend("dict"), DictBackend)
         assert isinstance(make_backend("columnar"), ColumnarBackend)
+        assert isinstance(make_backend("sharded"), ShardedBackend)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(StorageError):
@@ -80,24 +82,38 @@ class TestCrossBackendEquivalence:
                 name: list(store.sorted_ids(pattern))
                 for name, store in stores.items()
             }
-            assert results["dict"] == results["columnar"], pattern.n3()
+            for name in BACKEND_NAMES[1:]:
+                assert results[name] == results["dict"], (name, pattern.n3())
 
-    def test_weights_and_slot_ids_identical(self):
+    def test_weights_slot_ids_and_counts_identical(self):
         stores = {name: _sample_store(name) for name in BACKEND_NAMES}
         size = len(stores["dict"])
-        assert size == len(stores["columnar"])
+        for name in BACKEND_NAMES[1:]:
+            assert len(stores[name]) == size
         for tid in range(size):
-            assert stores["dict"].spo_ids(tid) == stores["columnar"].spo_ids(tid)
-            assert stores["dict"].weight(tid) == stores["columnar"].weight(tid)
+            reference = (
+                stores["dict"].spo_ids(tid),
+                stores["dict"].weight(tid),
+                stores["dict"].backend.count(tid),
+            )
+            for name in BACKEND_NAMES[1:]:
+                observed = (
+                    stores[name].spo_ids(tid),
+                    stores[name].weight(tid),
+                    stores[name].backend.count(tid),
+                )
+                assert observed == reference, (name, tid)
 
     def test_distinct_keys_identical(self):
         stores = {name: _sample_store(name) for name in BACKEND_NAMES}
         for bound in ([True, False, False], [False, True, False], [True, True, False]):
             keys = {
-                name: sorted(store.backend.distinct_keys(bound))
+                name: store.backend.distinct_keys(bound)
                 for name, store in stores.items()
             }
-            assert keys["dict"] == keys["columnar"]
+            # Same keys *and* the same first-occurrence order.
+            for name in BACKEND_NAMES[1:]:
+                assert keys[name] == keys["dict"], (name, bound)
 
     def test_postings_ids_matches_sorted_ids(self):
         for name in BACKEND_NAMES:
@@ -106,10 +122,11 @@ class TestCrossBackendEquivalence:
             pattern_ids = list(store.sorted_ids(TriplePattern(X, Resource("bornIn"), Y)))
             assert list(store.postings_ids(None, born, None)) == pattern_ids
 
-    def test_convert_preserves_everything(self):
+    @pytest.mark.parametrize("target", ("columnar", "sharded"))
+    def test_convert_preserves_everything(self, target):
         original = _sample_store("dict")
-        converted = original.convert("columnar")
-        assert converted.backend_name == "columnar"
+        converted = original.convert(target)
+        assert converted.backend_name == target
         assert converted.is_frozen
         assert len(converted) == len(original)
         for pattern in PATTERNS:
@@ -163,38 +180,76 @@ class TestBuildPhaseGuards:
         with pytest.raises(StorageError):
             backend.insert(2, (1, 2, 3))
 
-    def test_columnar_rejects_insert_after_freeze(self):
-        backend = ColumnarBackend()
+    @pytest.mark.parametrize("name", ("columnar", "sharded"))
+    def test_rejects_insert_after_freeze(self, name):
+        backend = make_backend(name)
         backend.insert(0, (1, 2, 3))
         backend.freeze([1.0])
         with pytest.raises(StorageError):
             backend.insert(1, (4, 5, 6))
 
-    def test_columnar_rejects_double_freeze(self):
-        backend = ColumnarBackend()
+    @pytest.mark.parametrize("name", ("columnar", "sharded"))
+    def test_rejects_double_freeze(self, name):
+        backend = make_backend(name)
         backend.freeze([])
         with pytest.raises(StorageError):
             backend.freeze([])
 
-    def test_columnar_weight_arity_checked(self):
-        backend = ColumnarBackend()
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_weight_arity_checked(self, name):
+        backend = make_backend(name)
         backend.insert(0, (1, 2, 3))
         with pytest.raises(StorageError):
             backend.freeze([1.0, 2.0])
 
-    def test_columnar_lookup_requires_freeze(self):
-        backend = ColumnarBackend()
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_count_arity_checked(self, name):
+        backend = make_backend(name)
+        backend.insert(0, (1, 2, 3))
+        with pytest.raises(StorageError):
+            backend.freeze([1.0], [2, 3])
+
+    @pytest.mark.parametrize("name", ("columnar", "sharded"))
+    def test_lookup_requires_freeze(self, name):
+        backend = make_backend(name)
         backend.insert(0, (1, 2, 3))
         with pytest.raises(StorageError):
             backend.postings([True, False, False], (1,))
 
-    def test_columnar_memory_accounting(self):
-        store = _sample_store("columnar")
+    @pytest.mark.parametrize("name", ("columnar", "sharded"))
+    def test_memory_accounting(self, name):
+        store = _sample_store(name)
         assert store.backend.memory_bytes() > 0
 
 
+class TestCountConformance:
+    """count() is part of the protocol: same values, same error shape."""
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_counts_from_store_freeze(self, name):
+        store = _sample_store(name)
+        for tid, record in enumerate(store.records()):
+            assert store.backend.count(tid) == record.count
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_unknown_id_raises_storage_error(self, name):
+        store = _sample_store(name)
+        with pytest.raises(StorageError):
+            store.backend.count(len(store))
+        with pytest.raises(StorageError):
+            store.backend.count(-1)
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_frozen_without_counts_raises_storage_error(self, name):
+        backend = make_backend(name)
+        backend.insert(0, (1, 2, 3))
+        backend.freeze([2.0])  # no counts column
+        with pytest.raises(StorageError):
+            backend.count(0)
+
+
 class TestScanSignatureContract:
-    def test_distinct_keys_scan_raises_storage_error_on_both(self):
+    def test_distinct_keys_scan_raises_storage_error_on_all(self):
         for name in BACKEND_NAMES:
             store = _sample_store(name)
             with pytest.raises(StorageError):
@@ -206,3 +261,4 @@ class TestScanSignatureContract:
             backend.insert(0, (1, 2, 3))
             backend.freeze([2.0], [2])
             assert list(backend.postings([True, False, False], (1,))) == [0]
+            assert backend.count(0) == 2

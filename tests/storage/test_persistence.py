@@ -5,10 +5,11 @@ import json
 import pytest
 
 from repro.core.terms import Literal, Resource, TextToken
-from repro.core.triples import Triple
+from repro.core.triples import Provenance, Triple
 from repro.errors import PersistenceError
 from repro.storage.persistence import load_store, save_store
-from repro.storage.store import TripleStore
+from repro.storage.store import MAX_PROVENANCES, TripleStore
+from repro.topk.processor import TopKProcessor
 
 
 class TestRoundtrip:
@@ -69,6 +70,115 @@ class TestRoundtrip:
         path = tmp_path / "store.jsonl"
         save_store(small_store, path)
         assert load_store(path).name == small_store.name
+
+
+class TestExactFidelity:
+    """Regression: save_store used to round confidences to 6 decimals, so a
+    reloaded store ranked answers differently than the one it was saved
+    from (conf 0.1234567891, count 3 → weight 0.3703703673 in-memory vs
+    0.370371 after reload)."""
+
+    def _exact_store(self):
+        store = TripleStore("exact")
+        aff = Resource("affiliation")
+        store.add(
+            Triple(Resource("A"), aff, Resource("U1")),
+            confidence=0.1234567891,
+            count=3,
+        )
+        # A competitor whose weight falls between the exact and the rounded
+        # weight of the first triple: rounding used to flip their order.
+        store.add(
+            Triple(Resource("B"), aff, Resource("U2")),
+            confidence=0.3703703690,
+            count=1,
+        )
+        return store.freeze()
+
+    def test_confidence_round_trips_bit_exact(self, tmp_path):
+        store = self._exact_store()
+        path = tmp_path / "exact.jsonl"
+        save_store(store, path)
+        loaded = load_store(path)
+        for record in store.records():
+            reloaded = loaded.lookup(record.triple)
+            assert reloaded.confidence == record.confidence  # ==, not approx
+
+    def test_weights_identical_after_reload(self, tmp_path):
+        store = self._exact_store()
+        path = tmp_path / "exact.jsonl"
+        save_store(store, path)
+        loaded = load_store(path)
+        assert list(loaded.weights()) == list(store.weights())
+
+    def test_topk_answer_order_survives_reload(self, tmp_path):
+        from repro.core.parser import parse_query
+
+        store = self._exact_store()
+        path = tmp_path / "exact.jsonl"
+        save_store(store, path)
+        loaded = load_store(path)
+        query = parse_query("?x affiliation ?y")
+        original = TopKProcessor(store).query(query, 5)
+        reloaded = TopKProcessor(loaded).query(query, 5)
+        assert [(a.binding, a.score) for a in reloaded] == [
+            (a.binding, a.score) for a in original
+        ]
+
+    def test_small_store_weights_and_answers_survive(self, small_store, tmp_path):
+        from repro.core.parser import parse_query
+
+        store = small_store.freeze()
+        path = tmp_path / "store.jsonl"
+        save_store(store, path)
+        loaded = load_store(path)
+        assert list(loaded.weights()) == list(store.weights())
+        query = parse_query("AlbertEinstein ?p ?y")
+        original = TopKProcessor(store).query(query, 10)
+        reloaded = TopKProcessor(loaded).query(query, 10)
+        assert [(a.binding, a.score) for a in reloaded] == [
+            (a.binding, a.score) for a in original
+        ]
+
+
+class TestProvenanceCap:
+    """Regression: load_store appended extra provenance samples directly,
+    bypassing the MAX_PROVENANCES cap TripleStore.add enforces."""
+
+    def test_hand_edited_file_cannot_exceed_cap(self, tmp_path):
+        path = tmp_path / "inflated.jsonl"
+        prov = [
+            {"origin": "openie", "source": f"doc-{i}"}
+            for i in range(MAX_PROVENANCES * 3)
+        ]
+        lines = [
+            json.dumps({"format": "trinit-xkg-jsonl", "version": 1,
+                        "name": "x", "triples": 1}),
+            json.dumps({"s": ["r", "A"], "p": ["r", "p"], "o": ["r", "B"],
+                        "count": 1, "conf": 0.5, "prov": prov}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        loaded = load_store(path)
+        record = loaded.lookup(
+            Triple(Resource("A"), Resource("p"), Resource("B"))
+        )
+        assert len(record.provenances) == MAX_PROVENANCES
+
+    def test_duplicate_extra_provenances_deduped(self, tmp_path):
+        path = tmp_path / "dupes.jsonl"
+        prov = [{"origin": "openie", "source": "doc-1"}] * 4
+        lines = [
+            json.dumps({"format": "trinit-xkg-jsonl", "version": 1,
+                        "name": "x", "triples": 1}),
+            json.dumps({"s": ["r", "A"], "p": ["r", "p"], "o": ["r", "B"],
+                        "count": 1, "conf": 0.5, "prov": prov}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        loaded = load_store(path)
+        record = loaded.lookup(
+            Triple(Resource("A"), Resource("p"), Resource("B"))
+        )
+        assert record.provenances == [Provenance("openie", "doc-1")]
 
 
 class TestErrors:

@@ -1,0 +1,270 @@
+"""Snapshot round-trip: freeze → save → mmap-load → byte-identical postings.
+
+The snapshot format's whole contract is *fidelity without re-ingestion*: the
+loaded store must be observationally indistinguishable from the one written —
+posting bytes, weights, confidences, provenances, answers — while its
+permutation arrays are zero-copy views over the mapped file.
+"""
+
+import json
+import mmap
+
+import pytest
+
+from repro.core.terms import Resource, TextToken, Variable
+from repro.core.triples import Triple, TriplePattern
+from repro.errors import PersistenceError
+from repro.storage.index import SIGNATURES
+from repro.storage.persistence import load_store
+from repro.storage.snapshot import (
+    MAGIC,
+    is_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.storage.store import TripleStore
+from repro.topk.processor import TopKProcessor
+
+X, Y, P = Variable("x"), Variable("y"), Variable("p")
+
+
+@pytest.fixture()
+def snapshot_path(frozen_small_store, tmp_path):
+    path = tmp_path / "store.snap"
+    save_snapshot(frozen_small_store, path)
+    return path
+
+
+def _all_posting_bytes(store):
+    """Posting bytes for every signature and key, plus the scan list."""
+    backend = store.backend
+    out = {}
+    for sig in SIGNATURES:
+        bound = [slot in sig for slot in range(3)]
+        for key in backend.distinct_keys(bound):
+            out[(sig, key)] = bytes(backend.postings(bound, key))
+    out[("scan",)] = bytes(backend.postings([False, False, False], ()))
+    return out
+
+
+class TestRoundtripFidelity:
+    def test_byte_identical_postings(self, frozen_small_store, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        assert _all_posting_bytes(loaded) == _all_posting_bytes(frozen_small_store)
+
+    def test_records_survive_exactly(self, frozen_small_store, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        assert len(loaded) == len(frozen_small_store)
+        assert loaded.name == frozen_small_store.name
+        for tid in range(len(frozen_small_store)):
+            original, reloaded = frozen_small_store.record(tid), loaded.record(tid)
+            assert reloaded.triple == original.triple
+            assert reloaded.count == original.count
+            assert reloaded.confidence == original.confidence  # bit-exact
+            assert reloaded.provenances == original.provenances
+
+    def test_weights_identical(self, frozen_small_store, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        assert list(loaded.weights()) == list(frozen_small_store.weights())
+        for tid in range(len(frozen_small_store)):
+            assert loaded.weight(tid) == frozen_small_store.weight(tid)
+            assert loaded.backend.count(tid) == frozen_small_store.backend.count(tid)
+
+    def test_dictionary_ids_identical(self, frozen_small_store, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        assert len(loaded.dictionary) == len(frozen_small_store.dictionary)
+        for term in frozen_small_store.dictionary:
+            assert loaded.dictionary.id_of(term) == (
+                frozen_small_store.dictionary.id_of(term)
+            )
+
+    def test_identical_topk_answers(self, frozen_small_store, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        queries = [
+            "AlbertEinstein ?p ?y",
+            "?x bornIn ?y",
+            "?x 'lectured at' ?y",
+            "?x bornIn ?c . ?c locatedIn ?l",
+        ]
+        from repro.core.parser import parse_query
+
+        for text in queries:
+            query = parse_query(text)
+            for k in (1, 3, 10):
+                original = TopKProcessor(frozen_small_store).query(query, k)
+                reloaded = TopKProcessor(loaded).query(query, k)
+                assert [(a.binding, a.score) for a in reloaded] == [
+                    (a.binding, a.score) for a in original
+                ]
+
+    def test_exotic_confidence_round_trips_bit_exact(self, tmp_path):
+        store = TripleStore("exact")
+        store.add(
+            Triple(Resource("A"), Resource("p"), Resource("B")),
+            confidence=0.1234567891,
+            count=3,
+        )
+        store.freeze()
+        path = tmp_path / "exact.snap"
+        save_snapshot(store, path)
+        loaded = load_snapshot(path)
+        assert loaded.record(0).confidence == 0.1234567891
+        assert loaded.weight(0) == store.weight(0)
+
+
+class TestZeroCopy:
+    def test_postings_view_over_mapped_file(self, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        postings = loaded.sorted_ids(TriplePattern(X, Resource("bornIn"), Y))
+        assert isinstance(postings, memoryview)
+        assert postings.readonly
+        assert isinstance(postings.obj, mmap.mmap)
+
+    def test_loaded_store_is_frozen_and_immutable(self, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        assert loaded.is_frozen
+        assert loaded.backend_name == "columnar"
+        assert loaded.backend.is_frozen
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            loaded.add(Triple(Resource("A"), Resource("p"), Resource("B")))
+
+    def test_eager_load_matches_mapped_load(self, frozen_small_store, snapshot_path):
+        mapped = load_snapshot(snapshot_path, map_file=True)
+        eager = load_snapshot(snapshot_path, map_file=False)
+        assert _all_posting_bytes(mapped) == _all_posting_bytes(eager)
+        assert list(mapped.weights()) == list(eager.weights())
+
+
+class TestFormatSniffing:
+    def test_load_store_dispatches_on_magic(self, frozen_small_store, snapshot_path):
+        loaded = load_store(snapshot_path)
+        assert len(loaded) == len(frozen_small_store)
+        assert loaded.backend_name == "columnar"
+        assert loaded.is_frozen
+
+    def test_load_store_converts_backend_on_request(self, snapshot_path):
+        loaded = load_store(snapshot_path, backend="sharded")
+        assert loaded.backend_name == "sharded"
+        assert loaded.is_frozen
+
+    def test_snapshot_rejects_freeze_false(self, snapshot_path):
+        with pytest.raises(PersistenceError):
+            load_store(snapshot_path, freeze=False)
+
+    def test_is_snapshot(self, snapshot_path, tmp_path):
+        assert is_snapshot(snapshot_path)
+        other = tmp_path / "plain.jsonl"
+        other.write_text(json.dumps({"format": "trinit-xkg-jsonl"}) + "\n")
+        assert not is_snapshot(other)
+        assert not is_snapshot(tmp_path / "missing.snap")
+
+
+class TestErrors:
+    def test_unfrozen_store_rejected(self, small_store, tmp_path):
+        with pytest.raises(PersistenceError):
+            save_snapshot(small_store, tmp_path / "nope.snap")
+
+    def test_non_columnar_backend_rejected(self, tmp_path):
+        store = TripleStore("dictstore", backend="dict")
+        store.add(Triple(Resource("A"), Resource("p"), Resource("B")))
+        store.freeze()
+        with pytest.raises(PersistenceError):
+            save_snapshot(store, tmp_path / "nope.snap")
+
+    def test_sharded_store_snapshot_via_convert(self, tmp_path):
+        store = TripleStore("shardstore", backend="sharded")
+        store.add(Triple(Resource("A"), Resource("p"), Resource("B")), count=2)
+        store.freeze()
+        path = tmp_path / "converted.snap"
+        save_snapshot(store.convert("columnar"), path)
+        loaded = load_snapshot(path)
+        assert len(loaded) == 1
+        assert loaded.record(0).count == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_snapshot(tmp_path / "missing.snap")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.snap"
+        path.write_bytes(b"NOTASNAP" + b"\x00" * 64)
+        with pytest.raises(PersistenceError):
+            load_snapshot(path)
+
+    def test_truncated_file(self, snapshot_path, tmp_path):
+        data = snapshot_path.read_bytes()
+        truncated = tmp_path / "trunc.snap"
+        truncated.write_bytes(data[: len(data) // 2])
+        with pytest.raises(PersistenceError):
+            load_snapshot(truncated)
+
+    def test_corrupt_header_json(self, snapshot_path):
+        data = bytearray(snapshot_path.read_bytes())
+        # The header JSON sits at the end; mangle its last byte.
+        data[-1] = ord("!")
+        snapshot_path.write_bytes(bytes(data))
+        with pytest.raises(PersistenceError):
+            load_snapshot(snapshot_path)
+
+    def _rewrite_header(self, snapshot_path, mutate):
+        import struct
+
+        data = bytearray(snapshot_path.read_bytes())
+        (header_offset,) = struct.unpack_from("<Q", data, len(MAGIC))
+        header = json.loads(bytes(data[header_offset:]).decode("utf-8"))
+        mutate(header)
+        snapshot_path.write_bytes(
+            bytes(data[:header_offset])
+            + json.dumps(header, ensure_ascii=False).encode("utf-8")
+        )
+
+    def test_negative_section_offset_rejected(self, snapshot_path):
+        self._rewrite_header(
+            snapshot_path,
+            lambda header: header["sections"].__setitem__("col:s", [-16, 8]),
+        )
+        with pytest.raises(PersistenceError):
+            load_snapshot(snapshot_path)
+
+    def test_misaligned_section_length_rejected(self, snapshot_path):
+        def shrink(header):
+            offset, length = header["sections"]["col:s"]
+            header["sections"]["col:s"] = [offset, length - 1]
+
+        self._rewrite_header(snapshot_path, shrink)
+        with pytest.raises(PersistenceError):
+            load_snapshot(snapshot_path)
+
+    def test_foreign_weight_itemsize_rejected(self, snapshot_path):
+        self._rewrite_header(
+            snapshot_path, lambda header: header.__setitem__("weight_itemsize", 4)
+        )
+        with pytest.raises(PersistenceError):
+            load_snapshot(snapshot_path)
+
+    def test_foreign_byteorder_rejected(self, snapshot_path):
+        self._rewrite_header(
+            snapshot_path,
+            lambda header: header.__setitem__(
+                "byteorder", "big" if __import__("sys").byteorder == "little" else "little"
+            ),
+        )
+        with pytest.raises(PersistenceError):
+            load_snapshot(snapshot_path)
+
+    def test_magic_prefix_only(self):
+        assert len(MAGIC) == 8
+
+
+class TestSnapshotOfSnapshot:
+    def test_resave_of_loaded_snapshot_is_faithful(
+        self, frozen_small_store, snapshot_path, tmp_path
+    ):
+        loaded = load_snapshot(snapshot_path)
+        second_path = tmp_path / "second.snap"
+        save_snapshot(loaded, second_path)
+        second = load_snapshot(second_path)
+        assert _all_posting_bytes(second) == _all_posting_bytes(frozen_small_store)
+        assert list(second.weights()) == list(frozen_small_store.weights())

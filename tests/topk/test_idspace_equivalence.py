@@ -190,7 +190,7 @@ PAPER_QUERIES = [
 
 class TestPaperKgEquivalence:
     def test_paper_queries_identical_across_everything(self):
-        for backend in ("columnar", "dict"):
+        for backend in ("columnar", "dict", "sharded"):
             engine = paper_engine(storage_backend=backend)
             assert engine.store.backend_name == backend
             assert_equivalent(engine, [parse_query(q) for q in PAPER_QUERIES])
@@ -217,6 +217,25 @@ class TestGeneratedWorldEquivalence:
         config = EngineConfig(storage_backend="dict")
         engine = TriniT(tiny_harness.xkg_store, config=config)
         assert engine.store.backend_name == "dict"
+        queries = [bq.parse() for bq in tiny_harness.benchmark.queries[:6]]
+        assert_equivalent(engine, queries, ks=(3,))
+
+    def test_sharded_backend_engine_identical(self, tiny_harness):
+        """The partitioned store runs the unchanged execution core."""
+        config = EngineConfig(storage_backend="sharded")
+        engine = TriniT(tiny_harness.xkg_store, config=config)
+        assert engine.store.backend_name == "sharded"
+        assert engine.store.backend.num_segments >= 4
+        queries = [bq.parse() for bq in tiny_harness.benchmark.queries[:6]]
+        assert_equivalent(engine, queries, ks=(3,))
+
+    def test_snapshot_loaded_store_engine_identical(self, tiny_harness, tmp_path):
+        """A mmap-loaded snapshot is observationally the original store."""
+        from repro.storage.snapshot import load_snapshot, save_snapshot
+
+        path = tmp_path / "tiny.snap"
+        save_snapshot(tiny_harness.xkg_store, path)
+        engine = TriniT(load_snapshot(path))
         queries = [bq.parse() for bq in tiny_harness.benchmark.queries[:6]]
         assert_equivalent(engine, queries, ks=(3,))
 
