@@ -1,0 +1,114 @@
+"""bench-stream — anytime streaming vs eager re-asking.
+
+The paper's top-k processor is an *anytime* algorithm: answers surface in
+score order long before the full top-k settles.  The session API exposes
+that: ``engine.stream(q).next_k(n)`` resumes the suspended computation,
+while the pre-streaming interaction pattern — "show 10 more" — had to
+re-run ``ask`` with a larger k from scratch.  This bench measures, on the
+small-profile XKG with mined rules:
+
+1. **time-to-first-answer**: ``stream.next_k(1)`` vs a full eager
+   ``ask(k=10)`` — how much sooner an interactive UI can paint its first
+   row;
+2. **pagination cost**: walking to rank 40 in pages of 10 via one resumed
+   stream vs re-asking at k=10/20/30/40 — the amortized cost of "more".
+
+The acceptance bar is on *work*, not clocks (sorted accesses are
+deterministic): paginating must not exceed the re-ask sweep's accesses, and
+the streamed answers must be byte-identical to the eager top-40 list.
+"""
+
+import time
+
+from conftest import print_artifact
+
+from repro.core.parser import parse_query
+
+
+def _best_of(action, reps=5):
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = action()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_stream_latency_table(small_harness):
+    engine = small_harness.engine
+    queries = [
+        parse_query("?x affiliation ?y"),
+        parse_query("?p 'works at' ?u"),
+        parse_query("?p affiliation ?u ; ?u locatedIn ?c"),
+    ]
+    pages = [10, 10, 10, 10]
+    total = sum(pages)
+
+    rows = [
+        f"store: {len(engine.store)} triples (small profile, mined rules)",
+        "",
+        "query                              first(ms)  ask10(ms)  "
+        "pages(ms)  re-ask(ms)  acc-pages  acc-re-ask",
+        "-" * 104,
+    ]
+    for query in queries:
+        t_first, _ = _best_of(lambda: engine.stream(query).next_k(1))
+        t_ask10, _ = _best_of(lambda: engine.ask(query, 10))
+
+        def paginate():
+            stream = engine.stream(query)
+            for n in pages:
+                stream.next_k(n)
+            return stream
+
+        def re_ask():
+            return [engine.ask(query, k) for k in (10, 20, 30, 40)]
+
+        t_pages, stream = _best_of(paginate)
+        t_re_ask, asks = _best_of(re_ask)
+
+        acc_pages = stream.stats.sorted_accesses
+        acc_re_ask = sum(a.stats.sorted_accesses for a in asks)
+
+        # Fidelity: the concatenated pages are the eager top-`total` list.
+        eager = engine.ask(query, total)
+        streamed = stream.collected().answers
+        assert [(a.binding, a.score) for a in streamed] == [
+            (a.binding, a.score) for a in eager.answers
+        ]
+        # Work bar: resuming never exceeds the re-ask sweep's accesses.
+        assert acc_pages <= acc_re_ask, (query.n3(), acc_pages, acc_re_ask)
+
+        label = query.n3()[:33]
+        rows.append(
+            f"{label:<33}  {t_first * 1000:>9.2f}  {t_ask10 * 1000:>9.2f}  "
+            f"{t_pages * 1000:>9.2f}  {t_re_ask * 1000:>10.2f}  "
+            f"{acc_pages:>9}  {acc_re_ask:>10}"
+        )
+
+    rows += [
+        "",
+        "first     = stream.next_k(1): time-to-first-answer",
+        "pages     = one stream paged 10+10+10+10 (resumed, never recomputed)",
+        "re-ask    = eager ask at k=10,20,30,40 (the pre-streaming pattern)",
+        "acc-*     = cumulative sorted accesses (deterministic work measure)",
+        "streamed pages verified byte-identical to the eager top-40 list",
+    ]
+    print_artifact(
+        "Table (bench-stream): anytime streaming vs eager re-asking", "\n".join(rows)
+    )
+
+
+def test_stream_pagination_benchmark(benchmark, small_harness):
+    """pytest-benchmark hook: one paged walk to rank 40 via a resumed stream."""
+    engine = small_harness.engine
+    query = parse_query("?p affiliation ?u ; ?u locatedIn ?c")
+
+    def paginate():
+        stream = engine.stream(query)
+        for _ in range(4):
+            stream.next_k(10)
+        return len(stream)
+
+    benchmark(paginate)

@@ -15,12 +15,22 @@ Quickstart::
     engine = TriniT.from_triples(kg_triples, extension_triples)
     answers = engine.ask("SELECT ?x WHERE AlbertEinstein affiliation ?x")
     print(answers.render_table())
+
+Session lifecycle, streaming and batch querying::
+
+    with TriniT.open("xkg.snap") as engine:
+        stream = engine.stream("?x 'works at' ?y")
+        first = stream.next_k(10)     # anytime: resumes, never recomputes
+        more = stream.next_k(10)
+        results = engine.ask_many(["?x bornIn ?y", "?x type city"], k=5)
 """
 
 from repro.core import (
     Answer,
     AnswerSet,
+    AnswerStream,
     EngineConfig,
+    QueryStats,
     Explanation,
     Literal,
     Provenance,
@@ -48,7 +58,7 @@ from repro.storage import (
     save_snapshot,
     save_store,
 )
-from repro.topk import ProcessorConfig, TopKProcessor
+from repro.topk import ProcessorConfig, TopKDriver, TopKProcessor
 
 __version__ = "1.0.0"
 
@@ -56,6 +66,7 @@ __all__ = [
     "TriniT",
     "EngineConfig",
     "ProcessorConfig",
+    "TopKDriver",
     "TopKProcessor",
     "TripleStore",
     "save_store",
@@ -77,6 +88,8 @@ __all__ = [
     "parse_rule",
     "Answer",
     "AnswerSet",
+    "AnswerStream",
+    "QueryStats",
     "Explanation",
     "Suggestion",
     "QuerySuggester",

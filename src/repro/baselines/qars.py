@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.query import Query
+from repro.core.results import QueryStats
 from repro.core.terms import Term, Variable
 from repro.relax.amie import mine_amie_rules
 from repro.relax.rules import RelaxationRule, RuleSet
@@ -43,9 +44,22 @@ class QarsBaseline:
             rules=rules,
             config=config if config is not None else ProcessorConfig(),
         )
+        #: Cumulative driver statistics of the last :meth:`rank` call —
+        #: same counters (including the streaming fields) as full TriniT's,
+        #: so efficiency comparisons against the baseline are apples to
+        #: apples.
+        self.last_stats: QueryStats = QueryStats()
 
     def rank(self, query: Query, target: Variable, k: int) -> list[Term]:
-        answers = self.processor.query(query, k)
+        """Top-``k`` distinct terms for ``target``, KG-relaxation only.
+
+        Runs on the same resumable driver as the full system: the top-k
+        answers come from one settled drain (identical to the eager answer
+        set), and the driver's statistics are kept for comparison.
+        """
+        driver = self.processor.driver(query)
+        answers = driver.advance(k).ranked(k)
+        self.last_stats = driver.stats
         ranked: list[Term] = []
         seen: set[Term] = set()
         for answer in answers:

@@ -11,7 +11,7 @@ from repro.core.terms import Literal, Resource, Term, TextToken, Variable, term_
 from repro.core.triples import Provenance, Triple, TriplePattern
 from repro.core.query import Query
 from repro.core.parser import parse_query, parse_pattern, parse_rule
-from repro.core.results import Answer, AnswerSet, Derivation
+from repro.core.results import Answer, AnswerSet, AnswerStream, Derivation, QueryStats
 from repro.core.explanation import Explanation, explain_answer
 from repro.core.suggestion import QuerySuggester, Suggestion
 from repro.core.engine import TriniT, EngineConfig
@@ -32,6 +32,8 @@ __all__ = [
     "parse_rule",
     "Answer",
     "AnswerSet",
+    "AnswerStream",
+    "QueryStats",
     "Derivation",
     "Explanation",
     "explain_answer",

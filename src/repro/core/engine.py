@@ -11,18 +11,30 @@ operator registry), scoring, top-k processing, explanation and suggestion::
     print(engine.explain(answers.top()).render())
     for suggestion in engine.suggest("?x 'born in' Germany"):
         print(suggestion.text)
+
+Session lifecycle and streaming — the interactive surface::
+
+    with TriniT.open("xkg.snap") as engine:            # mmap-loaded snapshot
+        stream = engine.stream("?x 'works at' ?y")
+        first = stream.next_k(10)                       # time-to-first-answer
+        more = stream.next_k(10)                        # resumes, no recompute
+        batch = engine.ask_many(["?x bornIn ?y", "?x type city"], k=5)
+    # exit released the snapshot mapping; the stream is now closed too
 """
 
 from __future__ import annotations
 
 import itertools
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.core.explanation import Explanation, explain_answer
 from repro.core.parser import parse_query, parse_rule
 from repro.core.query import Query
-from repro.core.results import Answer, AnswerSet
+from repro.core.results import Answer, AnswerSet, AnswerStream
 from repro.core.suggestion import QuerySuggester, Suggestion
 from repro.core.triples import Provenance, Triple
 from repro.errors import TrinitError
@@ -133,8 +145,28 @@ class TriniT:
             self.matcher,
             min_overlap=self.config.suggestion_min_overlap,
         )
+        self._closed = False
 
     # -- construction helpers -----------------------------------------------------
+
+    @classmethod
+    def open(cls, path: "str | Path", **kwargs) -> "TriniT":
+        """Open an engine over a persisted store (binary snapshot or JSONL).
+
+        The format is sniffed from the file's magic bytes; snapshots are
+        ``mmap``-loaded (zero-copy posting views over the mapped pages).
+        The engine *owns* the loaded resources — use it as a context
+        manager, or call :meth:`close`, to release them::
+
+            with TriniT.open("xkg.snap") as engine:
+                print(engine.ask("?x bornIn Germany").render_table())
+
+        Keyword arguments are forwarded to the constructor (``config``,
+        ``rules``, ``registry``).
+        """
+        from repro.storage.persistence import load_store
+
+        return cls(load_store(path), **kwargs)
 
     @classmethod
     def from_triples(
@@ -207,6 +239,29 @@ class TriniT:
                 description="ESA relatedness predicate rewrites",
             )
 
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the engine's storage resources (mmap buffers, columns).
+
+        Streams obtained from :meth:`stream` become unusable (their
+        ``next_k`` raises :class:`~repro.errors.StorageError`); answers
+        already materialised stay valid.  Idempotent.
+        """
+        if not self._closed:
+            self._closed = True
+            self.store.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "TriniT":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- querying -----------------------------------------------------------------
 
     def parse(self, text: str) -> Query:
@@ -218,6 +273,56 @@ class TriniT:
         if isinstance(query, str):
             query = parse_query(query)
         return self.processor.query(query, k)
+
+    def stream(self, query: Query | str) -> AnswerStream:
+        """An :class:`AnswerStream` over ``query`` — the anytime surface.
+
+        ``stream(q).next_k(n)`` emits the next ``n`` answers in score
+        order, *resuming* the suspended top-k computation instead of
+        recomputing it; the concatenation of all batches is byte-identical
+        to the eager ``ask(q, k=total)`` list.  Per-call and cumulative
+        :class:`~repro.core.results.QueryStats` ride along.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        return AnswerStream(self.processor.driver(query))
+
+    def ask_many(
+        self,
+        queries: Sequence[Query | str],
+        k: int | None = None,
+        *,
+        max_workers: int | None = None,
+    ) -> list[AnswerSet]:
+        """Answer independent queries on a thread pool; results in input order.
+
+        The frozen store, scorer and rule set are shared read-only across
+        the pool (the caches they warm are idempotent under the GIL), and
+        every query is evaluated in isolation — results are bit-identical
+        to sequential ``ask`` calls.  Note the evaluation itself is pure
+        Python, so on GIL-bound interpreters the pool bounds *latency
+        interleaving*, not aggregate throughput; the API seam is what a
+        free-threaded build or a per-segment process executor (see
+        ROADMAP) will exploit.  ``max_workers`` defaults to
+        ``min(len(queries), cpu_count)``; pass 1 to force sequential.
+        """
+        parsed = [
+            parse_query(query) if isinstance(query, str) else query
+            for query in queries
+        ]
+        if not parsed:
+            return []
+        if max_workers is None:
+            max_workers = min(len(parsed), os.cpu_count() or 4)
+        if max_workers <= 1 or len(parsed) == 1:
+            return [self.processor.query(query, k) for query in parsed]
+        # Build the shared lazily-initialised structures once, up front,
+        # rather than racing the first queries into them.
+        self.processor._single_rule_index()
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(
+                pool.map(lambda query: self.processor.query(query, k), parsed)
+            )
 
     def explain(self, answer: Answer, query: Query | None = None) -> Explanation:
         """Explanation of an answer's provenance and relaxations."""
@@ -273,4 +378,5 @@ class TriniT:
             config=clone.config.processor,
         )
         clone.suggester = self.suggester
+        clone._closed = self._closed
         return clone

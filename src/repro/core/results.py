@@ -11,15 +11,19 @@ record, so every answer is explainable without re-running the query.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Sequence
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 from repro.core.query import Query
 from repro.core.terms import Term, Variable
 from repro.core.triples import TriplePattern
+from repro.errors import StorageError, TopKError
 from repro.relax.rules import RelaxationRule, RuleApplication
 from repro.storage.store import StoredTriple
 from repro.storage.text_index import TokenMatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (driver imports us)
+    from repro.topk.driver import TopKDriver
 
 #: A hashable binding: ((variable, term), ...) sorted by variable name.
 BindingKey = tuple[tuple[Variable, Term], ...]
@@ -124,7 +128,13 @@ class Answer:
 
 @dataclass
 class QueryStats:
-    """Work counters filled in by the top-k processor (efficiency bench)."""
+    """Work counters filled in by the top-k processor (efficiency bench).
+
+    ``answers_emitted`` and ``resumes`` are the streaming counters: how many
+    answers an :class:`AnswerStream` has handed out, and how many times a
+    suspended driver was continued.  An eager :meth:`TopKProcessor.query`
+    run leaves both at zero.
+    """
 
     sorted_accesses: int = 0
     cursors_opened: int = 0
@@ -134,6 +144,44 @@ class QueryStats:
     rewritings_processed: int = 0
     candidates_formed: int = 0
     elapsed_seconds: float = 0.0
+    answers_emitted: int = 0
+    resumes: int = 0
+
+    def copy(self) -> "QueryStats":
+        return replace(self)
+
+    def merge(self, *others: "QueryStats") -> "QueryStats":
+        """Field-wise sum with ``others``, as a new :class:`QueryStats`.
+
+        This is what makes cumulative statistics across ``next_k`` calls
+        well-defined: merging every per-call delta reproduces the stream's
+        cumulative counters exactly.
+        """
+        merged = self.copy()
+        for other in others:
+            for spec in fields(self):
+                setattr(
+                    merged,
+                    spec.name,
+                    getattr(merged, spec.name) + getattr(other, spec.name),
+                )
+        return merged
+
+    def diff(self, before: "QueryStats") -> "QueryStats":
+        """Counters accumulated since ``before`` was :meth:`copy`-ed.
+
+        The per-call statistics of a ``next_k`` call are the diff between
+        the cumulative stats after and before it; ``before.merge(diff)``
+        round-trips back to the cumulative values.
+        """
+        delta = QueryStats()
+        for spec in fields(self):
+            setattr(
+                delta,
+                spec.name,
+                getattr(self, spec.name) - getattr(before, spec.name),
+            )
+        return delta
 
 
 @dataclass
@@ -172,19 +220,129 @@ class AnswerSet:
         """Plain-text result table (used by the demo interface)."""
         if not self.answers:
             return "(no answers)"
-        headers = [var.n3() for var, _t in self.answers[0].binding] + ["score"]
-        rows = [
-            [term.n3() for _v, term in answer.binding] + [f"{answer.score:.4f}"]
-            for answer in self.answers
-        ]
-        widths = [
-            max(len(headers[col]), *(len(row[col]) for row in rows))
-            for col in range(len(headers))
-        ]
-        lines = [
-            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
-            "  ".join("-" * w for w in widths),
-        ]
-        for row in rows:
-            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
-        return "\n".join(lines)
+        return _render_answer_table(self.answers)
+
+
+def _render_answer_table(answers: Sequence[Answer]) -> str:
+    headers = [var.n3() for var, _t in answers[0].binding] + ["score"]
+    rows = [
+        [term.n3() for _v, term in answer.binding] + [f"{answer.score:.4f}"]
+        for answer in answers
+    ]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows))
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class AnswerStream:
+    """Resumable, score-ordered answers for one query.
+
+    Obtained from :meth:`TriniT.stream`; each :meth:`next_k` call *continues*
+    the suspended top-k computation — cursors, rank-join state and the
+    rewriting frontier all persist between calls, so asking for ten more
+    answers costs only the additional work, never a recomputation.
+
+    Emitted answers are final: the driver settles a rank prefix before
+    handing it out (every combination that could still tie into it has been
+    formed), so the concatenation of all ``next_k`` batches is byte-identical
+    to the eager ``ask(k=total)`` answer list — bindings, scores and order.
+
+    Statistics come in two flavours: :attr:`stats` accumulates over the
+    stream's whole life, :attr:`last_stats` holds the delta of the most
+    recent :meth:`next_k` call (``QueryStats.merge`` over all per-call
+    deltas reproduces the cumulative values).
+    """
+
+    def __init__(self, driver: "TopKDriver"):
+        self._driver = driver
+        self._emitted: list[Answer] = []
+        self._requested = 0
+        self._exhausted = False
+        self._last_stats = QueryStats()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def query(self) -> Query:
+        return self._driver.query
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the stream can never produce another answer."""
+        return self._exhausted
+
+    @property
+    def stats(self) -> QueryStats:
+        """Cumulative statistics over every ``next_k`` call so far."""
+        return self._driver.stats
+
+    @property
+    def last_stats(self) -> QueryStats:
+        """Per-call statistics of the most recent ``next_k``."""
+        return self._last_stats
+
+    def __len__(self) -> int:
+        """Number of answers emitted so far."""
+        return len(self._emitted)
+
+    # -- pagination ---------------------------------------------------------
+
+    def next_k(self, n: int) -> list[Answer]:
+        """The next ``n`` answers in score order (fewer when exhausted).
+
+        Returns ``[]`` once the stream is exhausted.  Raises
+        :class:`~repro.errors.StorageError` when the engine's store has been
+        closed under the stream.
+        """
+        if n < 1:
+            raise TopKError(f"n must be >= 1, got {n}")
+        if self._driver.store.closed:
+            raise StorageError("Cannot continue a stream over a closed store")
+        if self._exhausted:
+            self._last_stats = QueryStats()
+            return []
+        before = self._driver.stats.copy()
+        emitted = len(self._emitted)
+        target = emitted + n
+        self._requested = max(self._requested, target)
+        self._driver.advance(target)
+        batch = self._driver.ranked_window(emitted, target)
+        self._emitted.extend(batch)
+        if len(batch) < n:
+            self._exhausted = True
+        self._driver.stats.answers_emitted += len(batch)
+        self._last_stats = self._driver.stats.diff(before)
+        return batch
+
+    def collected(self) -> AnswerSet:
+        """Everything emitted so far as an :class:`AnswerSet`.
+
+        ``k`` is the cumulative number of answers requested; ``stats`` are
+        a snapshot of the stream's cumulative statistics (later ``next_k``
+        calls do not mutate an already-collected set's counters).
+        """
+        return AnswerSet(
+            query=self._driver.query,
+            answers=list(self._emitted),
+            k=max(self._requested, 1),
+            stats=self._driver.stats.copy(),
+        )
+
+    def __iter__(self) -> Iterator[Answer]:
+        """Iterate answers, fetching lazily; re-iteration replays from rank 1."""
+        index = 0
+        while True:
+            while index >= len(self._emitted):
+                if self._exhausted:
+                    return
+                self.next_k(1)
+            yield self._emitted[index]
+            index += 1

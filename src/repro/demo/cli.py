@@ -37,6 +37,7 @@ def _build_engine(dataset: str) -> TriniT:
 def _interactive(session: DemoSession, completer: AutoCompleter) -> int:
     print("TriniT interactive demo.  Commands:")
     print("  <query>            run a query (e.g.  ?x bornIn Germany )")
+    print("  :more [n]          fetch the next n answers (default --k), resuming")
     print("  :rule <rule>       add a relaxation rule (lhs => rhs @ w)")
     print("  :explain <rank>    explain the i-th answer of the last query")
     print("  :suggest           suggestions for the last query")
@@ -57,6 +58,10 @@ def _interactive(session: DemoSession, completer: AutoCompleter) -> int:
             if line.startswith(":rule "):
                 added = session.add_user_rule(line[len(":rule "):])
                 print(f"added: {added}")
+            elif line == ":more" or line.startswith(":more "):
+                parts = line.split()
+                n = int(parts[1]) if len(parts) > 1 else None
+                print(session.render_more_screen(n))
             elif line.startswith(":explain"):
                 if session.last_answers is None or session.last_answers.is_empty:
                     print("no answers to explain")
@@ -92,7 +97,12 @@ def main(argv: list[str] | None = None) -> int:
         help="data to query: the paper's Figures 1+3 example, or a generated XKG",
     )
     parser.add_argument("--query", help="query in the textual syntax")
-    parser.add_argument("--k", type=int, default=10, help="number of answers")
+    parser.add_argument(
+        "--k",
+        type=int,
+        default=10,
+        help="answers per batch (also the ':more' default in the shell)",
+    )
     parser.add_argument(
         "--explain", action="store_true", help="also explain the top answer"
     )
@@ -111,7 +121,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     engine = _build_engine(args.dataset)
-    session = DemoSession(engine)
+    session = DemoSession(engine, k=args.k)
     for rule_text in args.rule:
         session.add_user_rule(rule_text)
 

@@ -14,7 +14,8 @@ import textwrap
 
 from repro.core.engine import TriniT
 from repro.core.query import Query
-from repro.core.results import Answer, AnswerSet
+from repro.core.results import Answer, AnswerSet, AnswerStream
+from repro.errors import TrinitError
 
 _WIDTH = 74
 
@@ -41,12 +42,20 @@ def _box(title: str, body_lines: list[str]) -> str:
 
 
 class DemoSession:
-    """One interactive TriniT session with rendered screens."""
+    """One interactive TriniT session with rendered screens.
 
-    def __init__(self, engine: TriniT):
+    Queries run through the engine's streaming API: the session keeps the
+    suspended :class:`AnswerStream` of the last query, so ``:more`` (the
+    :meth:`more` action) fetches the next batch by *resuming* the top-k
+    computation instead of re-running it with a larger k.
+    """
+
+    def __init__(self, engine: TriniT, k: int = 10):
         self.engine = engine
+        self.k = k
         self.user_rules: list[str] = []
         self.last_answers: AnswerSet | None = None
+        self._stream: AnswerStream | None = None
 
     # -- user actions ------------------------------------------------------------
 
@@ -56,14 +65,32 @@ class DemoSession:
         self.user_rules.append(rule.n3())
         return rule.n3()
 
-    def run(self, query_text: str, k: int = 10) -> AnswerSet:
-        self.last_answers = self.engine.ask(query_text, k)
+    def run(self, query_text: str, k: int | None = None) -> AnswerSet:
+        """Run a query, keeping its stream open for :meth:`more`."""
+        k = k if k is not None else self.k
+        self._stream = self.engine.stream(query_text)
+        self._stream.next_k(k)
+        self.last_answers = self._stream.collected()
         return self.last_answers
+
+    def more(self, n: int | None = None) -> list[Answer]:
+        """The next batch of answers for the last query (``:more``).
+
+        Resumes the suspended stream; returns the new answers only (empty
+        once the query is exhausted).  ``last_answers`` grows to the full
+        collected set, so ``:explain <rank>`` reaches the new answers too.
+        """
+        if self._stream is None:
+            raise TrinitError("No query to continue — run one first")
+        batch = self._stream.next_k(n if n is not None else self.k)
+        self.last_answers = self._stream.collected()
+        return batch
 
     # -- screens ------------------------------------------------------------
 
-    def render_query_screen(self, query_text: str, k: int = 10) -> str:
+    def render_query_screen(self, query_text: str, k: int | None = None) -> str:
         """The Figure 5 analogue: query form, user rules, ranked answers."""
+        k = k if k is not None else self.k
         query = self.engine.parse(query_text)
         answers = self.run(query_text, k)
         body: list[str] = ["TriniT - Exploratory Querying of Extended Knowledge Graphs", ""]
@@ -93,7 +120,35 @@ class DemoSession:
             body.append("")
             body.append("  (* = obtained through relaxation; select an answer")
             body.append("   and press 'e' for its explanation)")
+            if self._stream is not None and not self._stream.exhausted:
+                body.append("  (:more fetches the next answers without recomputing)")
         return _box("Query Interface", body)
+
+    def render_more_screen(self, n: int | None = None) -> str:
+        """The ``:more`` screen: the next batch, ranks continuing."""
+        batch = self.more(n)
+        body: list[str] = []
+        if not batch:
+            body.append("(no more answers - query exhausted)")
+        else:
+            first_rank = len(self.last_answers) - len(batch) + 1
+            body.append(f"Answers {first_rank}..{len(self.last_answers)}:")
+            for offset, answer in enumerate(batch):
+                binding = ", ".join(
+                    f"{var.n3()}={term.n3()}" for var, term in answer.binding
+                )
+                marker = "*" if answer.derivation.uses_relaxation else " "
+                body.append(
+                    f"  {first_rank + offset:>2}.{marker} {binding}"
+                    f"  [{answer.score:.4f}]"
+                )
+            stats = self._stream.last_stats
+            body.append("")
+            body.append(
+                f"  (resumed: {stats.sorted_accesses} sorted accesses, "
+                f"{stats.candidates_formed} candidates for this batch)"
+            )
+        return _box("More Answers", body)
 
     def render_explanation_screen(self, answer: Answer, query: Query | None = None) -> str:
         """The Figure 6 analogue: one answer's provenance."""

@@ -62,8 +62,15 @@ class AnswerAggregator:
         entry = self._best.get(key)
         return None if entry is None else entry[0]
 
-    def ranked_answers(self, limit: int | None = None) -> list[Answer]:
-        """Answers sorted by (score desc, binding lexical) — deterministic."""
+    def best_scores(self) -> list[tuple[BindingKey, float]]:
+        """Every distinct binding with its best score (tracker rebuilds)."""
+        return [(key, entry[0]) for key, entry in self._best.items()]
+
+    def ranked_answers(self, limit: int | None = None, start: int = 0) -> list[Answer]:
+        """Answers sorted by (score desc, binding lexical) — deterministic.
+
+        ``start`` slices off an already-emitted prefix (streaming windows).
+        """
         items = [
             Answer(key, score, derivation, self._counts[key])
             for key, (score, derivation) in self._best.items()
@@ -74,4 +81,4 @@ class AnswerAggregator:
                 tuple((var.name, term.sort_key()) for var, term in a.binding),
             )
         )
-        return items if limit is None else items[:limit]
+        return items[start:] if limit is None else items[start:limit]

@@ -42,7 +42,10 @@ class StorageBackend(Protocol):
 
     Build phase: :meth:`insert` every triple id with its (s, p, o) term ids,
     then :meth:`freeze` once with the per-triple sort weights.  After
-    freezing the backend is immutable and lookups are allowed.
+    freezing the backend is immutable and lookups are allowed — until
+    :meth:`close` releases whatever the backend holds (mapped snapshot
+    buffers, segment columns); any use after that raises
+    :class:`~repro.errors.StorageError`.
     """
 
     #: Registry name ("dict", "columnar", ...).
@@ -50,6 +53,13 @@ class StorageBackend(Protocol):
 
     @property
     def is_frozen(self) -> bool: ...
+
+    @property
+    def closed(self) -> bool: ...
+
+    def close(self) -> None:
+        """Release held resources; idempotent.  Lookups afterwards raise."""
+        ...
 
     def __len__(self) -> int:
         """Number of triples inserted."""
@@ -101,6 +111,40 @@ class StorageBackend(Protocol):
         ...
 
 
+class _ClosedData:
+    """Placeholder swapped in for released columns and posting structures.
+
+    Every access path through a closed backend lands on one of these, so
+    use-after-close surfaces as :class:`StorageError` instead of a released
+    memoryview's ``ValueError`` (mmap case) or silently-working stale data
+    (in-memory case) — with zero per-access cost before close.
+    """
+
+    def _raise(self):
+        raise StorageError("Storage backend is closed")
+
+    def __getitem__(self, index):
+        self._raise()
+
+    def __len__(self):
+        self._raise()
+
+    def __iter__(self):
+        self._raise()
+
+    def get(self, *args):
+        self._raise()
+
+    def keys(self):
+        self._raise()
+
+    def values(self):
+        self._raise()
+
+
+_CLOSED = _ClosedData()
+
+
 class DictBackend:
     """Hash-bucketed posting lists — the original storage layout."""
 
@@ -111,10 +155,27 @@ class DictBackend:
         self._keys: list[tuple[int, int, int]] = []
         self._weights: Sequence[float] = ()
         self._counts: Sequence[int] | None = None
+        self._closed = False
 
     @property
     def is_frozen(self) -> bool:
-        return self._index.is_frozen
+        return self._frozen_at_close if self._closed else self._index.is_frozen
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Drop the index and columns; further lookups raise StorageError."""
+        if self._closed:
+            return
+        self._frozen_at_close = self._index.is_frozen
+        self._closed = True
+        self._index = _CLOSED
+        self._keys = _CLOSED
+        self._weights = _CLOSED
+        if self._counts is not None:
+            self._counts = _CLOSED
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -147,9 +208,13 @@ class DictBackend:
     def postings(
         self, bound_slots: Sequence[bool], key: tuple[int, ...]
     ) -> Sequence[int]:
+        if self._closed:
+            raise StorageError("Storage backend is closed")
         return self._index.postings(bound_slots, key)
 
     def distinct_keys(self, bound_slots: Sequence[bool]) -> list[tuple[int, ...]]:
+        if self._closed:
+            raise StorageError("Storage backend is closed")
         return self._index.distinct_keys(bound_slots)
 
     def slot_ids(self, triple_id: int) -> tuple[int, int, int]:

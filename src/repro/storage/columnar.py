@@ -48,6 +48,7 @@ class ColumnarBackend:
         self._offsets: dict[tuple[int, ...], dict[tuple[int, ...], tuple[int, int]]] = {}
         self._scan_view: memoryview | None = None
         self._frozen = False
+        self._closed = False
         # Set by _restore: keeps a snapshot's mmap (or bytes) buffer alive
         # for as long as the views over it exist.
         self._buffer = None
@@ -83,12 +84,60 @@ class ColumnarBackend:
         backend._offsets = offsets
         backend._scan_view = scan_view
         backend._frozen = True
+        backend._closed = False
         backend._buffer = buffer
         return backend
 
     @property
     def is_frozen(self) -> bool:
         return self._frozen
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release columns, permutation views and the snapshot buffer.
+
+        For an mmap-restored backend this is the only way the mapping is
+        ever unmapped: every retained memoryview over the mapped pages is
+        released and the :class:`mmap.mmap` closed.  Posting-list slices
+        handed out before close (cursors of a still-live stream) keep the
+        pages alive until they are garbage-collected — in that case the
+        explicit unmap is deferred to GC rather than failing the close.
+        Further lookups raise :class:`StorageError`.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        views = [
+            view
+            for view in (
+                self._s,
+                self._p,
+                self._o,
+                self._weights,
+                self._counts,
+                self._scan_view,
+                *self._perm_views.values(),
+            )
+            if isinstance(view, memoryview)
+        ]
+        self._s = self._p = self._o = _CLOSED
+        self._weights = self._counts = _CLOSED
+        self._scan_view = _CLOSED
+        self._perm_views = _CLOSED
+        self._offsets = _CLOSED
+        for view in views:
+            view.release()
+        buffer, self._buffer = self._buffer, None
+        if buffer is not None and hasattr(buffer, "close"):
+            try:
+                buffer.close()
+            except BufferError:
+                # Posting slices exported before close are still alive
+                # somewhere; the mapping is freed when they are collected.
+                pass
 
     def __len__(self) -> int:
         return len(self._s)
@@ -152,6 +201,8 @@ class ColumnarBackend:
     def postings(
         self, bound_slots: Sequence[bool], key: tuple[int, ...]
     ) -> Sequence[int]:
+        if self._closed:
+            raise StorageError("Storage backend is closed")
         if not self._frozen:
             raise StorageError("Backend must be frozen before lookup")
         sig = signature_of(bound_slots)
@@ -168,6 +219,8 @@ class ColumnarBackend:
         return self._perm_views[sig][start:stop]
 
     def distinct_keys(self, bound_slots: Sequence[bool]) -> list[tuple[int, ...]]:
+        if self._closed:
+            raise StorageError("Storage backend is closed")
         if not self._frozen:
             raise StorageError("Backend must be frozen before lookup")
         sig = signature_of(bound_slots)
@@ -205,6 +258,6 @@ class ColumnarBackend:
 
 # Register under "columnar" without importing repro.storage.backend at module
 # top level (backend.py imports this module at its bottom).
-from repro.storage.backend import register_backend  # noqa: E402
+from repro.storage.backend import _CLOSED, register_backend  # noqa: E402
 
 register_backend(ColumnarBackend)

@@ -116,10 +116,28 @@ class ShardedBackend:
         self._weights = array("d")
         self._counts = array(ID_TYPECODE)
         self._frozen = False
+        self._closed = False
 
     @property
     def is_frozen(self) -> bool:
         return self._frozen
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close every segment and drop the global id maps.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            segment.close()
+        self._seg_of = _CLOSED
+        self._local_of = _CLOSED
+        self._weights = _CLOSED
+        self._counts = _CLOSED
+        self._globals = [_CLOSED] * len(self._globals)
 
     @property
     def num_segments(self) -> int:
@@ -204,6 +222,8 @@ class ShardedBackend:
     def postings(
         self, bound_slots: Sequence[bool], key: tuple[int, ...]
     ) -> Sequence[int]:
+        if self._closed:
+            raise StorageError("Storage backend is closed")
         if not self._frozen:
             raise StorageError("Backend must be frozen before lookup")
         sig = signature_of(bound_slots)
@@ -223,6 +243,8 @@ class ShardedBackend:
         return MergedPostings(self._merge(parts), total)
 
     def distinct_keys(self, bound_slots: Sequence[bool]) -> list[tuple[int, ...]]:
+        if self._closed:
+            raise StorageError("Storage backend is closed")
         if not self._frozen:
             raise StorageError("Backend must be frozen before lookup")
         sig = signature_of(bound_slots)
@@ -268,6 +290,6 @@ class ShardedBackend:
 
 # Register under "sharded" without importing repro.storage.backend at module
 # top level (backend.py imports this module at its bottom).
-from repro.storage.backend import register_backend  # noqa: E402
+from repro.storage.backend import _CLOSED, register_backend  # noqa: E402
 
 register_backend(ShardedBackend)

@@ -194,6 +194,10 @@ def load_snapshot(path: str | Path, *, map_file: bool = True) -> TripleStore:
     pages — the OS pages postings in on demand and shares them across
     processes.  ``map_file=False`` reads the file into memory once instead
     (same views, private buffer); useful where mapping is unavailable.
+
+    The mapping is owned by the returned store's backend: release it with
+    ``store.close()`` (or the engine lifecycle — ``with TriniT.open(path)``),
+    which releases every retained view and unmaps the file.
     """
     path = Path(path)
     if not path.exists():

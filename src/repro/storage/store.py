@@ -85,6 +85,7 @@ class TripleStore:
         self._backend = make_backend(backend)
         self._weights: Sequence[float] = ()
         self._frozen = False
+        self._closed = False
         self._pattern_total_cache: dict[object, float] = {}
 
     @classmethod
@@ -112,6 +113,7 @@ class TripleStore:
         store._backend = backend
         store._weights = weights
         store._frozen = True
+        store._closed = False
         store._pattern_total_cache = {}
         return store
 
@@ -189,6 +191,27 @@ class TripleStore:
         self._frozen = True
         return self
 
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (mapped snapshot buffers, columns).
+
+        After closing, lookups raise :class:`StorageError`; the distinct-
+        triple records and the term dictionary stay readable so answers
+        already materialised keep rendering.  Idempotent — the engine's
+        context manager calls this on exit.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        close = getattr(self._backend, "close", None)
+        if close is not None:
+            close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     # -- introspection ------------------------------------------------------------
 
     @property
@@ -224,6 +247,8 @@ class TripleStore:
         return self.record(triple_id).triple
 
     def weight(self, triple_id: int) -> float:
+        if self._closed:
+            raise StorageError("Store is closed")
         if self._frozen:
             if 0 <= triple_id < len(self._weights):
                 return self._weights[triple_id]
@@ -232,6 +257,8 @@ class TripleStore:
 
     def weights(self) -> Sequence[float]:
         """The frozen per-triple weight column (index parallel to triple ids)."""
+        if self._closed:
+            raise StorageError("Store is closed")
         if not self._frozen:
             raise StorageError("Weights are materialised at freeze time")
         return self._weights
@@ -283,6 +310,8 @@ class TripleStore:
         — use :meth:`matches` or filter via ``pattern.bind``.  The returned
         sequence is immutable and owned by the backend.
         """
+        if self._closed:
+            raise StorageError("Store is closed")
         if not self._frozen:
             raise StorageError("Store must be frozen before lookup")
         bound = [t.is_constant for t in pattern.terms()]
@@ -303,6 +332,8 @@ class TripleStore:
         This is the hot-path twin of :meth:`sorted_ids` for callers that
         already hold term ids (the id-space sub-join evaluator).
         """
+        if self._closed:
+            raise StorageError("Store is closed")
         if not self._frozen:
             raise StorageError("Store must be frozen before lookup")
         bound = (s is not None, p is not None, o is not None)

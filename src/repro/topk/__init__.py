@@ -19,6 +19,10 @@ algorithm of Theobald, Schenkel & Weikum (SIGIR 2005):
 * :mod:`processor` — the :class:`TopKProcessor` tying rewriting enumeration,
   cursor specs, joins, scoring and answer aggregation together, selecting
   the execution core via ``ProcessorConfig.execution``;
+* :mod:`driver` — the resumable :class:`TopKDriver` state machine the
+  processor's eager ``query()`` and the public ``AnswerStream`` both drain:
+  suspended joins and the rewriting frontier persist between ``advance``
+  calls, and strict tie settlement makes every emitted prefix final;
 * :mod:`exhaustive` — the same semantics without early termination, used as
   the correctness reference and the efficiency-bench baseline.
 """
@@ -38,6 +42,7 @@ from repro.topk.idspace import (
 from repro.topk.incremental_merge import IncrementalMergeCursor
 from repro.topk.rank_join import NaryRankJoin
 from repro.topk.processor import TopKProcessor, ProcessorConfig
+from repro.topk.driver import TopKDriver
 from repro.topk.exhaustive import naive_join
 
 __all__ = [
@@ -56,6 +61,7 @@ __all__ = [
     "UNBOUND",
     "IncrementalMergeCursor",
     "NaryRankJoin",
+    "TopKDriver",
     "TopKProcessor",
     "ProcessorConfig",
     "naive_join",

@@ -622,13 +622,22 @@ class IdAnswerAggregator:
             return score
         return existing[0]
 
-    def ranked_answers(self, store: TripleStore, limit: int | None = None) -> list[Answer]:
+    def best_scores(self) -> list[tuple[tuple[int, ...], float]]:
+        """Every distinct key with its best score (tracker rebuilds)."""
+        return [(key, entry[0]) for key, entry in self._best.items()]
+
+    def ranked_answers(
+        self, store: TripleStore, limit: int | None = None, start: int = 0
+    ) -> list[Answer]:
         """Decode and rank: (score desc, binding lexical) — deterministic.
 
         Only the answers that make the cut are decoded: entries are ranked
         by score first (pure float/int work), equal-score runs intersecting
         the top-``limit`` are tie-broken on their decoded terms, and
-        derivations materialise for the returned answers alone.
+        derivations materialise for the returned answers alone.  ``start``
+        skips decoding a settled prefix (streaming pagination returns only
+        the window ``[start:limit]`` — ranks the caller already holds are
+        never re-decoded).
         """
         decode = store.dictionary.decode
         projection = self.projection
@@ -651,7 +660,7 @@ class IdAnswerAggregator:
         cut = len(entries) if limit is None else min(limit, len(entries))
 
         answers = []
-        for key, score, derivation in entries[:cut]:
+        for key, score, derivation in entries[start:cut]:
             binding = tuple(
                 (var, decode(tid))
                 for var, tid in zip(projection, key)
@@ -684,6 +693,7 @@ class IdRankJoin:
         aggregator: IdAnswerAggregator,
         tracker: DistinctTopKTracker,
         exhaustive: bool = False,
+        strict_ties: bool = False,
     ):
         if len(streams) != len(query.patterns):
             raise ValueError(
@@ -697,6 +707,7 @@ class IdRankJoin:
         self.aggregator = aggregator
         self.tracker = tracker
         self.exhaustive = exhaustive
+        self.strict_ties = strict_ties
         table = ctx.table
         # Projection keys align with the aggregator's name-sorted projection.
         self._projection_slots = table.slots_for(
@@ -819,27 +830,45 @@ class IdRankJoin:
 
     # -- main loop ------------------------------------------------------------
 
-    def run(self, should_stop: Callable[[], bool] | None = None) -> None:
-        """Consume streams until exhaustion or threshold termination."""
+    def run(self, should_stop: Callable[[], bool] | None = None) -> bool:
+        """Consume streams until exhaustion or threshold termination.
+
+        Returns True when the join is *exhausted* — it can never emit
+        another combination — and False when it merely suspended (threshold
+        termination or ``should_stop``).  A suspended join is resumable:
+        all state lives on the instance, so calling :meth:`run` again
+        continues exactly where it left off (the driver does this when a
+        stream's consumer asks for more answers and the threshold drops).
+
+        With ``strict_ties`` termination requires the k-th best score to
+        *strictly* beat the upper bound: combinations tying the threshold
+        are still formed, which makes the surviving top-k independent of
+        where the computation was split — the invariant resumable streams
+        are built on.  The default (``>=``) is the seed's eager rule.
+        """
         streams = self.streams
         while True:
             peeks = [stream.peek() for stream in streams]
             live = [i for i, p in enumerate(peeks) if p is not None]
             if not live:
-                return
+                return True
             # A stream that is exhausted without ever emitting can never be
             # part of a combination — the whole join is empty-handed.
             if any(
                 peeks[i] is None and not self._seen[i]
                 for i in range(len(streams))
             ):
-                return
+                return True
             if not self.exhaustive:
                 bound = self.upper_bound(peeks)
-                if self.tracker.is_full and self.tracker.threshold >= bound:
-                    return
+                if self.tracker.is_full and (
+                    self.tracker.threshold > bound
+                    if self.strict_ties
+                    else self.tracker.threshold >= bound
+                ):
+                    return False
             if should_stop is not None and should_stop():
-                return
+                return False
             # Advance the stream with the highest head (ties: lowest index).
             index = max(live, key=lambda i: (peeks[i], -i))
             item = streams[index].pop()

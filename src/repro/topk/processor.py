@@ -33,13 +33,18 @@ by ``config.execution``:
 Setting ``config.exhaustive = True`` disables every early-termination check,
 yielding reference semantics (used by correctness tests and as the
 efficiency-comparison baseline).
+
+Control flow lives in the resumable :class:`~repro.topk.driver.TopKDriver`:
+:meth:`TopKProcessor.query` drains a fresh driver eagerly to ``k``, while
+:meth:`TopKProcessor.driver` hands the suspendable machine to streaming
+consumers (``engine.stream``) that advance it incrementally.
 """
 
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.core.query import Query
 from repro.core.results import AnswerSet, QueryStats
@@ -48,21 +53,19 @@ from repro.core.triples import TriplePattern
 from repro.errors import TopKError
 from repro.relax.rewriting import RewriteEngine
 from repro.relax.rules import RelaxationRule, RuleSet
-from repro.scoring.answer_scoring import AnswerAggregator
 from repro.scoring.language_model import PatternScorer, ScoringConfig
 from repro.storage.store import TripleStore
 from repro.storage.text_index import TokenMatch, TokenMatcher
 from repro.topk.cursors import Cursor, MaterializedJoinCursor, PostingCursor
 from repro.topk.idspace import (
-    IdAnswerAggregator,
     IdExecutionContext,
     IdPostingCursor,
-    IdRankJoin,
     IdSubJoinCursor,
 )
 from repro.topk.incremental_merge import IncrementalMergeCursor
-from repro.topk.rank_join import NaryRankJoin
-from repro.util.heap import DistinctTopKTracker
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (driver imports us)
+    from repro.topk.driver import TopKDriver
 
 #: Valid values of :attr:`ProcessorConfig.execution`.
 EXECUTION_MODES = ("idspace", "termspace")
@@ -434,76 +437,30 @@ class TopKProcessor:
         return RewriteEngine(RuleSet(), max_depth=0, max_rewrites=1)
 
     def query(self, query: Query, k: int | None = None) -> AnswerSet:
-        """Evaluate ``query`` and return its top-k answer set."""
+        """Evaluate ``query`` and return its top-k answer set.
+
+        Eager wrapper over the resumable :class:`~repro.topk.driver.
+        TopKDriver`: one drain to the settled top-k, then materialise.  The
+        driver settles score ties at the k boundary before stopping, so the
+        returned list is the true ranking prefix — identical to what the
+        same ``k`` reached through any sequence of ``AnswerStream.next_k``
+        calls.
+        """
         k = k if k is not None else (query.limit or self.config.k)
         if k < 1:
             raise TopKError(f"k must be >= 1, got {k}")
-        stats = QueryStats()
-        started = time.perf_counter()
-        tracker = DistinctTopKTracker(k)
-        fresh_names = (f"pv{i}" for i in itertools.count())
-        rewriter = self._make_rewriter()
-        id_space = self.config.execution == "idspace"
+        return self.driver(query).advance(k).answer_set(k)
 
-        if id_space:
-            aggregator = IdAnswerAggregator(
-                tuple(sorted(query.projection, key=lambda v: v.name))
-            )
-        else:
-            aggregator = AnswerAggregator()
+    def driver(self, query: Query) -> "TopKDriver":
+        """A fresh resumable execution driver for ``query``.
 
-        for rewriting in rewriter.iter_rewrites(query):
-            stats.rewritings_enumerated += 1
-            if (
-                not self.config.exhaustive
-                and tracker.is_full
-                and tracker.threshold >= rewriting.weight
-            ):
-                break  # rewritings are weight-descending: nothing can improve
-            spec_lists = [
-                self._stream_specs(pattern, rewriting.query, fresh_names)
-                for pattern in rewriting.query.patterns
-            ]
-            stats.rewritings_processed += 1
-            if id_space:
-                ctx = IdExecutionContext(self.store, self.scorer, stats)
-                streams = [
-                    self._merge([self._id_cursor(s, ctx) for s in specs], stats)
-                    for specs in spec_lists
-                ]
-                join = IdRankJoin(
-                    rewriting.query,
-                    streams,
-                    ctx,
-                    rewriting_weight=rewriting.weight,
-                    rewriting=rewriting.applications,
-                    aggregator=aggregator,
-                    tracker=tracker,
-                    exhaustive=self.config.exhaustive,
-                )
-            else:
-                streams = [
-                    self._merge([self._term_cursor(s, stats) for s in specs], stats)
-                    for specs in spec_lists
-                ]
-                join = NaryRankJoin(
-                    rewriting.query,
-                    streams,
-                    rewriting_weight=rewriting.weight,
-                    rewriting=rewriting.applications,
-                    aggregator=aggregator,
-                    tracker=tracker,
-                    stats=stats,
-                    exhaustive=self.config.exhaustive,
-                )
-            join.run()
+        The driver is the streaming entry point: advance it incrementally
+        (:class:`~repro.core.results.AnswerStream` does) instead of paying
+        for a full top-k per pagination step.
+        """
+        from repro.topk.driver import TopKDriver
 
-        if id_space:
-            answers = aggregator.ranked_answers(self.store, k)
-        else:
-            answers = aggregator.ranked_answers(k)
-        stats.elapsed_seconds = time.perf_counter() - started
-        return AnswerSet(query=query, answers=answers, k=k, stats=stats)
+        return TopKDriver(self, query)
 
     def with_config(self, **overrides) -> "TopKProcessor":
         """A sibling processor sharing store/rules but different config."""

@@ -66,6 +66,7 @@ class NaryRankJoin:
         tracker: DistinctTopKTracker,
         stats: QueryStats | None = None,
         exhaustive: bool = False,
+        strict_ties: bool = False,
     ):
         if len(streams) != len(query.patterns):
             raise ValueError(
@@ -79,6 +80,7 @@ class NaryRankJoin:
         self.tracker = tracker
         self.stats = stats
         self.exhaustive = exhaustive
+        self.strict_ties = strict_ties
         self._seen: list[dict[BindingKey, ScoredMatch]] = [{} for _ in streams]
         self._best: list[float | None] = [None] * len(streams)
         self._projection = tuple(query.projection)
@@ -194,26 +196,37 @@ class NaryRankJoin:
 
     # -- main loop ------------------------------------------------------------
 
-    def run(self, should_stop: Callable[[], bool] | None = None) -> None:
-        """Consume streams until exhaustion or threshold termination."""
+    def run(self, should_stop: Callable[[], bool] | None = None) -> bool:
+        """Consume streams until exhaustion or threshold termination.
+
+        Returns True when exhausted (no further combination is possible),
+        False when suspended by threshold termination or ``should_stop`` —
+        the same resumable contract as the id-space twin
+        (:meth:`repro.topk.idspace.IdRankJoin.run`), including the
+        ``strict_ties`` settlement rule.
+        """
         while True:
             peeks = [stream.peek() for stream in self.streams]
             live = [i for i, p in enumerate(peeks) if p is not None]
             if not live:
-                return
+                return True
             # A stream that is exhausted without ever emitting can never be
             # part of a combination — the whole join is empty-handed.
             if any(
                 peeks[i] is None and not self._seen[i]
                 for i in range(len(self.streams))
             ):
-                return
+                return True
             if not self.exhaustive:
                 bound = self.upper_bound(peeks)
-                if self.tracker.is_full and self.tracker.threshold >= bound:
-                    return
+                if self.tracker.is_full and (
+                    self.tracker.threshold > bound
+                    if self.strict_ties
+                    else self.tracker.threshold >= bound
+                ):
+                    return False
             if should_stop is not None and should_stop():
-                return
+                return False
             # Advance the stream with the highest head (ties: lowest index).
             index = max(live, key=lambda i: (peeks[i], -i))
             item = self.streams[index].pop()

@@ -130,3 +130,41 @@ class DistinctTopKTracker:
                 self._in_top.pop(evicted, None)
             self._in_top[key] = score
             heapq.heappush(self._heap, (score, next(self._counter), key))
+
+
+class GrowableTopKTracker:
+    """A :class:`DistinctTopKTracker` whose ``k`` can grow between drains.
+
+    The resumable query driver needs the k-th-best-distinct-score threshold
+    for a ``k`` that increases as a stream's consumer asks for more answers.
+    A plain tracker evicts keys that fall out of its fixed top-k, losing
+    exactly the information a larger ``k`` needs — so :meth:`set_k` rebuilds
+    the inner tracker from the answer aggregator's full (key, best score)
+    map, which is never truncated.  Between rebuilds this is a zero-overhead
+    delegate, interface-compatible with the joins' tracker parameter.
+    """
+
+    def __init__(self, k: int = 1):
+        self.k = k
+        self._inner = DistinctTopKTracker(k)
+
+    def set_k(self, k: int, entries) -> None:
+        """Retarget to ``k``, re-offering ``entries`` of (key, best score)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        inner = DistinctTopKTracker(k)
+        for key, score in entries:
+            inner.offer(key, score)
+        self._inner = inner
+
+    @property
+    def is_full(self) -> bool:
+        return self._inner.is_full
+
+    @property
+    def threshold(self) -> float:
+        return self._inner.threshold
+
+    def offer(self, key: object, score: float) -> None:
+        self._inner.offer(key, score)

@@ -1,0 +1,86 @@
+"""Concurrent batch querying: ``engine.ask_many``."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import TriniT
+from repro.core.parser import parse_query
+from repro.kg.paper_example import paper_engine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return paper_engine()
+
+
+QUERY_POOL = [
+    "?x bornIn ?y",
+    "?x type ?y",
+    "AlbertEinstein affiliation ?x",
+    "?x 'lectured at' ?y",
+    "?p bornIn ?c ; ?c locatedIn Germany",
+    "?x bornIn Atlantis",
+]
+
+
+def signature(answer_set):
+    return [(a.binding, a.score) for a in answer_set]
+
+
+class TestAskMany:
+    def test_results_in_input_order(self, engine):
+        queries = list(QUERY_POOL)
+        batch = engine.ask_many(queries, k=5)
+        assert len(batch) == len(queries)
+        for query_text, result in zip(queries, batch):
+            assert result.query == parse_query(query_text)
+            assert signature(result) == signature(engine.ask(query_text, 5))
+
+    def test_accepts_parsed_queries(self, engine):
+        parsed = [parse_query(q) for q in QUERY_POOL[:3]]
+        batch = engine.ask_many(parsed, k=3)
+        assert [r.query for r in batch] == parsed
+
+    def test_empty_batch(self, engine):
+        assert engine.ask_many([]) == []
+
+    def test_duplicate_queries(self, engine):
+        batch = engine.ask_many(["?x type ?y"] * 4, k=3)
+        first = signature(batch[0])
+        assert all(signature(result) == first for result in batch)
+
+    def test_single_worker_path(self, engine):
+        batch = engine.ask_many(QUERY_POOL[:2], k=3, max_workers=1)
+        for query_text, result in zip(QUERY_POOL, batch):
+            assert signature(result) == signature(engine.ask(query_text, 3))
+
+    def test_default_k_uses_config(self, engine):
+        result = engine.ask_many(["?x type ?y"])[0]
+        assert result.k == engine.config.processor.k
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.sampled_from(QUERY_POOL), min_size=1, max_size=8),
+    st.integers(min_value=1, max_value=8),
+)
+def test_ask_many_matches_sequential_ask(queries, k):
+    """Thread-safety property: randomized batches over one shared engine
+    are bit-identical to sequential evaluation, in input order."""
+    engine = _shared_engine()
+    concurrent = engine.ask_many(queries, k=k, max_workers=4)
+    sequential = [engine.ask(query, k) for query in queries]
+    assert [signature(c) for c in concurrent] == [
+        signature(s) for s in sequential
+    ]
+
+
+_ENGINE_CACHE: list[TriniT] = []
+
+
+def _shared_engine() -> TriniT:
+    # hypothesis forbids function-scoped fixtures; share one engine so the
+    # property genuinely exercises concurrent access to warm shared caches.
+    if not _ENGINE_CACHE:
+        _ENGINE_CACHE.append(paper_engine())
+    return _ENGINE_CACHE[0]
