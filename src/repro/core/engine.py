@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import itertools
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import CancelledError, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -45,6 +45,7 @@ from repro.relax.operators import OperatorContext, OperatorRegistry
 from repro.relax.rules import RelaxationRule, RuleSet
 from repro.relax.structural import inversion_rules
 from repro.scoring.language_model import PatternScorer, ScoringConfig
+from repro.storage.sharded import DEFAULT_MERGE_BATCH
 from repro.storage.statistics import StoreStatistics
 from repro.storage.store import TripleStore
 from repro.storage.text_index import TokenMatcher
@@ -67,6 +68,21 @@ class EngineConfig:
         or any registered name).  ``None`` keeps whatever backend the given
         store was built with; a concrete name converts the store at engine
         construction if it differs.
+    parallelism:
+        Worker threads of the engine-owned executor that is shared by
+        everything concurrent in one engine: ``ask_many`` query fan-out,
+        per-segment posting prefetch inside one query (the sharded
+        backend's merged pulls), and posting-cursor priming.  ``None``
+        (default) sizes it to the machine (``os.cpu_count()``); ``0`` or
+        ``1`` disables the executor entirely — every pull happens serially
+        on the consuming thread, the byte-identical reference mode.  The
+        executor is shut down by :meth:`TriniT.close`.
+    merge_batch:
+        Posting heads pulled per segment per batch by the sharded
+        backend's k-way merge (and the granularity of the id-space
+        cursors' batched sorted access).  ``1`` degenerates to
+        item-at-a-time pulls — the serial reference the property suite
+        pins parallel execution against.
     mine_arg_overlap, mine_chains, mine_inversions:
         Default rule-mining operators to register and run at startup.
     mine_amie, mine_esa:
@@ -81,6 +97,8 @@ class EngineConfig:
     processor: ProcessorConfig = field(default_factory=ProcessorConfig)
     scoring: ScoringConfig = field(default_factory=ScoringConfig)
     storage_backend: str | None = None
+    parallelism: int | None = None
+    merge_batch: int = DEFAULT_MERGE_BATCH
     mine_arg_overlap: bool = True
     mine_chains: bool = True
     mine_inversions: bool = True
@@ -125,6 +143,20 @@ class TriniT:
         if not store.is_frozen:
             store.freeze()
         self.store = store
+        # One engine-owned worker pool, shared by ask_many fan-out, segment
+        # posting prefetch and cursor priming.  Threads spawn on first use,
+        # so unqueried engines never start one; close() shuts it down.
+        workers = self.config.parallelism
+        if workers is None:
+            workers = os.cpu_count() or 4
+        self._executor = (
+            ThreadPoolExecutor(max_workers=workers, thread_name_prefix="trinit")
+            if workers > 1
+            else None
+        )
+        configure = getattr(store.backend, "configure_prefetch", None)
+        if configure is not None:  # optional protocol surface (see close())
+            configure(self._executor, self.config.merge_batch)
         self.statistics = StoreStatistics(store)
         self.matcher = TokenMatcher(store)
         self.scorer = PatternScorer(store, self.config.scoring)
@@ -139,6 +171,7 @@ class TriniT:
             scorer=self.scorer,
             matcher=self.matcher,
             config=self.config.processor,
+            executor=self._executor,
         )
         self.suggester = QuerySuggester(
             self.statistics,
@@ -242,14 +275,21 @@ class TriniT:
     # -- lifecycle -----------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the engine's storage resources (mmap buffers, columns).
+        """Release the engine's resources (worker pool, mmap buffers, columns).
 
-        Streams obtained from :meth:`stream` become unusable (their
-        ``next_k`` raises :class:`~repro.errors.StorageError`); answers
-        already materialised stay valid.  Idempotent.
+        The shared executor drains first (queued prefetch batches and
+        queued ``ask_many`` queries are cancelled — an in-flight
+        ``ask_many`` call surfaces that as :class:`TrinitError` — while
+        running tasks finish against the still-open store), then
+        the store's backing storage is released.  Streams obtained from
+        :meth:`stream` become unusable (their ``next_k`` raises
+        :class:`~repro.errors.StorageError`); answers already materialised
+        stay valid.  Idempotent.
         """
         if not self._closed:
             self._closed = True
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
             self.store.close()
 
     @property
@@ -303,8 +343,16 @@ class TriniT:
         Python, so on GIL-bound interpreters the pool bounds *latency
         interleaving*, not aggregate throughput; the API seam is what a
         free-threaded build or a per-segment process executor (see
-        ROADMAP) will exploit.  ``max_workers`` defaults to
-        ``min(len(queries), cpu_count)``; pass 1 to force sequential.
+        ROADMAP) will exploit.
+
+        Queries run on the *engine-owned* executor (``EngineConfig.
+        parallelism``) — the same pool that prefetches segment posting
+        batches — so repeated batch calls reuse warm threads instead of
+        paying pool startup per call.  ``max_workers=1`` forces sequential
+        evaluation; other explicit values bound how many of the batch are
+        in flight at once (sliced submission to the shared pool); an
+        engine configured with ``parallelism<=1`` has no pool and always
+        evaluates sequentially.
         """
         parsed = [
             parse_query(query) if isinstance(query, str) else query
@@ -312,17 +360,36 @@ class TriniT:
         ]
         if not parsed:
             return []
-        if max_workers is None:
-            max_workers = min(len(parsed), os.cpu_count() or 4)
-        if max_workers <= 1 or len(parsed) == 1:
+        pool = self._executor
+        if (
+            pool is None
+            or len(parsed) == 1
+            or (max_workers is not None and max_workers <= 1)
+        ):
             return [self.processor.query(query, k) for query in parsed]
         # Build the shared lazily-initialised structures once, up front,
         # rather than racing the first queries into them.
         self.processor._single_rule_index()
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        try:
+            if max_workers is not None and max_workers < len(parsed):
+                # Honor an explicit concurrency cap without a throwaway
+                # pool: feed the shared executor in slices, so at most
+                # max_workers queries are in flight at once.
+                results: list[AnswerSet] = []
+                run = lambda query: self.processor.query(query, k)  # noqa: E731
+                for start in range(0, len(parsed), max_workers):
+                    results.extend(
+                        pool.map(run, parsed[start : start + max_workers])
+                    )
+                return results
             return list(
                 pool.map(lambda query: self.processor.query(query, k), parsed)
             )
+        except (RuntimeError, CancelledError):
+            # CancelledError: close() cancelled our queued query futures.
+            if not self._closed:
+                raise
+            raise TrinitError("Engine is closed") from None
 
     def explain(self, answer: Answer, query: Query | None = None) -> Explanation:
         """Explanation of an answer's provenance and relaxations."""
@@ -370,12 +437,14 @@ class TriniT:
         clone.scorer = self.scorer
         clone.rules = self.rules
         clone.registry = self.registry
+        clone._executor = self._executor
         clone.processor = TopKProcessor(
             self.store,
             rules=self.rules,
             scorer=self.scorer,
             matcher=self.matcher,
             config=clone.config.processor,
+            executor=self._executor,
         )
         clone.suggester = self.suggester
         clone._closed = self._closed

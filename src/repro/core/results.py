@@ -134,6 +134,13 @@ class QueryStats:
     answers an :class:`AnswerStream` has handed out, and how many times a
     suspended driver was continued.  An eager :meth:`TopKProcessor.query`
     run leaves both at zero.
+
+    ``segments_touched`` and ``postings_materialized`` are the
+    segment-parallel counters: how many physical storage segments the
+    query's posting cursors fanned out over, and how many merged posting
+    heads the batched pulls actually materialised (fed from
+    ``MergedPostings.materialized`` — only segmented backends report them;
+    monolithic posting lists are zero-copy views with nothing to pull).
     """
 
     sorted_accesses: int = 0
@@ -146,6 +153,8 @@ class QueryStats:
     elapsed_seconds: float = 0.0
     answers_emitted: int = 0
     resumes: int = 0
+    segments_touched: int = 0
+    postings_materialized: int = 0
 
     def copy(self) -> "QueryStats":
         return replace(self)

@@ -40,6 +40,8 @@ def _interactive(session: DemoSession, completer: AutoCompleter) -> int:
     print("  :more [n]          fetch the next n answers (default --k), resuming")
     print("  :rule <rule>       add a relaxation rule (lhs => rhs @ w)")
     print("  :explain <rank>    explain the i-th answer of the last query")
+    print("  :stats             work counters of the last query (segments,")
+    print("                     postings pulled, sorted accesses, ...)")
     print("  :suggest           suggestions for the last query")
     print("  :complete <frag>   auto-complete a term fragment")
     print("  :quit")
@@ -70,6 +72,8 @@ def _interactive(session: DemoSession, completer: AutoCompleter) -> int:
                 rank = int(parts[1]) if len(parts) > 1 else 1
                 answer = session.last_answers[rank - 1]
                 print(session.render_explanation_screen(answer))
+            elif line == ":stats":
+                print(session.render_stats_screen())
             elif line == ":suggest":
                 if not last_query_text:
                     print("run a query first")

@@ -150,6 +150,39 @@ class DemoSession:
             )
         return _box("More Answers", body)
 
+    def render_stats_screen(self) -> str:
+        """The ``:stats`` screen: work counters of the last query's stream.
+
+        Shows the cumulative :class:`~repro.core.results.QueryStats` over
+        every batch of the suspended stream — including the
+        segment-parallel counters (segments fanned out over, posting heads
+        the batched merge actually materialised) that make the storage
+        layer's laziness observable from the shell.
+        """
+        if self._stream is None:
+            raise TrinitError("No query statistics yet — run a query first")
+        stats = self._stream.stats
+        backend = self.engine.store.backend
+        body = [
+            f"Query: {self._stream.query.n3()}",
+            "",
+            f"  answers emitted        {stats.answers_emitted}",
+            f"  stream resumes         {stats.resumes}",
+            f"  rewritings             {stats.rewritings_processed} processed"
+            f" / {stats.rewritings_enumerated} enumerated",
+            f"  cursors opened         {stats.cursors_opened}",
+            f"  sorted accesses        {stats.sorted_accesses}",
+            f"  candidates formed      {stats.candidates_formed}",
+            "",
+            f"  storage segments       {backend.segment_count()}"
+            f" ({self.engine.store.backend_name} backend)",
+            f"  segments touched       {stats.segments_touched}",
+            f"  postings materialized  {stats.postings_materialized}",
+            "",
+            f"  elapsed                {stats.elapsed_seconds * 1000:.1f} ms",
+        ]
+        return _box("Query Statistics", body)
+
     def render_explanation_screen(self, answer: Answer, query: Query | None = None) -> str:
         """The Figure 6 analogue: one answer's provenance."""
         explanation = self.engine.explain(answer, query)

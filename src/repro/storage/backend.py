@@ -90,6 +90,30 @@ class StorageBackend(Protocol):
         """
         ...
 
+    def segment_count(self) -> int:
+        """Physical partitions one lookup fans out over (1 for monoliths)."""
+        ...
+
+    def segment_postings(
+        self, bound_slots: Sequence[bool], key: tuple[int, ...]
+    ) -> list[Sequence[int]]:
+        """Per-segment score-sorted triple id handles for one lookup.
+
+        Monolithic backends return a one-element list holding the same
+        sequence :meth:`postings` would; segmented backends return one
+        handle per segment (global ids, each in score order) so callers can
+        partition work — or pull — segment by segment.
+        """
+        ...
+
+    def configure_prefetch(self, executor, batch_size: int) -> None:
+        """Set the shared executor / pull batch used by merged postings.
+
+        A no-op for backends whose postings are already materialised;
+        segmented backends use it to prepare segment heads concurrently.
+        """
+        ...
+
     def distinct_keys(self, bound_slots: Sequence[bool]) -> list[tuple[int, ...]]:
         """All keys present for a signature (statistics and mining)."""
         ...
@@ -211,6 +235,17 @@ class DictBackend:
         if self._closed:
             raise StorageError("Storage backend is closed")
         return self._index.postings(bound_slots, key)
+
+    def segment_count(self) -> int:
+        return 1
+
+    def segment_postings(
+        self, bound_slots: Sequence[bool], key: tuple[int, ...]
+    ) -> list[Sequence[int]]:
+        return [self.postings(bound_slots, key)]
+
+    def configure_prefetch(self, executor, batch_size: int = 1) -> None:
+        """Postings are fully materialised tuples; nothing to prefetch."""
 
     def distinct_keys(self, bound_slots: Sequence[bool]) -> list[tuple[int, ...]]:
         if self._closed:

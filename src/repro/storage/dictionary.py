@@ -8,10 +8,11 @@ ids.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.core.terms import Term
 from repro.errors import DictionaryError
+from repro.util.lazy import LazilyBuilt
 
 
 class TermDictionary:
@@ -64,3 +65,62 @@ class TermDictionary:
     def ids_of_kind(self, kind: str) -> list[int]:
         """All ids whose term has the given kind ('resource', 'token', ...)."""
         return [i for i, term in enumerate(self._id_to_term) if term.kind == kind]
+
+
+class LazyTermDictionary(TermDictionary, LazilyBuilt):
+    """A dictionary whose term table decodes on first use.
+
+    Snapshot loading used to decode every stored term up front — a cost a
+    cold open pays even when the session never runs a query.  This variant
+    defers the decode to the first dictionary access: ``populate`` (a
+    closure over the snapshot's terms section) fills the table exactly once
+    (:class:`~repro.util.lazy.LazilyBuilt`), so concurrent first touches
+    (``ask_many`` threads) observe either nothing or the complete id
+    assignment, never a prefix.
+    """
+
+    def __init__(self, populate: Callable[["TermDictionary"], None]):
+        super().__init__()
+        self._populate = populate
+        self._init_lazy()
+
+    @property
+    def is_materialized(self) -> bool:
+        """True once the term table has been decoded."""
+        return self._built
+
+    def _build(self) -> None:
+        self._populate(self)
+        self._populate = None  # free the closed-over terms blob
+
+    def __len__(self) -> int:
+        self._ensure()
+        return super().__len__()
+
+    def __contains__(self, term: Term) -> bool:
+        self._ensure()
+        return super().__contains__(term)
+
+    def __iter__(self) -> Iterator[Term]:
+        self._ensure()
+        return super().__iter__()
+
+    def encode(self, term: Term) -> int:
+        self._ensure()
+        return super().encode(term)
+
+    def id_of(self, term: Term) -> int | None:
+        self._ensure()
+        return super().id_of(term)
+
+    def require_id(self, term: Term) -> int:
+        self._ensure()
+        return super().require_id(term)
+
+    def decode(self, term_id: int) -> Term:
+        self._ensure()
+        return super().decode(term_id)
+
+    def ids_of_kind(self, kind: str) -> list[int]:
+        self._ensure()
+        return super().ids_of_kind(kind)

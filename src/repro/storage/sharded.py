@@ -8,19 +8,33 @@ segments; each segment freezes its own permutation arrays over *local* ids,
 and a thin global layer keeps the id translation (global → segment/local,
 segment/local → global) plus the global weight and count columns.
 
-``postings()`` answers with a **lazy k-way heap merge** of the segments'
+``postings()`` answers with a **lazy k-way merge** of the segments'
 score-sorted lists: segment heads are compared by (weight desc, global id
 asc) — exactly the global sort key the single-segment backends freeze with —
 so the merged stream is element-identical to a columnar posting list, while
-only the consumed prefix is ever materialised.  The id-space execution core
-runs over a partitioned store unchanged.
+only the consumed prefix is ever materialised.  The merge pulls each
+segment's heads in *batches* (one tight list comprehension translates local
+ids to pre-keyed global heads), and :meth:`configure_prefetch` can point it
+at a shared executor so the next batch of every segment is prepared
+concurrently while the consumer drains the current one.  With
+``batch_size=1`` and no executor the merge degenerates to the item-at-a-time
+serial pull — the byte-identical reference that parallel execution is
+property-tested against.  The id-space execution core runs over a
+partitioned store unchanged.
+
+Snapshot-restored backends (:mod:`repro.storage.snapshot` format v2) keep
+their segmentation: each segment's columns arrive as a lazy loader over the
+mapped file, materialised on first touch — or all at once, in parallel, via
+:meth:`load_segments`.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
 from array import array
-from typing import Iterator, Sequence
+from concurrent.futures import CancelledError, Executor
+from typing import Callable, Sequence
 
 from repro.errors import StorageError
 from repro.storage.columnar import ID_TYPECODE, ColumnarBackend
@@ -31,23 +45,81 @@ _EMPTY: tuple[int, ...] = ()
 #: Segment count used when the backend is built by registry name.
 DEFAULT_SEGMENTS = 4
 
+#: Heads pulled per segment per batch when no explicit prefetch
+#: configuration was supplied (``EngineConfig.merge_batch`` overrides).
+DEFAULT_MERGE_BATCH = 64
+
+
+class _SegmentStream:
+    """One segment's contribution to a merge: postings plus the id map.
+
+    ``prepare`` translates the next ``batch`` local posting ids into
+    pre-keyed global heads ``(-weight, global_id)`` in one pass — the unit
+    of work the prefetch executor runs ahead of the consumer.  At most one
+    ``prepare`` per stream is ever in flight, so ``position`` needs no lock.
+    """
+
+    __slots__ = ("postings", "globals_", "position", "keys", "index", "future")
+
+    def __init__(self, postings: Sequence[int], globals_: Sequence[int]):
+        self.postings = postings
+        self.globals_ = globals_
+        self.position = 0
+        self.keys: list[tuple[float, int]] = []
+        self.index = 0
+        self.future = None
+
+    def prepare(self, weights, batch: int) -> list[tuple[float, int]]:
+        lo = self.position
+        hi = min(lo + batch, len(self.postings))
+        self.position = hi
+        globals_ = self.globals_
+        return [
+            (-weights[gid], gid)
+            for gid in map(globals_.__getitem__, self.postings[lo:hi])
+        ]
+
 
 class MergedPostings:
-    """Immutable posting sequence materialised lazily from a merge stream.
+    """Immutable posting sequence materialised lazily from a segment merge.
 
     Length is known up front (each global id lives in exactly one segment,
     so the merged length is the sum of the part lengths); items are pulled
-    from the heap merge only as far as callers index or iterate.  Cursors
-    that abandon a posting list after a few sorted accesses never pay for
-    the full merge.
+    from the k-way merge only as far as callers index, iterate, or
+    :meth:`pull`.  Cursors that abandon a posting list after a few sorted
+    accesses never pay for the full merge.
+
+    Segment heads are prepared in batches of ``batch`` pre-keyed entries;
+    when ``executor`` is set, the construction immediately prefetches every
+    segment's first batch and keeps one batch per segment in flight while
+    the merge drains (double buffering), so concurrent posting pulls overlap
+    the consumer's own work.  The emitted order is deterministic and
+    independent of executor timing: the heap compares ``(-weight, global
+    id)`` and global ids are unique.
     """
 
-    __slots__ = ("_items", "_source", "_length")
+    __slots__ = ("_items", "_streams", "_weights", "_length", "_heap",
+                 "_executor", "_batch")
 
-    def __init__(self, source: Iterator[int], length: int):
+    def __init__(
+        self,
+        parts: list[tuple[Sequence[int], Sequence[int]]],
+        weights,
+        length: int,
+        *,
+        executor: Executor | None = None,
+        batch: int = DEFAULT_MERGE_BATCH,
+    ):
         self._items = array(ID_TYPECODE)
-        self._source: Iterator[int] | None = source
+        self._streams = [_SegmentStream(p, g) for p, g in parts]
+        self._weights = weights
         self._length = length
+        self._heap: list[tuple[float, int, int]] | None = None
+        self._executor = executor
+        self._batch = max(1, batch)
+        if executor is not None:
+            for stream in self._streams:
+                stream.future = self._submit(stream)
 
     def __len__(self) -> int:
         return self._length
@@ -57,19 +129,123 @@ class MergedPostings:
 
     @property
     def materialized(self) -> int:
-        """How many items have been pulled from the merge so far (tests)."""
+        """How many items have been pulled from the merge so far."""
         return len(self._items)
 
-    def _fill(self, needed: int) -> None:
-        items, source = self._items, self._source
-        if source is None:
-            return
-        while len(items) < needed:
-            head = next(source, None)
-            if head is None:
-                self._source = None
+    @property
+    def segments(self) -> int:
+        """Number of segments contributing to this merge."""
+        return len(self._streams)
+
+    @property
+    def batch_size(self) -> int:
+        """Configured heads-per-segment pull granularity."""
+        return self._batch
+
+    # -- merge machinery ---------------------------------------------------
+
+    def _submit(self, stream: _SegmentStream):
+        """Queue the stream's next batch on the executor (inline fallback)."""
+        executor = self._executor
+        if executor is None:
+            # A sibling _submit in the same loop already saw the shutdown.
+            return None
+        try:
+            return executor.submit(stream.prepare, self._weights, self._batch)
+        except RuntimeError:
+            # Executor shut down under us (engine closed mid-stream): stop
+            # prefetching, the consumer prepares inline from here on.
+            self._executor = None
+            return None
+
+    def _refill(self, stream: _SegmentStream, limit: int | None = None) -> None:
+        """Swap in the stream's next prepared batch (prefetched or inline).
+
+        Never *waits* on a batch still sitting in the executor queue: the
+        pool is shared with whole-query tasks (``engine.ask_many``), so a
+        queued prefetch may be stuck behind the very query that needs it —
+        blocking would deadlock the pool.  A pending future cancels (we
+        prepare inline instead); a running or finished one completes on its
+        own worker and is safe to collect.
+
+        ``limit`` caps an *inline* prepare below the configured batch —
+        used on heap initialisation so a consumer that reads one head
+        (rewriting enumeration probing ``ids[0]``) doesn't pay for a full
+        batch per segment.
+        """
+        future, stream.future = stream.future, None
+        if future is not None and not future.cancel():
+            try:
+                stream.keys = future.result()
+            except CancelledError:
+                stream.keys = stream.prepare(self._weights, limit or self._batch)
+        else:
+            stream.keys = stream.prepare(self._weights, limit or self._batch)
+        stream.index = 0
+        if (
+            self._executor is not None
+            and stream.position < len(stream.postings)
+        ):
+            stream.future = self._submit(stream)
+
+    def _push(self, heap, stream_id: int, limit: int | None = None) -> None:
+        """Push the stream's next head, refilling its batch when drained."""
+        stream = self._streams[stream_id]
+        if stream.index >= len(stream.keys):
+            if stream.future is None and stream.position >= len(stream.postings):
                 return
-            items.append(head)
+            self._refill(stream, limit)
+            if not stream.keys:
+                return
+        neg_weight, gid = stream.keys[stream.index]
+        stream.index += 1
+        heapq.heappush(heap, (neg_weight, gid, stream_id))
+
+    def pull(self, n: int) -> int:
+        """Materialise up to ``n`` further items; return how many were added.
+
+        This is the batched sorted-access entry point: one call amortises
+        the heap walk (and any executor hand-off) over ``n`` items instead
+        of paying the per-item Python overhead at every ``[index]``.
+        """
+        if n <= 0:
+            return 0
+        heap = self._heap
+        if heap is None:
+            heap = self._heap = []
+            # Size the opening prepare to the request: a one-head probe
+            # (rewriting enumeration peeking ids[0]) should not pay for a
+            # full batch per segment.
+            first = min(n, self._batch)
+            for stream_id in range(len(self._streams)):
+                self._push(heap, stream_id, first)
+        items = self._items
+        streams = self._streams
+        before = len(items)
+        target = min(self._length, before + n)
+        while len(items) < target and heap:
+            neg_weight, gid, stream_id = heap[0]
+            items.append(gid)
+            stream = streams[stream_id]
+            if stream.index < len(stream.keys):
+                # Fast path: the stream's next head is already prepared.
+                neg_weight, gid = stream.keys[stream.index]
+                stream.index += 1
+                heapq.heapreplace(heap, (neg_weight, gid, stream_id))
+            else:
+                heapq.heappop(heap)
+                # The winner's next head must re-enter the heap to keep the
+                # merge resumable, but prepare no more than this pull still
+                # needs (at least one) — light consumers stay light.
+                self._push(heap, stream_id, max(1, target - len(items)))
+        return len(items) - before
+
+    def _fill(self, needed: int) -> None:
+        missing = needed - len(self._items)
+        if missing > 0:
+            self.pull(missing)
+
+    # -- sequence surface --------------------------------------------------
 
     def __getitem__(self, index):
         if isinstance(index, slice):
@@ -83,12 +259,12 @@ class MergedPostings:
         self._fill(index + 1)
         return self._items[index]
 
-    def __iter__(self) -> Iterator[int]:
+    def __iter__(self):
         position = 0
+        batch = self._batch
         while position < self._length:
             if position >= len(self._items):
-                self._fill(position + 1)
-                if position >= len(self._items):
+                if not self.pull(batch):
                     return
             yield self._items[position]
             position += 1
@@ -105,7 +281,10 @@ class ShardedBackend:
     def __init__(self, num_segments: int = DEFAULT_SEGMENTS):
         if num_segments < 1:
             raise StorageError(f"Need at least one segment, got {num_segments}")
-        self._segments = [ColumnarBackend() for _ in range(num_segments)]
+        self._segments: list[ColumnarBackend | None] = [
+            ColumnarBackend() for _ in range(num_segments)
+        ]
+        self._segment_loaders: list[Callable[[], ColumnarBackend]] | None = None
         # Global triple id -> owning segment / local id within it.
         self._seg_of = array(ID_TYPECODE)
         self._local_of = array(ID_TYPECODE)
@@ -117,6 +296,46 @@ class ShardedBackend:
         self._counts = array(ID_TYPECODE)
         self._frozen = False
         self._closed = False
+        self._buffer = None
+        self._load_lock = threading.Lock()
+        self._executor: Executor | None = None
+        self._merge_batch = DEFAULT_MERGE_BATCH
+
+    @classmethod
+    def _restore(
+        cls,
+        *,
+        seg_of,
+        local_of,
+        weights,
+        counts,
+        globals_,
+        segment_loaders: list[Callable[[], ColumnarBackend]],
+        buffer=None,
+    ) -> "ShardedBackend":
+        """Assemble an already-frozen backend from snapshot sections.
+
+        Segments arrive as zero-argument *loaders* over the mapped file and
+        materialise lazily on first touch (or eagerly, in parallel, via
+        :meth:`load_segments`) — a cold open pays for the global id maps
+        only.  The mapped ``buffer`` is owned here and released on
+        :meth:`close`.
+        """
+        backend = cls.__new__(cls)
+        backend._segments = [None] * len(segment_loaders)
+        backend._segment_loaders = list(segment_loaders)
+        backend._seg_of = seg_of
+        backend._local_of = local_of
+        backend._weights = weights
+        backend._counts = counts
+        backend._globals = list(globals_)
+        backend._frozen = True
+        backend._closed = False
+        backend._buffer = buffer
+        backend._load_lock = threading.Lock()
+        backend._executor = None
+        backend._merge_batch = DEFAULT_MERGE_BATCH
+        return backend
 
     @property
     def is_frozen(self) -> bool:
@@ -131,17 +350,40 @@ class ShardedBackend:
         if self._closed:
             return
         self._closed = True
+        self._segment_loaders = None
+        views = [
+            view
+            for view in (self._seg_of, self._local_of, self._weights,
+                         self._counts, *self._globals)
+            if isinstance(view, memoryview)
+        ]
         for segment in self._segments:
-            segment.close()
+            if segment is not None:
+                segment.close()
+        self._segments = _CLOSED
         self._seg_of = _CLOSED
         self._local_of = _CLOSED
         self._weights = _CLOSED
         self._counts = _CLOSED
-        self._globals = [_CLOSED] * len(self._globals)
+        self._globals = _CLOSED
+        for view in views:
+            view.release()
+        buffer, self._buffer = self._buffer, None
+        if buffer is not None and hasattr(buffer, "close"):
+            try:
+                buffer.close()
+            except BufferError:
+                # Posting slices exported before close are still alive
+                # somewhere; the mapping is freed when they are collected.
+                pass
 
     @property
     def num_segments(self) -> int:
-        return len(self._segments)
+        return len(self._globals)
+
+    def segment_count(self) -> int:
+        """Physical partitions one lookup fans out over (protocol surface)."""
+        return len(self._globals)
 
     def __len__(self) -> int:
         return len(self._seg_of)
@@ -150,13 +392,55 @@ class ShardedBackend:
         """Triples per segment (introspection and partitioning tests)."""
         return [len(globals_) for globals_ in self._globals]
 
+    def loaded_segments(self) -> list[int]:
+        """Indices of segments whose columns are materialised (lazy loads)."""
+        if self._closed:
+            raise StorageError("Storage backend is closed")
+        return [i for i, seg in enumerate(self._segments) if seg is not None]
+
+    def _segment(self, index: int) -> ColumnarBackend:
+        segment = self._segments[index]
+        if segment is None:
+            with self._load_lock:
+                segment = self._segments[index]
+                if segment is None:
+                    segment = self._segment_loaders[index]()
+                    self._segments[index] = segment
+        return segment
+
+    def load_segments(self, executor: Executor | None = None) -> None:
+        """Materialise every lazy segment — concurrently when given a pool."""
+        if self._closed:
+            raise StorageError("Storage backend is closed")
+        indices = range(len(self._segments))
+        if executor is None:
+            for index in indices:
+                self._segment(index)
+        else:
+            list(executor.map(self._segment, indices))
+
+    def configure_prefetch(
+        self, executor: Executor | None, batch_size: int = DEFAULT_MERGE_BATCH
+    ) -> None:
+        """Set the shared executor and pull granularity for merged postings.
+
+        ``executor=None`` keeps the merge on the consumer thread;
+        ``batch_size=1`` restores item-at-a-time pulls (the serial
+        reference).  The engine wires its own pool through here
+        (``EngineConfig.parallelism`` / ``merge_batch``).
+        """
+        if batch_size < 1:
+            raise StorageError(f"batch_size must be >= 1, got {batch_size}")
+        self._executor = executor
+        self._merge_batch = batch_size
+
     # -- build phase ------------------------------------------------------------
 
     def _place(self, slot_ids: tuple[int, int, int]) -> int:
         """Deterministic hash partition over the (s, p, o) term ids."""
         s, p, o = slot_ids
         return ((s * 2654435761 + p * 40503 + o) & 0x7FFFFFFF) % len(
-            self._segments
+            self._globals
         )
 
     def insert(self, triple_id: int, slot_ids: tuple[int, int, int]) -> None:
@@ -199,29 +483,7 @@ class ShardedBackend:
 
     # -- lookup ------------------------------------------------------------
 
-    def _merge(
-        self, parts: list[tuple[Sequence[int], array]]
-    ) -> Iterator[int]:
-        """Lazy k-way heap merge of per-segment postings, in global sort order.
-
-        Each part yields local ids in (weight desc, local id asc) order;
-        locals map to globals monotonically, so every mapped stream is
-        already sorted by (-weight, global id) and ``heapq.merge`` over that
-        key reproduces the exact single-segment order.
-        """
-        weights = self._weights
-        # map() binds each part's globals_ eagerly (a lazy genexp here would
-        # close over the loop variable and read the last part's map).
-        streams = [
-            map(globals_.__getitem__, postings) for postings, globals_ in parts
-        ]
-        return heapq.merge(
-            *streams, key=lambda global_id: (-weights[global_id], global_id)
-        )
-
-    def postings(
-        self, bound_slots: Sequence[bool], key: tuple[int, ...]
-    ) -> Sequence[int]:
+    def _check_lookup(self, bound_slots, key) -> tuple[int, ...]:
         if self._closed:
             raise StorageError("Storage backend is closed")
         if not self._frozen:
@@ -231,16 +493,48 @@ class ShardedBackend:
             raise StorageError(
                 f"Key arity {len(key)} does not match signature {sig}"
             )
-        parts: list[tuple[Sequence[int], array]] = []
+        return sig
+
+    def postings(
+        self, bound_slots: Sequence[bool], key: tuple[int, ...]
+    ) -> Sequence[int]:
+        self._check_lookup(bound_slots, key)
+        parts: list[tuple[Sequence[int], Sequence[int]]] = []
         total = 0
-        for segment_index, segment in enumerate(self._segments):
-            postings = segment.postings(bound_slots, key)
+        for segment_index in range(len(self._globals)):
+            postings = self._segment(segment_index).postings(bound_slots, key)
             if len(postings):
                 parts.append((postings, self._globals[segment_index]))
                 total += len(postings)
         if not total:
             return _EMPTY
-        return MergedPostings(self._merge(parts), total)
+        return MergedPostings(
+            parts,
+            self._weights,
+            total,
+            executor=self._executor,
+            batch=self._merge_batch,
+        )
+
+    def segment_postings(
+        self, bound_slots: Sequence[bool], key: tuple[int, ...]
+    ) -> list[Sequence[int]]:
+        """Per-segment score-sorted *global* triple ids for one lookup.
+
+        The unmerged view of :meth:`postings` — one handle per segment, each
+        already in global id terms and (weight desc, id asc) order.  Callers
+        that partition work by segment (benchmarks, distributed drivers)
+        consume these directly and skip the k-way merge.
+        """
+        self._check_lookup(bound_slots, key)
+        handles: list[Sequence[int]] = []
+        for segment_index in range(len(self._globals)):
+            postings = self._segment(segment_index).postings(bound_slots, key)
+            globals_ = self._globals[segment_index]
+            handles.append(
+                array(ID_TYPECODE, map(globals_.__getitem__, postings))
+            )
+        return handles
 
     def distinct_keys(self, bound_slots: Sequence[bool]) -> list[tuple[int, ...]]:
         if self._closed:
@@ -259,7 +553,7 @@ class ShardedBackend:
         return list(seen)
 
     def slot_ids(self, triple_id: int) -> tuple[int, int, int]:
-        return self._segments[self._seg_of[triple_id]].slot_ids(
+        return self._segment(self._seg_of[triple_id]).slot_ids(
             self._local_of[triple_id]
         )
 
@@ -279,12 +573,21 @@ class ShardedBackend:
         """Approximate resident bytes across all segments + the id maps."""
         import sys
 
-        total = sum(segment.memory_bytes() for segment in self._segments)
+        total = sum(
+            segment.memory_bytes()
+            for segment in self._segments
+            if segment is not None
+        )
         total += sum(
-            sys.getsizeof(column)
+            column.nbytes if isinstance(column, memoryview) else sys.getsizeof(column)
             for column in (self._seg_of, self._local_of, self._weights, self._counts)
         )
-        total += sum(sys.getsizeof(globals_) for globals_ in self._globals)
+        total += sum(
+            globals_.nbytes
+            if isinstance(globals_, memoryview)
+            else sys.getsizeof(globals_)
+            for globals_ in self._globals
+        )
         return total
 
 

@@ -3,8 +3,7 @@
 The JSONL format (:mod:`repro.storage.persistence`) re-ingests every
 statement on load — JSON parsing, dictionary re-encoding, backend inserts,
 and a full freeze-time re-sort of every posting structure.  A snapshot
-instead writes the frozen :class:`~repro.storage.columnar.ColumnarBackend`
-state *as laid out in memory*:
+instead writes the frozen backend state *as laid out in memory*:
 
 * the s/p/o id columns, the weight column, and the counts column,
 * the global scan permutation and the per-signature permutation arrays,
@@ -19,15 +18,34 @@ the snapshot was written from.  Confidences and weights travel as binary
 IEEE doubles, so reloaded scores are bit-exact, not round-tripped through
 decimal text.
 
+Format version 2 is **segment-aware and lazy**:
+
+* a :class:`~repro.storage.sharded.ShardedBackend` store round-trips with
+  its segmentation intact — every segment's columns, permutations and
+  offset tables are written as their own ``seg<i>:…`` sections, plus the
+  global id maps (``seg_of`` / ``local_of`` / per-segment ``globals``), and
+  segments are restored as *lazy loaders* over the mapped file (materialise
+  on first touch, or all at once — concurrently — via
+  ``backend.load_segments(executor)``);
+* the term dictionary and the per-triple :class:`StoredTriple` records
+  materialise lazily too: a cold ``TriniT.open()`` maps the file and reads
+  the header — terms decode on the first dictionary access, records (and
+  the provenance JSON behind them) on the first ``store.record()``.
+
+Version-1 files (single columnar section set, eager layout) still load —
+the format is sniffed from the magic and the header's ``version`` field —
+and :func:`save_snapshot` can still write them (``version=1``) for
+migration testing.
+
 File layout (all integers little/big per the writing platform, recorded in
 the header)::
 
     [ magic "XKGSNAP\\x01" ][ uint64 header offset ][ sections ... ][ header JSON ]
 
 The header JSON carries the format name/version, store name, byte order,
-item sizes, and a section table ``{name: [offset, length]}``.  Placing the
-header *after* the sections keeps section offsets stable while the header
-is being composed.
+item sizes, backend kind, segmentation, and a section table
+``{name: [offset, length]}``.  Placing the header *after* the sections
+keeps section offsets stable while the header is being composed.
 """
 
 from __future__ import annotations
@@ -36,14 +54,17 @@ import json
 import mmap
 import struct
 import sys
+import threading
 from array import array
 from pathlib import Path
+from typing import Sequence
 
 from repro.core.triples import Triple
-from repro.errors import PersistenceError
+from repro.errors import PersistenceError, StorageError
 from repro.storage.columnar import ID_TYPECODE, ColumnarBackend
-from repro.storage.dictionary import TermDictionary
+from repro.storage.dictionary import LazyTermDictionary, TermDictionary
 from repro.storage.index import SIGNATURES
+from repro.storage.sharded import ShardedBackend
 from repro.storage.store import StoredTriple, TripleStore
 from repro.storage.termcodec import (
     decode_provenance,
@@ -56,7 +77,9 @@ from repro.storage.termcodec import (
 #: load_store` sniffs it to dispatch between formats.
 MAGIC = b"XKGSNAP\x01"
 FORMAT_NAME = "trinit-xkg-snapshot"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions this build can load.
+SUPPORTED_VERSIONS = (1, 2)
 
 WEIGHT_TYPECODE = "d"
 _ALIGN = 8
@@ -72,21 +95,46 @@ def _column_bytes(column) -> bytes:
     return column.tobytes()
 
 
-def save_snapshot(store: TripleStore, path: str | Path) -> int:
-    """Write ``store``'s frozen columnar state to ``path``; returns bytes written.
+def _columnar_sections(backend: ColumnarBackend, prefix: str = "") -> dict[str, bytes]:
+    """The posting-structure sections of one frozen columnar (segment) backend."""
+    sections: dict[str, bytes] = {}
+    sections[f"{prefix}counts"] = _column_bytes(backend._counts)
+    sections[f"{prefix}col:s"] = _column_bytes(backend._s)
+    sections[f"{prefix}col:p"] = _column_bytes(backend._p)
+    sections[f"{prefix}col:o"] = _column_bytes(backend._o)
+    sections[f"{prefix}weights"] = _column_bytes(backend._weights)
+    sections[f"{prefix}scan"] = bytes(backend._scan_view)
+    for sig in SIGNATURES:
+        key = _sig_key(sig)
+        sections[f"{prefix}perm:{key}"] = bytes(backend._perm_views[sig])
+        flat = array(ID_TYPECODE)
+        for group_key, (start, stop) in backend._offsets[sig].items():
+            flat.extend(group_key)
+            flat.append(start)
+            flat.append(stop)
+        sections[f"{prefix}offsets:{key}"] = flat.tobytes()
+    return sections
+
+
+def save_snapshot(
+    store: TripleStore, path: str | Path, *, version: int = FORMAT_VERSION
+) -> int:
+    """Write ``store``'s frozen state to ``path``; returns bytes written.
 
     The store must be frozen (snapshots capture posting structures, which
-    only exist after freeze) and on the "columnar" backend — convert other
-    backends first (``store.convert("columnar")``).
+    only exist after freeze) and on the "columnar" or "sharded" backend —
+    convert other backends first (``store.convert("columnar")``).  A
+    sharded store keeps its segmentation: segment count, per-segment
+    posting layout and the global id maps all round-trip.
+
+    ``version=1`` writes the legacy single-backend layout (columnar only);
+    the default writes the current format.
     """
     if not store.is_frozen:
         raise PersistenceError("Only frozen stores can be snapshotted")
+    if version not in SUPPORTED_VERSIONS:
+        raise PersistenceError(f"Cannot write snapshot version {version!r}")
     backend = store.backend
-    if not isinstance(backend, ColumnarBackend):
-        raise PersistenceError(
-            f"Snapshots require the columnar backend, not {store.backend_name!r}"
-            ' — use store.convert("columnar") first'
-        )
     path = Path(path)
 
     records = list(store.records())
@@ -101,21 +149,35 @@ def save_snapshot(store: TripleStore, path: str | Path) -> int:
     sections["confidence"] = array(
         WEIGHT_TYPECODE, [record.confidence for record in records]
     ).tobytes()
-    sections["counts"] = _column_bytes(backend._counts)
-    sections["col:s"] = _column_bytes(backend._s)
-    sections["col:p"] = _column_bytes(backend._p)
-    sections["col:o"] = _column_bytes(backend._o)
-    sections["weights"] = _column_bytes(backend._weights)
-    sections["scan"] = bytes(backend._scan_view)
-    for sig in SIGNATURES:
-        key = _sig_key(sig)
-        sections[f"perm:{key}"] = bytes(backend._perm_views[sig])
-        flat = array(ID_TYPECODE)
-        for group_key, (start, stop) in backend._offsets[sig].items():
-            flat.extend(group_key)
-            flat.append(start)
-            flat.append(stop)
-        sections[f"offsets:{key}"] = flat.tobytes()
+
+    header_extra: dict = {}
+    if isinstance(backend, ColumnarBackend):
+        sections.update(_columnar_sections(backend))
+        if version >= 2:
+            header_extra["backend"] = "columnar"
+    elif isinstance(backend, ShardedBackend):
+        if version < 2:
+            raise PersistenceError(
+                "Snapshot version 1 cannot carry a sharded backend — "
+                'use version=2 or store.convert("columnar")'
+            )
+        sections["seg_of"] = _column_bytes(backend._seg_of)
+        sections["local_of"] = _column_bytes(backend._local_of)
+        sections["weights"] = _column_bytes(backend._weights)
+        sections["counts"] = _column_bytes(backend._counts)
+        for index in range(backend.num_segments):
+            segment = backend._segment(index)
+            prefix = f"seg{index}:"
+            sections.update(_columnar_sections(segment, prefix))
+            sections[f"{prefix}globals"] = _column_bytes(backend._globals[index])
+        header_extra["backend"] = "sharded"
+        header_extra["segments"] = backend.num_segments
+        header_extra["segment_sizes"] = backend.segment_sizes()
+    else:
+        raise PersistenceError(
+            f"Snapshots require the columnar or sharded backend, not "
+            f"{store.backend_name!r} — use store.convert(\"columnar\") first"
+        )
 
     table: dict[str, list[int]] = {}
     with path.open("wb") as handle:
@@ -132,7 +194,7 @@ def save_snapshot(store: TripleStore, path: str | Path) -> int:
             position += len(payload)
         header = {
             "format": FORMAT_NAME,
-            "version": FORMAT_VERSION,
+            "version": version,
             "name": store.name,
             "triples": len(store),
             "terms": len(store.dictionary),
@@ -140,6 +202,7 @@ def save_snapshot(store: TripleStore, path: str | Path) -> int:
             "id_itemsize": array(ID_TYPECODE).itemsize,
             "weight_itemsize": array(WEIGHT_TYPECODE).itemsize,
             "signatures": [_sig_key(sig) for sig in SIGNATURES],
+            **header_extra,
             "sections": table,
         }
         header_offset = position
@@ -164,7 +227,7 @@ def _read_header(base: memoryview) -> dict:
         raise PersistenceError(
             f"Not a {FORMAT_NAME} file: format={header.get('format')!r}"
         )
-    if header.get("version") != FORMAT_VERSION:
+    if header.get("version") not in SUPPORTED_VERSIONS:
         raise PersistenceError(
             f"Unsupported snapshot version: {header.get('version')!r}"
         )
@@ -186,6 +249,102 @@ def _read_header(base: memoryview) -> dict:
     return header
 
 
+class _SnapshotRecords(Sequence):
+    """Per-triple :class:`StoredTriple` records, materialised on demand.
+
+    Everything a record needs is already in the mapped sections: term ids
+    come from the backend columns, counts and bit-exact confidences from
+    their own columns, provenance samples from the ``prov`` JSON blob —
+    which itself is parsed only when the first record is materialised.
+    Materialised records are cached, so repeated ``store.record(tid)`` calls
+    return the same object (explanations hold on to them).
+    """
+
+    def __init__(
+        self,
+        dictionary: TermDictionary,
+        backend,
+        counts,
+        confidences,
+        prov_raw: memoryview,
+        n: int,
+    ):
+        self._dictionary = dictionary
+        self._backend = backend
+        self._counts = counts
+        self._confidences = confidences
+        self._prov_raw = prov_raw
+        self._prov: list | None = None
+        self._cache: list[StoredTriple | None] = [None] * n
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def materialized(self) -> int:
+        """How many records have been decoded so far (introspection)."""
+        return sum(1 for record in self._cache if record is not None)
+
+    def release(self) -> None:
+        """Drop the mapped views (store close).  Cached records stay valid;
+        records never materialised raise :class:`StorageError` afterwards
+        (their backing columns are gone with the mapping)."""
+        for view in (self._prov_raw, self._counts, self._confidences):
+            if isinstance(view, memoryview):
+                view.release()
+        self._prov_raw = self._counts = self._confidences = None
+
+    def _provenances(self) -> list:
+        prov = self._prov
+        if prov is None:
+            if self._prov_raw is None:
+                raise StorageError("Store is closed")
+            try:
+                prov = json.loads(bytes(self._prov_raw).decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+                raise PersistenceError(
+                    f"Corrupt snapshot provenance table: {exc}"
+                ) from exc
+            if not isinstance(prov, list) or len(prov) != len(self._cache):
+                raise PersistenceError("Corrupt snapshot: provenance table truncated")
+            self._prov = prov
+        return prov
+
+    def _materialize(self, tid: int) -> StoredTriple:
+        if self._counts is None or self._confidences is None:
+            raise StorageError("Store is closed")
+        decode = self._dictionary.decode
+        try:
+            s, p, o = self._backend.slot_ids(tid)
+            count = self._counts[tid]
+            confidence = self._confidences[tid]
+        except ValueError as exc:  # released memoryview after close
+            raise StorageError("Store is closed") from exc
+        record = StoredTriple(
+            Triple(decode(s), decode(p), decode(o)), count, confidence, []
+        )
+        for encoded in self._provenances()[tid]:
+            record.add_provenance(decode_provenance(encoded))
+        return record
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self._cache)))]
+        if index < 0:
+            index += len(self._cache)
+        if not 0 <= index < len(self._cache):
+            raise IndexError(f"Record index out of range: {index}")
+        record = self._cache[index]
+        if record is None:
+            with self._lock:
+                record = self._cache[index]
+                if record is None:
+                    record = self._materialize(index)
+                    self._cache[index] = record
+        return record
+
+
 def load_snapshot(path: str | Path, *, map_file: bool = True) -> TripleStore:
     """Load a snapshot written by :func:`save_snapshot`.
 
@@ -194,6 +353,11 @@ def load_snapshot(path: str | Path, *, map_file: bool = True) -> TripleStore:
     pages — the OS pages postings in on demand and shares them across
     processes.  ``map_file=False`` reads the file into memory once instead
     (same views, private buffer); useful where mapping is unavailable.
+
+    The returned store is **lazy**: records and the term dictionary decode
+    on first use, and a version-2 sharded snapshot materialises each
+    segment's posting structures only when a lookup touches it (or all in
+    parallel via ``store.backend.load_segments(executor)``).
 
     The mapping is owned by the returned store's backend: release it with
     ``store.close()`` (or the engine lifecycle — ``with TriniT.open(path)``),
@@ -240,90 +404,167 @@ def load_snapshot(path: str | Path, *, map_file: bool = True) -> TripleStore:
     def doubles(name: str) -> memoryview:
         return cast(name, WEIGHT_TYPECODE)
 
-    n = header["triples"]
-    col_s, col_p, col_o = ids("col:s"), ids("col:p"), ids("col:o")
-    weights = doubles("weights")
-    counts = ids("counts")
-    confidences = doubles("confidence")
-    if not (
-        len(col_s) == len(col_p) == len(col_o) == len(weights)
-        == len(counts) == len(confidences) == n
-    ):
-        raise PersistenceError(
-            f"Header declares {n} triples but the columns disagree"
-        )
-
     if header.get("signatures") != [_sig_key(sig) for sig in SIGNATURES]:
         raise PersistenceError("Snapshot signature set does not match this build")
-    perm_views: dict[tuple[int, ...], memoryview] = {}
-    offsets: dict[tuple[int, ...], dict[tuple[int, ...], tuple[int, int]]] = {}
-    for sig in SIGNATURES:
-        key = _sig_key(sig)
-        perm = ids(f"perm:{key}")
-        if len(perm) != n:
+
+    n = header["triples"]
+
+    def columnar_parts(prefix: str, length: int):
+        """Validated column/permutation views of one (segment) section set."""
+        col_s = ids(f"{prefix}col:s")
+        col_p = ids(f"{prefix}col:p")
+        col_o = ids(f"{prefix}col:o")
+        weights = doubles(f"{prefix}weights")
+        counts = ids(f"{prefix}counts")
+        if not (
+            len(col_s) == len(col_p) == len(col_o) == len(weights)
+            == len(counts) == length
+        ):
             raise PersistenceError(
-                f"Corrupt snapshot: permutation {key} has {len(perm)} entries, "
-                f"expected {n}"
+                f"Header declares {length} triples for {prefix or 'store'!r} "
+                "but the columns disagree"
             )
-        perm_views[sig] = perm
-        flat = ids(f"offsets:{key}")
-        arity = len(sig)
-        stride = arity + 2
-        if len(flat) % stride:
-            raise PersistenceError(f"Corrupt snapshot: offset table {key}")
-        table: dict[tuple[int, ...], tuple[int, int]] = {}
-        for i in range(0, len(flat), stride):
-            table[tuple(flat[i : i + arity])] = (
-                flat[i + arity],
-                flat[i + arity + 1],
+        perm_views: dict[tuple[int, ...], memoryview] = {}
+        offsets: dict[tuple[int, ...], dict[tuple[int, ...], tuple[int, int]]] = {}
+        for sig in SIGNATURES:
+            key = _sig_key(sig)
+            perm = ids(f"{prefix}perm:{key}")
+            if len(perm) != length:
+                raise PersistenceError(
+                    f"Corrupt snapshot: permutation {prefix}{key} has "
+                    f"{len(perm)} entries, expected {length}"
+                )
+            perm_views[sig] = perm
+            flat = ids(f"{prefix}offsets:{key}")
+            arity = len(sig)
+            stride = arity + 2
+            if len(flat) % stride:
+                raise PersistenceError(
+                    f"Corrupt snapshot: offset table {prefix}{key}"
+                )
+            table: dict[tuple[int, ...], tuple[int, int]] = {}
+            for i in range(0, len(flat), stride):
+                table[tuple(flat[i : i + arity])] = (
+                    flat[i + arity],
+                    flat[i + arity + 1],
+                )
+            offsets[sig] = table
+        scan = ids(f"{prefix}scan")
+        if len(scan) != length:
+            raise PersistenceError(
+                f"Corrupt snapshot: scan permutation {prefix or 'store'!r} truncated"
             )
-        offsets[sig] = table
-    scan = ids("scan")
-    if len(scan) != n:
-        raise PersistenceError("Corrupt snapshot: scan permutation truncated")
+        return col_s, col_p, col_o, weights, counts, scan, perm_views, offsets
 
-    dictionary = TermDictionary()
-    try:
-        encoded_terms = json.loads(bytes(view("terms")).decode("utf-8"))
-        prov_lists = json.loads(bytes(view("prov")).decode("utf-8"))
-    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-        raise PersistenceError(f"Corrupt snapshot metadata: {exc}") from exc
-    for encoded in encoded_terms:
-        dictionary.encode(decode_term(encoded))
-    if len(dictionary) != header["terms"]:
-        raise PersistenceError(
-            f"Header declares {header['terms']} terms but "
-            f"{len(dictionary)} were decoded"
+    backend_kind = header.get("backend", "columnar")
+    if backend_kind == "columnar":
+        col_s, col_p, col_o, weights, counts, scan, perm_views, offsets = (
+            columnar_parts("", n)
         )
-    if len(prov_lists) != n:
-        raise PersistenceError("Corrupt snapshot: provenance table truncated")
+        backend = ColumnarBackend._restore(
+            s=col_s,
+            p=col_p,
+            o=col_o,
+            weights=weights,
+            counts=counts,
+            scan_view=scan,
+            perm_views=perm_views,
+            offsets=offsets,
+            buffer=buffer,
+        )
+    elif backend_kind == "sharded":
+        num_segments = header.get("segments")
+        sizes = header.get("segment_sizes")
+        if (
+            not isinstance(num_segments, int)
+            or num_segments < 1
+            or not isinstance(sizes, list)
+            or len(sizes) != num_segments
+            or sum(sizes) != n
+        ):
+            raise PersistenceError("Corrupt snapshot: bad segmentation header")
+        seg_of = ids("seg_of")
+        local_of = ids("local_of")
+        weights = doubles("weights")
+        counts = ids("counts")
+        if not (len(seg_of) == len(local_of) == len(weights) == len(counts) == n):
+            raise PersistenceError(
+                f"Header declares {n} triples but the global columns disagree"
+            )
+        globals_ = []
+        for index in range(num_segments):
+            seg_globals = ids(f"seg{index}:globals")
+            if len(seg_globals) != sizes[index]:
+                raise PersistenceError(
+                    f"Corrupt snapshot: segment {index} id map truncated"
+                )
+            globals_.append(seg_globals)
 
-    backend = ColumnarBackend._restore(
-        s=col_s,
-        p=col_p,
-        o=col_o,
-        weights=weights,
-        counts=counts,
-        scan_view=scan,
-        perm_views=perm_views,
-        offsets=offsets,
-        buffer=buffer,
+        def make_loader(index: int, length: int):
+            prefix = f"seg{index}:"
+
+            def load() -> ColumnarBackend:
+                col_s, col_p, col_o, w, c, scan, perm_views, offsets = (
+                    columnar_parts(prefix, length)
+                )
+                return ColumnarBackend._restore(
+                    s=col_s,
+                    p=col_p,
+                    o=col_o,
+                    weights=w,
+                    counts=c,
+                    scan_view=scan,
+                    perm_views=perm_views,
+                    offsets=offsets,
+                    buffer=None,  # the sharded composite owns the mapping
+                )
+
+            return load
+
+        backend = ShardedBackend._restore(
+            seg_of=seg_of,
+            local_of=local_of,
+            weights=weights,
+            counts=counts,
+            globals_=globals_,
+            segment_loaders=[
+                make_loader(index, sizes[index]) for index in range(num_segments)
+            ],
+            buffer=buffer,
+        )
+    else:
+        raise PersistenceError(f"Unknown snapshot backend {backend_kind!r}")
+
+    confidences = doubles("confidence")
+    if len(confidences) != n:
+        raise PersistenceError(
+            f"Header declares {n} triples but the confidence column disagrees"
+        )
+    # Terms are copied out of the mapping (one memcpy, still no parse): the
+    # dictionary must stay decodable after close(), when the map is gone.
+    terms_blob = bytes(view("terms"))
+    prov_raw = view("prov")
+    expected_terms = header["terms"]
+
+    def populate_terms(dictionary: TermDictionary) -> None:
+        try:
+            encoded_terms = json.loads(terms_blob.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            raise PersistenceError(f"Corrupt snapshot metadata: {exc}") from exc
+        for encoded in encoded_terms:
+            TermDictionary.encode(dictionary, decode_term(encoded))
+        if TermDictionary.__len__(dictionary) != expected_terms:
+            raise PersistenceError(
+                f"Header declares {expected_terms} terms but "
+                f"{TermDictionary.__len__(dictionary)} were decoded"
+            )
+
+    dictionary = LazyTermDictionary(populate_terms)
+    records = _SnapshotRecords(
+        dictionary, backend, ids("counts"), confidences, prov_raw, n
     )
-
-    decode = dictionary.decode
-    records: list[StoredTriple] = []
-    by_key: dict[tuple[int, int, int], int] = {}
-    for tid in range(n):
-        key = (col_s[tid], col_p[tid], col_o[tid])
-        triple = Triple(decode(key[0]), decode(key[1]), decode(key[2]))
-        record = StoredTriple(triple, counts[tid], confidences[tid], [])
-        for encoded in prov_lists[tid]:
-            record.add_provenance(decode_provenance(encoded))
-        records.append(record)
-        by_key[key] = tid
-
     return TripleStore._adopt_frozen(
-        header.get("name", "XKG"), dictionary, records, by_key, backend, weights
+        header.get("name", "XKG"), dictionary, records, None, backend, weights
     )
 
 

@@ -16,12 +16,13 @@ from repro.core.triples import TriplePattern, Triple
 from repro.core.terms import Variable
 from repro.errors import StorageError
 from repro.storage.store import TripleStore
+from repro.util.lazy import LazilyBuilt
 
 #: Slot indexes, for readability at call sites.
 SUBJECT, PREDICATE, OBJECT = 0, 1, 2
 
 
-class StoreStatistics:
+class StoreStatistics(LazilyBuilt):
     """Aggregate views over a frozen :class:`TripleStore`.
 
     All returned collections use term *ids* internally but the public API
@@ -42,14 +43,21 @@ class StoreStatistics:
             defaultdict(set),
             defaultdict(set),
         ]
-        self._build()
+        self._init_lazy()
 
     def _build(self) -> None:
-        encode = self.store.dictionary.require_id
-        for record in self.store.records():
-            s, p, o = (encode(t) for t in record.triple.terms())
+        # Deferring the build (LazilyBuilt._ensure) keeps a cold
+        # ``TriniT.open()`` with mining disabled from sweeping the whole
+        # store; the build itself reads the backend's id columns and the
+        # weight column directly, so no :class:`StoredTriple` records are
+        # materialised for it.
+        store = self.store
+        slot_ids = store.backend.slot_ids
+        weights = store.weights()
+        for tid in range(len(store)):
+            s, p, o = slot_ids(tid)
             self._args[p].add((s, o))
-            self._pred_mass[p] += record.weight
+            self._pred_mass[p] += weights[tid]
             self._context[SUBJECT][s].add((p, o))
             self._context[PREDICATE][p].add((s, o))
             self._context[OBJECT][o].add((s, p))
@@ -58,6 +66,7 @@ class StoreStatistics:
 
     def predicates(self) -> list[Term]:
         """All distinct predicate terms, most-observed first (deterministic)."""
+        self._ensure()
         ordered = sorted(
             self._args,
             key=lambda pid: (-self._pred_mass[pid], self.store.dictionary.decode(pid).sort_key()),
@@ -70,6 +79,7 @@ class StoreStatistics:
         This is exactly the quantity the paper's mining weight
         ``w(p1 → p2) = |args(p1) ∩ args(p2)| / |args(p2)|`` is defined over.
         """
+        self._ensure()
         pid = self.store.dictionary.id_of(predicate)
         if pid is None:
             return frozenset()
@@ -85,6 +95,7 @@ class StoreStatistics:
 
     def predicate_mass(self, predicate: Term) -> float:
         """Total observation weight across the predicate's triples."""
+        self._ensure()
         pid = self.store.dictionary.id_of(predicate)
         return 0.0 if pid is None else self._pred_mass.get(pid, 0.0)
 
@@ -101,6 +112,7 @@ class StoreStatistics:
         """
         if slot not in (SUBJECT, PREDICATE, OBJECT):
             raise StorageError(f"Slot must be 0, 1 or 2, got {slot}")
+        self._ensure()
         term_id = self.store.dictionary.id_of(term)
         if term_id is None:
             return frozenset()
@@ -110,6 +122,7 @@ class StoreStatistics:
         """Distinct terms occurring in ``slot``, optionally filtered by kind."""
         if slot not in (SUBJECT, PREDICATE, OBJECT):
             raise StorageError(f"Slot must be 0, 1 or 2, got {slot}")
+        self._ensure()
         decode = self.store.dictionary.decode
         terms = (decode(term_id) for term_id in sorted(self._context[slot]))
         if kind is None:

@@ -93,8 +93,8 @@ class TripleStore:
         cls,
         name: str,
         dictionary: TermDictionary,
-        records: list[StoredTriple],
-        by_key: dict[tuple[int, int, int], int],
+        records: Sequence[StoredTriple],
+        by_key: dict[tuple[int, int, int], int] | None,
         backend: StorageBackend,
         weights: Sequence[float],
     ) -> "TripleStore":
@@ -104,6 +104,10 @@ class TripleStore:
         the backend arrives frozen with its posting structures intact, so no
         re-ingestion and no :meth:`freeze` re-sort happens — posting lists
         are byte-identical to the store the snapshot was written from.
+        ``records`` may be a lazy sequence that materialises
+        :class:`StoredTriple` objects on demand, and ``by_key`` may be
+        ``None`` — the statement-lookup map is then derived from the backend
+        columns on first :meth:`lookup`.
         """
         store = cls.__new__(cls)
         store.name = name
@@ -116,6 +120,15 @@ class TripleStore:
         store._closed = False
         store._pattern_total_cache = {}
         return store
+
+    def _require_by_key(self) -> dict[tuple[int, int, int], int]:
+        """The (s, p, o) id-triple → triple id map, derived lazily if absent."""
+        by_key = self._by_key
+        if by_key is None:
+            slot_ids = self._backend.slot_ids
+            by_key = {slot_ids(tid): tid for tid in range(len(self._triples))}
+            self._by_key = by_key
+        return by_key
 
     # -- load phase ------------------------------------------------------------
 
@@ -204,6 +217,11 @@ class TripleStore:
         if self._closed:
             return
         self._closed = True
+        # Lazy record tables hold views over the snapshot mapping; release
+        # them before the backend unmaps the buffer.
+        release = getattr(self._triples, "release", None)
+        if release is not None:
+            release()
         close = getattr(self._backend, "close", None)
         if close is not None:
             close()
@@ -232,7 +250,7 @@ class TripleStore:
 
     def __contains__(self, triple: Triple) -> bool:
         key = self._encode_key(triple)
-        return key is not None and key in self._by_key
+        return key is not None and key in self._require_by_key()
 
     def records(self) -> Iterator[StoredTriple]:
         """Iterate all stored records in id order."""
@@ -274,11 +292,28 @@ class TripleStore:
         return self._backend.slot_ids(triple_id)
 
     def total_observations(self) -> float:
-        """Collection-wide observation mass (for smoothing)."""
+        """Collection-wide observation mass (for smoothing).
+
+        A frozen store reads its weight column (identical values in the same
+        id order, so the float sum is bit-identical) — no
+        :class:`StoredTriple` is materialised for it.
+        """
+        if self._frozen:
+            return sum(self._weights)
         return sum(record.weight for record in self._triples)
 
     def num_token_triples(self) -> int:
         """Distinct triples with a token in any slot (the XKG extension part)."""
+        if self._frozen:
+            token_ids = set(self.dictionary.ids_of_kind("token"))
+            if not token_ids:
+                return 0
+            slot_ids = self._backend.slot_ids
+            return sum(
+                1
+                for tid in range(len(self._triples))
+                if not token_ids.isdisjoint(slot_ids(tid))
+            )
         return sum(1 for r in self._triples if r.triple.is_token_triple)
 
     def num_kg_triples(self) -> int:
@@ -298,7 +333,7 @@ class TripleStore:
         key = self._encode_key(triple)
         if key is None:
             return None
-        triple_id = self._by_key.get(key)
+        triple_id = self._require_by_key().get(key)
         return None if triple_id is None else self._triples[triple_id]
 
     def sorted_ids(self, pattern: TriplePattern) -> Sequence[int]:

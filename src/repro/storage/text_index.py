@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from repro.core.terms import Resource, Term, TextToken
 from repro.errors import StorageError
 from repro.storage.store import TripleStore
+from repro.util.lazy import LazilyBuilt
 from repro.util.text import camel_to_words, is_subsequence, match_key
 
 #: Slots, mirroring statistics.SUBJECT/PREDICATE/OBJECT.
@@ -56,7 +57,7 @@ class TokenMatch:
         return (-self.similarity, self.token.kind, self.token.lexical())
 
 
-class TokenMatcher:
+class TokenMatcher(LazilyBuilt):
     """Index of stored phrases and resource surfaces, per slot."""
 
     def __init__(self, store: TripleStore, *, include_resources: bool = True):
@@ -78,7 +79,7 @@ class TokenMatcher:
             defaultdict(set),
             defaultdict(set),
         ]
-        self._build()
+        self._init_lazy()
 
     @staticmethod
     def _surface(term: Term) -> str:
@@ -90,16 +91,25 @@ class TokenMatcher:
         return match_key(self._surface(term), predicate=(slot == PREDICATE))
 
     def _build(self) -> None:
-        seen: list[set[Term]] = [set(), set(), set()]
-        for record in self.store.records():
-            for slot, term in enumerate(record.triple.terms()):
-                if term in seen[slot]:
+        # First use only (LazilyBuilt._ensure): walks the backend's id
+        # columns and decodes each distinct per-slot term exactly once —
+        # no :class:`StoredTriple` records are materialised, so a lazily
+        # loaded snapshot store pays for the text index only when a query
+        # actually expands tokens.
+        store = self.store
+        decode = store.dictionary.decode
+        slot_ids = store.backend.slot_ids
+        seen: list[set[int]] = [set(), set(), set()]
+        for tid in range(len(store)):
+            for slot, term_id in enumerate(slot_ids(tid)):
+                if term_id in seen[slot]:
                     continue
+                seen[slot].add(term_id)
+                term = decode(term_id)
                 if not isinstance(term, TextToken) and not (
                     self.include_resources and isinstance(term, Resource)
                 ):
                     continue
-                seen[slot].add(term)
                 norm = (
                     term.norm
                     if isinstance(term, TextToken)
@@ -120,6 +130,7 @@ class TokenMatcher:
 
     def phrases_in_slot(self, slot: int) -> list[TextToken]:
         """All distinct stored token phrases for a slot, lexically ordered."""
+        self._ensure()
         phrases = [
             term
             for term in self._by_norm[slot].values()
@@ -134,6 +145,7 @@ class TokenMatcher:
         """Stored terms matching ``query_token`` in ``slot``, best first."""
         if slot not in (SUBJECT, PREDICATE, OBJECT):
             raise StorageError(f"Slot must be 0, 1 or 2, got {slot}")
+        self._ensure()
         results: dict[Term, TokenMatch] = {}
 
         def offer(term: Term, similarity: float) -> None:

@@ -272,6 +272,8 @@ class IdPostingCursor:
         "_weights",
         "_slot_ids",
         "_template",
+        "_primed",
+        "_merged",
     )
 
     def __init__(
@@ -293,11 +295,37 @@ class IdPostingCursor:
         self._position = 0
         self._head_score: float | None = None
         self._template: list[int] | None = None
+        self._primed: Sequence[int] | None = None
+        self._merged = None
+
+    def prime(self) -> None:
+        """Warm the posting list and scoring caches ahead of consumption.
+
+        Safe to call from a worker thread: it touches only idempotent
+        shared caches (pattern mass, emission constants) and stashes the
+        fetched posting sequence for :meth:`_open` to adopt — stats
+        counters stay untouched, so the consuming thread's accounting is
+        identical to a serial run.  The driver fans one ``prime`` per
+        posting cursor onto the engine executor, which for a segmented
+        backend also kicks off each posting list's first batch prefetch —
+        the concurrent posting pulls of one query.
+        """
+        if self._ids is None and self._primed is None:
+            store = self.ctx.store
+            self.ctx.scorer.emission_model(self.pattern)
+            self._primed = store.sorted_ids(self.pattern)
 
     def _open(self) -> None:
         if self._ids is None:
             store = self.ctx.store
-            self._ids = store.sorted_ids(self.pattern)
+            ids = self._primed
+            if ids is None:
+                ids = store.sorted_ids(self.pattern)
+            self._ids = ids
+            self._primed = None
+            # Lazily-merged segment postings support batched pulls; plain
+            # posting views are fully materialised already.
+            self._merged = ids if hasattr(ids, "pull") else None
             self._lam, self._mass, self._cmass = self.ctx.scorer.emission_model(
                 self.pattern
             )
@@ -307,6 +335,8 @@ class IdPostingCursor:
             self._slot_ids = store.backend.slot_ids
             if self.ctx.stats is not None:
                 self.ctx.stats.cursors_opened += 1
+                if self._merged is not None:
+                    self.ctx.stats.segments_touched += self._merged.segments
 
     def _score_weight(self, weight: float) -> float:
         # Same float ops, same order, as PatternScorer.score_weight.
@@ -323,9 +353,18 @@ class IdPostingCursor:
         """Triple id at the cursor head, skipping repeated-var mismatches."""
         self._open()
         ids = self._ids
+        merged = self._merged
         plan = self.plan
         needs_filter = plan.has_repeated_variable
         while self._position < len(ids):
+            if merged is not None and self._position >= merged.materialized:
+                # Batched sorted access: pull a whole batch of merged heads
+                # at once instead of paying the per-item merge hand-off on
+                # every index — the amortisation the parallel prefetch
+                # relies on.
+                pulled = merged.pull(merged.batch_size)
+                if self.ctx.stats is not None:
+                    self.ctx.stats.postings_materialized += pulled
             tid = ids[self._position]
             if not needs_filter or plan.consistent(self._slot_ids(tid)):
                 return tid

@@ -1,0 +1,41 @@
+"""One-shot, thread-safe lazy construction.
+
+Several structures defer an expensive build to first use so a cold
+snapshot open stays cheap (store statistics, the text index, the snapshot
+term dictionary).  They share this mixin rather than each hand-rolling the
+double-checked-locking pattern: call :meth:`_init_lazy` in ``__init__``,
+implement :meth:`_build`, and guard every public accessor with
+:meth:`_ensure`.  Concurrent first touches (``ask_many`` threads) observe
+either nothing or the completed build, never a prefix; a build that raises
+leaves the flag unset, so the next touch retries.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class LazilyBuilt:
+    """Mixin: defer :meth:`_build` to the first :meth:`_ensure` call."""
+
+    _built = False
+
+    def _init_lazy(self) -> None:
+        self._built = False
+        self._build_lock = threading.Lock()
+
+    def _build(self) -> None:  # pragma: no cover - always overridden
+        raise NotImplementedError
+
+    @property
+    def is_built(self) -> bool:
+        return self._built
+
+    def _ensure(self) -> None:
+        if self._built:
+            return
+        with self._build_lock:
+            if self._built:
+                return
+            self._build()
+            self._built = True

@@ -1,0 +1,177 @@
+"""Engine-level parallel execution: the shared executor and its lifecycle.
+
+One engine owns one worker pool (``EngineConfig.parallelism``) shared by
+``ask_many`` fan-out, per-segment posting prefetch and cursor priming; it is
+shut down by ``close()``.  These tests pin the pool's identity (no fresh
+pool per call), the serial fallback, the stats counters the parallel merge
+feeds, and — the concurrent-correctness stress — that interleaving
+``stream().next_k`` with ``ask_many`` on one shared engine yields exactly
+the serial answers on every backend.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.engine import EngineConfig, TriniT
+from repro.errors import TrinitError
+from repro.kg.paper_example import paper_store
+from repro.topk.processor import ProcessorConfig
+
+QUERIES = [
+    "?x bornIn ?y",
+    "?x type ?y",
+    "AlbertEinstein affiliation ?x",
+    "?x 'lectured at' ?y",
+    "?p bornIn ?c ; ?c locatedIn Germany",
+]
+
+
+def _engine(backend: str, parallelism: int | None = 4, **kwargs) -> TriniT:
+    config = EngineConfig(
+        storage_backend=backend, parallelism=parallelism, **kwargs
+    )
+    return TriniT(paper_store(), config=config)
+
+
+def signature(answer_set):
+    return [(a.binding, a.score) for a in answer_set]
+
+
+class TestSharedExecutor:
+    def test_engine_owns_one_executor(self):
+        engine = _engine("sharded")
+        assert engine._executor is not None
+        assert engine.processor.executor is engine._executor
+        before = engine._executor
+        engine.ask_many(QUERIES, k=3)
+        engine.ask_many(QUERIES, k=3)
+        assert engine._executor is before  # reused, not rebuilt per call
+
+    def test_close_shuts_executor_down(self):
+        engine = _engine("sharded")
+        pool = engine._executor
+        engine.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+        with pytest.raises(TrinitError):
+            engine.ask_many(QUERIES, k=3)
+
+    def test_parallelism_one_means_no_executor(self):
+        engine = _engine("sharded", parallelism=1)
+        assert engine._executor is None
+        assert engine.processor.executor is None
+        # ask_many falls back to sequential evaluation and still works.
+        results = engine.ask_many(QUERIES, k=3)
+        assert len(results) == len(QUERIES)
+
+    def test_variant_shares_executor(self):
+        engine = _engine("sharded")
+        variant = engine.variant(use_relaxation=False)
+        assert variant._executor is engine._executor
+        assert variant.processor.executor is engine._executor
+
+    def test_max_workers_one_forces_sequential(self):
+        engine = _engine("sharded")
+        sequential = engine.ask_many(QUERIES, k=3, max_workers=1)
+        pooled = engine.ask_many(QUERIES, k=3)
+        assert [signature(s) for s in sequential] == [
+            signature(p) for p in pooled
+        ]
+
+
+class TestSegmentStats:
+    def test_sharded_counters_filled(self):
+        engine = _engine("sharded", merge_batch=4)
+        answers = engine.ask("?x bornIn ?y", k=5)
+        assert answers.stats.segments_touched > 0
+        assert answers.stats.postings_materialized > 0
+
+    def test_monolithic_counters_zero(self):
+        engine = _engine("columnar")
+        answers = engine.ask("?x bornIn ?y", k=5)
+        assert answers.stats.segments_touched == 0
+        assert answers.stats.postings_materialized == 0
+
+    def test_counters_deterministic_across_configs(self):
+        # The *answer-side* counters must not depend on executor timing.
+        parallel = _engine("sharded", parallelism=4).ask("?x bornIn ?y", k=5)
+        serial = _engine("sharded", parallelism=1).ask("?x bornIn ?y", k=5)
+        assert parallel.stats.segments_touched == serial.stats.segments_touched
+        assert parallel.stats.sorted_accesses == serial.stats.sorted_accesses
+
+
+@pytest.mark.parametrize("backend", ["dict", "columnar", "sharded"])
+class TestConcurrentStress:
+    """Interleave stream pagination and batch queries on one shared engine."""
+
+    def test_interleaved_streams_and_ask_many(self, backend):
+        engine = _engine(backend, parallelism=4, merge_batch=3)
+        reference = {
+            text: signature(engine.ask(text, k=8)) for text in QUERIES
+        }
+
+        def paginate(text):
+            stream = engine.stream(text)
+            collected = list(stream.next_k(3))
+            collected += stream.next_k(2)
+            collected += stream.next_k(3)
+            return text, [(a.binding, a.score) for a in collected]
+
+        def batch(_round):
+            return [signature(s) for s in engine.ask_many(QUERIES, k=8)]
+
+        # Drive pagination and whole-batch calls from competing threads so
+        # driver resumption, segment pulls and cursor priming interleave on
+        # the one shared pool.
+        with ThreadPoolExecutor(max_workers=6) as outer:
+            stream_futures = [
+                outer.submit(paginate, text) for text in QUERIES for _ in (0, 1)
+            ]
+            batch_futures = [outer.submit(batch, i) for i in range(3)]
+            for future in stream_futures:
+                text, collected = future.result()
+                assert collected == reference[text][: len(collected)], text
+            for future in batch_futures:
+                assert future.result() == [reference[t] for t in QUERIES]
+
+    def test_streams_resume_exactly_after_contention(self, backend):
+        engine = _engine(backend, parallelism=4, merge_batch=2)
+        eager = signature(engine.ask(QUERIES[0], k=8))
+        stream = engine.stream(QUERIES[0])
+        first = stream.next_k(4)
+        engine.ask_many(QUERIES, k=5)  # contend on the shared pool
+        rest = stream.next_k(4)
+        assert [(a.binding, a.score) for a in [*first, *rest]] == eager[:8]
+
+
+class TestExhaustiveParallel:
+    def test_exhaustive_identical_serial_vs_parallel(self):
+        processor = ProcessorConfig(exhaustive=True)
+        parallel = _engine("sharded", parallelism=4, processor=processor)
+        serial = _engine(
+            "sharded", parallelism=1, merge_batch=1, processor=processor
+        )
+        for text in QUERIES:
+            assert signature(parallel.ask(text, k=10)) == signature(
+                serial.ask(text, k=10)
+            )
+
+
+class TestCloseRaces:
+    def test_postings_after_pool_shutdown_falls_back_inline(self):
+        # Regression: the first _submit hitting a shut-down executor must
+        # not leave later segments dereferencing a None executor.
+        engine = _engine("sharded", merge_batch=2)
+        reference = signature(engine.ask(QUERIES[0], k=8))
+        engine._executor.shutdown(wait=True, cancel_futures=True)
+        # The store is still open: queries must complete serially.
+        assert signature(engine.ask(QUERIES[0], k=8)) == reference
+
+    def test_ask_many_bounded_max_workers(self):
+        engine = _engine("sharded")
+        bounded = engine.ask_many(QUERIES, k=5, max_workers=2)
+        unbounded = engine.ask_many(QUERIES, k=5)
+        assert [signature(b) for b in bounded] == [
+            signature(u) for u in unbounded
+        ]

@@ -55,3 +55,43 @@ class TestSuggestionScreen:
         screen = session.render_suggestion_screen("?x 'born in' Ulm")
         assert "Query Suggestions" in screen
         assert "bornIn" in screen
+
+
+class TestStatsScreen:
+    def test_requires_a_query_first(self, session):
+        from repro.errors import TrinitError
+
+        with pytest.raises(TrinitError):
+            session.render_stats_screen()
+
+    def test_renders_counters(self, session):
+        session.run("?x bornIn ?y")
+        screen = session.render_stats_screen()
+        assert "Query Statistics" in screen
+        assert "sorted accesses" in screen
+        assert "segments touched" in screen
+        assert "postings materialized" in screen
+
+    def test_segment_counters_filled_on_sharded_engine(self):
+        from repro.core.engine import EngineConfig, TriniT
+        from repro.kg.paper_example import paper_store
+
+        engine = TriniT(
+            paper_store(),
+            config=EngineConfig(storage_backend="sharded", merge_batch=4),
+        )
+        sharded = DemoSession(engine)
+        sharded.run("?x bornIn ?y")
+        screen = sharded.render_stats_screen()
+        assert "sharded backend" in screen
+        # counters are non-zero on a segmented store
+        for line in screen.splitlines():
+            if "segments touched" in line:
+                assert line.split()[-2] != "0"
+
+    def test_cumulative_over_more(self, session):
+        session.run("?x bornIn ?y", k=1)
+        first = session.render_stats_screen()
+        session.more(1)
+        second = session.render_stats_screen()
+        assert first != second  # resumes counter advanced

@@ -1,0 +1,195 @@
+"""Segment-aware snapshots (format v2): round-trip, laziness, migration.
+
+PR 2's snapshot collapsed every store into one monolithic columnar section
+set; format v2 writes one section group per segment so a sharded store
+round-trips with its segmentation intact, segments mmap-load lazily (or in
+parallel), and records / the term dictionary materialise on first touch.
+This module covers the parts unique to v2 — general snapshot fidelity lives
+in test_snapshot.py and cross-backend equivalence in test_backends.py.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.terms import Resource, TextToken, Variable
+from repro.core.triples import Triple, TriplePattern
+from repro.errors import PersistenceError
+from repro.storage.index import SIGNATURES
+from repro.storage.persistence import load_store
+from repro.storage.sharded import ShardedBackend
+from repro.storage.snapshot import load_snapshot, save_snapshot
+from repro.storage.store import TripleStore
+from repro.topk.processor import TopKProcessor
+
+X, Y, P = Variable("x"), Variable("y"), Variable("p")
+
+
+def _build_store(backend="sharded", people: int = 30) -> TripleStore:
+    store = TripleStore("seg-test", backend=backend)
+    for i in range(people):
+        person = Resource(f"Person{i}")
+        store.add(
+            Triple(person, Resource("affiliation"), Resource(f"Uni{i % 4}")),
+            confidence=0.5 + 0.5 * ((i * 7) % 10) / 10,
+            count=1 + i % 3,
+        )
+        store.add(Triple(person, Resource("type"), Resource("person")))
+    store.add(
+        Triple(Resource("Person0"), TextToken("works at"), Resource("Uni0")),
+        confidence=0.8,
+    )
+    return store.freeze()
+
+
+def _all_posting_bytes(store):
+    backend = store.backend
+    out = {}
+    for sig in SIGNATURES:
+        bound = [slot in sig for slot in range(3)]
+        for key in backend.distinct_keys(bound):
+            out[(sig, key)] = bytes(backend.postings(bound, key))
+    out[("scan",)] = bytes(backend.postings([False, False, False], ()))
+    return out
+
+
+@pytest.fixture()
+def sharded_store() -> TripleStore:
+    return _build_store()
+
+
+@pytest.fixture()
+def sharded_snapshot(sharded_store, tmp_path):
+    path = tmp_path / "sharded.snap"
+    save_snapshot(sharded_store, path)
+    return path
+
+
+class TestShardedRoundtrip:
+    def test_segmentation_preserved(self, sharded_store, sharded_snapshot):
+        loaded = load_snapshot(sharded_snapshot)
+        assert isinstance(loaded.backend, ShardedBackend)
+        assert loaded.backend.num_segments == sharded_store.backend.num_segments
+        assert loaded.backend.segment_sizes() == sharded_store.backend.segment_sizes()
+
+    def test_postings_byte_identical(self, sharded_store, sharded_snapshot):
+        loaded = load_snapshot(sharded_snapshot)
+        assert _all_posting_bytes(loaded) == _all_posting_bytes(sharded_store)
+
+    def test_custom_segment_count_survives(self, tmp_path):
+        store = _build_store(backend=ShardedBackend(7))
+        path = tmp_path / "seven.snap"
+        save_snapshot(store, path)
+        loaded = load_snapshot(path)
+        assert loaded.backend.num_segments == 7
+        assert loaded.backend.segment_sizes() == store.backend.segment_sizes()
+
+    def test_identical_topk_answers(self, sharded_store, sharded_snapshot):
+        loaded = load_snapshot(sharded_snapshot)
+        from repro.core.parser import parse_query
+
+        for text in ("?x affiliation ?y", "?x 'works at' ?y", "?x ?p ?y"):
+            query = parse_query(text)
+            reference = TopKProcessor(sharded_store).query(query, 10)
+            answers = TopKProcessor(loaded).query(query, 10)
+            assert [(a.binding, a.score) for a in answers] == [
+                (a.binding, a.score) for a in reference
+            ]
+
+    def test_records_survive(self, sharded_store, sharded_snapshot):
+        loaded = load_snapshot(sharded_snapshot)
+        for tid in range(len(sharded_store)):
+            ours, theirs = sharded_store.record(tid), loaded.record(tid)
+            assert ours.triple == theirs.triple
+            assert ours.count == theirs.count
+            assert ours.confidence == theirs.confidence
+
+    def test_resave_is_faithful(self, sharded_snapshot, tmp_path):
+        loaded = load_snapshot(sharded_snapshot)
+        again = tmp_path / "again.snap"
+        save_snapshot(loaded, again)
+        reloaded = load_snapshot(again)
+        assert reloaded.backend.segment_sizes() == loaded.backend.segment_sizes()
+        assert _all_posting_bytes(reloaded) == _all_posting_bytes(loaded)
+
+
+class TestLazyMaterialization:
+    def test_segments_load_on_first_touch(self, sharded_snapshot):
+        loaded = load_snapshot(sharded_snapshot)
+        assert loaded.backend.loaded_segments() == []
+        _ = loaded.sorted_ids(TriplePattern(X, Resource("affiliation"), Y))[0]
+        assert loaded.backend.loaded_segments() != []
+
+    def test_load_segments_eagerly(self, sharded_snapshot):
+        loaded = load_snapshot(sharded_snapshot)
+        loaded.backend.load_segments()
+        assert loaded.backend.loaded_segments() == list(
+            range(loaded.backend.num_segments)
+        )
+
+    def test_load_segments_in_parallel(self, sharded_store, sharded_snapshot):
+        loaded = load_snapshot(sharded_snapshot)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            loaded.backend.load_segments(pool)
+        assert loaded.backend.loaded_segments() == list(
+            range(loaded.backend.num_segments)
+        )
+        assert _all_posting_bytes(loaded) == _all_posting_bytes(sharded_store)
+
+    def test_dictionary_lazy_until_first_access(self, sharded_snapshot):
+        loaded = load_snapshot(sharded_snapshot)
+        assert not loaded.dictionary.is_materialized
+        loaded.dictionary.require_id(Resource("Person0"))
+        assert loaded.dictionary.is_materialized
+
+    def test_records_lazy_until_first_access(self, sharded_snapshot):
+        loaded = load_snapshot(sharded_snapshot)
+        assert loaded._triples.materialized == 0
+        record = loaded.record(3)
+        assert record is loaded.record(3)  # cached, not re-decoded
+        assert loaded._triples.materialized == 1
+
+    def test_columnar_v2_snapshot_is_lazy_too(self, tmp_path):
+        store = _build_store(backend="columnar")
+        path = tmp_path / "columnar.snap"
+        save_snapshot(store, path)
+        loaded = load_snapshot(path)
+        assert not loaded.dictionary.is_materialized
+        assert loaded._triples.materialized == 0
+
+
+class TestLegacyFormat:
+    def test_version_1_still_loads(self, tmp_path):
+        store = _build_store(backend="columnar")
+        path = tmp_path / "legacy.snap"
+        save_snapshot(store, path, version=1)
+        loaded = load_store(path)  # magic-sniffed
+        assert len(loaded) == len(store)
+        assert _all_posting_bytes(loaded) == _all_posting_bytes(store)
+
+    def test_version_1_cannot_carry_sharded(self, sharded_store, tmp_path):
+        with pytest.raises(PersistenceError):
+            save_snapshot(sharded_store, tmp_path / "nope.snap", version=1)
+
+    def test_unknown_version_rejected(self, sharded_store, tmp_path):
+        with pytest.raises(PersistenceError):
+            save_snapshot(sharded_store, tmp_path / "nope.snap", version=99)
+
+    def test_legacy_to_segmented_migration(self, tmp_path):
+        """v1 file → load → convert to sharded → v2 file → identical store."""
+        origin = _build_store(backend="columnar")
+        old_path, new_path = tmp_path / "old.snap", tmp_path / "new.snap"
+        save_snapshot(origin, old_path, version=1)
+
+        migrated = load_snapshot(old_path).convert("sharded")
+        save_snapshot(migrated, new_path)
+
+        loaded = load_snapshot(new_path)
+        assert isinstance(loaded.backend, ShardedBackend)
+        assert len(loaded) == len(origin)
+        assert list(loaded.weights()) == list(origin.weights())
+        # Same global (weight desc, id asc) posting order either way.
+        scan = TriplePattern(X, P, Y)
+        assert list(loaded.sorted_ids(scan)) == list(origin.sorted_ids(scan))
+        for tid in range(len(origin)):
+            assert loaded.record(tid).triple == origin.record(tid).triple
