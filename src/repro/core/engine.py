@@ -26,7 +26,11 @@ from __future__ import annotations
 
 import itertools
 import os
-from concurrent.futures import CancelledError, ThreadPoolExecutor
+from concurrent.futures import (
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -45,7 +49,7 @@ from repro.relax.operators import OperatorContext, OperatorRegistry
 from repro.relax.rules import RelaxationRule, RuleSet
 from repro.relax.structural import inversion_rules
 from repro.scoring.language_model import PatternScorer, ScoringConfig
-from repro.storage.sharded import DEFAULT_MERGE_BATCH
+from repro.storage.procpool import process_context
 from repro.storage.statistics import StoreStatistics
 from repro.storage.store import TripleStore
 from repro.storage.text_index import TokenMatcher
@@ -69,20 +73,37 @@ class EngineConfig:
         store was built with; a concrete name converts the store at engine
         construction if it differs.
     parallelism:
-        Worker threads of the engine-owned executor that is shared by
+        Worker count of the engine-owned executors that are shared by
         everything concurrent in one engine: ``ask_many`` query fan-out,
         per-segment posting prefetch inside one query (the sharded
         backend's merged pulls), and posting-cursor priming.  ``None``
-        (default) sizes it to the machine (``os.cpu_count()``); ``0`` or
-        ``1`` disables the executor entirely — every pull happens serially
+        (default) sizes them to the machine (``os.cpu_count()``); ``0`` or
+        ``1`` disables the executors entirely — every pull happens serially
         on the consuming thread, the byte-identical reference mode.  The
-        executor is shut down by :meth:`TriniT.close`.
+        executors are shut down by :meth:`TriniT.close`.
+    executor_kind:
+        Where per-segment batch preparation runs: ``"thread"`` (default —
+        the shared thread pool, prefetch overlaps the consumer but stays
+        GIL-bound), ``"process"`` (a ProcessPoolExecutor whose workers
+        re-open the store's **directory snapshot** and serve posting heads
+        from their own copy-on-write mappings — true multi-core), or
+        ``"serial"`` (no executors at all, the reference mode).  The
+        default honours the ``TRINIT_EXECUTOR_KIND`` environment variable
+        so whole test suites can be re-run under another kind.
+        ``"process"`` falls back to threads — gracefully, see
+        :attr:`TriniT.executor_kind` — when the store was not loaded from
+        a directory snapshot or the platform cannot start worker
+        processes.  Answers are byte-identical across all three kinds.
     merge_batch:
         Posting heads pulled per segment per batch by the sharded
         backend's k-way merge (and the granularity of the id-space
-        cursors' batched sorted access).  ``1`` degenerates to
-        item-at-a-time pulls — the serial reference the property suite
-        pins parallel execution against.
+        cursors' batched sorted access).  ``None`` (default) sizes batches
+        **adaptively** per query: each posting merge starts small and
+        doubles its pull as the consumer keeps draining, so probe-only
+        lookups stay cheap and deep drains amortise (bounded by
+        ``ADAPTIVE_MAX_BATCH``).  ``1`` degenerates to item-at-a-time
+        pulls — the serial reference the property suite pins parallel
+        execution against.
     mine_arg_overlap, mine_chains, mine_inversions:
         Default rule-mining operators to register and run at startup.
     mine_amie, mine_esa:
@@ -98,7 +119,10 @@ class EngineConfig:
     scoring: ScoringConfig = field(default_factory=ScoringConfig)
     storage_backend: str | None = None
     parallelism: int | None = None
-    merge_batch: int = DEFAULT_MERGE_BATCH
+    executor_kind: str = field(
+        default_factory=lambda: os.environ.get("TRINIT_EXECUTOR_KIND", "thread")
+    )
+    merge_batch: int | None = None
     mine_arg_overlap: bool = True
     mine_chains: bool = True
     mine_inversions: bool = True
@@ -143,20 +167,56 @@ class TriniT:
         if not store.is_frozen:
             store.freeze()
         self.store = store
-        # One engine-owned worker pool, shared by ask_many fan-out, segment
-        # posting prefetch and cursor priming.  Threads spawn on first use,
-        # so unqueried engines never start one; close() shuts it down.
+        kind = self.config.executor_kind
+        if kind not in ("thread", "process", "serial"):
+            raise TrinitError(
+                f"Unknown executor_kind {kind!r} — expected 'thread', "
+                "'process' or 'serial'"
+            )
+        # Engine-owned worker pools.  The thread pool is shared by ask_many
+        # fan-out, cursor priming and (kind="thread") segment posting
+        # prefetch; threads spawn on first use, so unqueried engines never
+        # start one.  kind="process" adds a process pool whose workers
+        # re-open the store's directory snapshot and prepare posting heads
+        # off the GIL — only possible when the store knows its source
+        # directory and the platform can start workers; otherwise the
+        # thread pool serves prefetch too (self.executor_kind reports what
+        # actually happened).  close() shuts both down.
         workers = self.config.parallelism
         if workers is None:
             workers = os.cpu_count() or 4
+        if kind == "serial" or workers <= 1:
+            workers = 0
         self._executor = (
             ThreadPoolExecutor(max_workers=workers, thread_name_prefix="trinit")
-            if workers > 1
+            if workers
             else None
         )
+        self._process_executor = None
+        if kind == "process" and workers:
+            source_dir = getattr(store.backend, "source_dir", None)
+            context = process_context() if source_dir is not None else None
+            if context is not None:
+                try:
+                    self._process_executor = ProcessPoolExecutor(
+                        max_workers=workers, mp_context=context
+                    )
+                except (OSError, ValueError, NotImplementedError):
+                    self._process_executor = None
+        if not workers:
+            self.executor_kind = "serial"
+        elif self._process_executor is not None:
+            self.executor_kind = "process"
+        else:
+            self.executor_kind = "thread"
         configure = getattr(store.backend, "configure_prefetch", None)
         if configure is not None:  # optional protocol surface (see close())
-            configure(self._executor, self.config.merge_batch)
+            configure(
+                self._process_executor
+                if self._process_executor is not None
+                else self._executor,
+                self.config.merge_batch,
+            )
         self.statistics = StoreStatistics(store)
         self.matcher = TokenMatcher(store)
         self.scorer = PatternScorer(store, self.config.scoring)
@@ -290,6 +350,8 @@ class TriniT:
             self._closed = True
             if self._executor is not None:
                 self._executor.shutdown(wait=True, cancel_futures=True)
+            if self._process_executor is not None:
+                self._process_executor.shutdown(wait=True, cancel_futures=True)
             self.store.close()
 
     @property
@@ -438,6 +500,8 @@ class TriniT:
         clone.rules = self.rules
         clone.registry = self.registry
         clone._executor = self._executor
+        clone._process_executor = self._process_executor
+        clone.executor_kind = self.executor_kind
         clone.processor = TopKProcessor(
             self.store,
             rules=self.rules,

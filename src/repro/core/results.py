@@ -135,12 +135,15 @@ class QueryStats:
     suspended driver was continued.  An eager :meth:`TopKProcessor.query`
     run leaves both at zero.
 
-    ``segments_touched`` and ``postings_materialized`` are the
-    segment-parallel counters: how many physical storage segments the
-    query's posting cursors fanned out over, and how many merged posting
-    heads the batched pulls actually materialised (fed from
+    ``segments_touched``, ``postings_materialized`` and ``posting_pulls``
+    are the segment-parallel counters: how many physical storage segments
+    the query's posting cursors fanned out over, how many merged posting
+    heads the batched pulls actually materialised, and how many batched
+    ``pull`` calls did that materialising (fed from
     ``MergedPostings.materialized`` — only segmented backends report them;
     monolithic posting lists are zero-copy views with nothing to pull).
+    The ratio ``postings_materialized / posting_pulls`` is the observed
+    per-query posting-drain depth the adaptive merge batching responds to.
     """
 
     sorted_accesses: int = 0
@@ -155,6 +158,7 @@ class QueryStats:
     resumes: int = 0
     segments_touched: int = 0
     postings_materialized: int = 0
+    posting_pulls: int = 0
 
     def copy(self) -> "QueryStats":
         return replace(self)

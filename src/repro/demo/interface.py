@@ -178,6 +178,7 @@ class DemoSession:
             f" ({self.engine.store.backend_name} backend)",
             f"  segments touched       {stats.segments_touched}",
             f"  postings materialized  {stats.postings_materialized}",
+            f"  posting pulls          {stats.posting_pulls}",
             "",
             f"  elapsed                {stats.elapsed_seconds * 1000:.1f} ms",
         ]

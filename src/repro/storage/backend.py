@@ -106,11 +106,14 @@ class StorageBackend(Protocol):
         """
         ...
 
-    def configure_prefetch(self, executor, batch_size: int) -> None:
+    def configure_prefetch(self, executor, batch_size: int | None) -> None:
         """Set the shared executor / pull batch used by merged postings.
 
         A no-op for backends whose postings are already materialised;
-        segmented backends use it to prepare segment heads concurrently.
+        segmented backends use it to prepare segment heads concurrently
+        (``batch_size=None`` selects adaptive per-merge sizing, and a
+        process-pool executor moves preparation off the GIL for stores
+        mapped from directory snapshots).
         """
         ...
 

@@ -92,6 +92,10 @@ def load_store(
 
     from repro.storage.snapshot import is_snapshot, load_snapshot
 
+    if path.is_dir() and not is_snapshot(path):
+        raise PersistenceError(
+            f"Not a snapshot directory (no manifest.xkgsnap): {path}"
+        )
     if is_snapshot(path):
         if not freeze:
             raise PersistenceError(

@@ -1,0 +1,95 @@
+"""Worker-process side of the multi-process segment executor.
+
+The thread-pool prefetch of :mod:`repro.storage.sharded` overlaps I/O and
+keeps batches ready, but every head preparation still competes for the one
+GIL with the consumer's merge/rank-join work.  This module is the other
+half of the escape hatch: with a **directory snapshot** (format v3, see
+:mod:`repro.storage.snapshot`) each segment lives in its own file, so a
+worker *process* can serve ``prepare_heads`` requests against its own
+mapping of exactly the segment files it is asked about — copy-on-write
+shared page cache, no posting data ever pickled.  What crosses the process
+boundary per request is a few scalars (directory, segment index, the
+lookup's bound-slot mask and key, and the ``[lo, hi)`` posting range) and
+the prepared head list coming back.
+
+Workers cache one loaded store per snapshot directory, keyed by the
+directory path and guarded by the worker's pid — a pool that forks after
+the cache was warmed (or a forkserver recycling interpreters) never serves
+another process's mappings.  Loading is lazy twice over: the store loads on
+the worker's first request, and the v3 loader maps a segment file only when
+a request touches that segment, so a worker that only ever serves segment 2
+maps the manifest and ``segment-0002.xkgsnap`` and nothing else.
+
+Everything here must stay importable under the ``spawn`` start method
+(workers re-import the module by qualified name), so the snapshot loader is
+imported inside the function — :mod:`repro.storage.snapshot` imports
+:mod:`repro.storage.sharded`, which imports this module at top level.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+#: directory path -> loaded TripleStore, private to one worker process.
+_CACHE: dict[str, object] = {}
+_CACHE_PID: int | None = None
+
+
+def process_context():
+    """The preferred multiprocessing context for the segment process pool.
+
+    ``forkserver`` first (fork-safety next to the engine's own threads,
+    without spawn's full re-import per worker), then ``spawn``, then plain
+    ``fork``; ``None`` when the platform offers no start method at all —
+    the engine falls back to the thread executor then.
+    """
+    for method in ("forkserver", "spawn", "fork"):
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:
+            continue
+    return None
+
+
+def _backend_for(directory: str):
+    """This worker's mapping of the directory snapshot (cached per pid)."""
+    global _CACHE_PID
+    pid = os.getpid()
+    if pid != _CACHE_PID:
+        _CACHE.clear()
+        _CACHE_PID = pid
+    store = _CACHE.get(directory)
+    if store is None:
+        from repro.storage.snapshot import load_snapshot
+
+        store = load_snapshot(directory)
+        _CACHE[directory] = store
+    return store.backend
+
+
+def prepare_heads(
+    directory: str,
+    segment_index: int,
+    bound_slots: tuple[bool, ...],
+    key: tuple[int, ...],
+    lo: int,
+    hi: int,
+) -> list[tuple[float, int]]:
+    """Prepare one segment's ``[lo, hi)`` posting range as pre-keyed heads.
+
+    The process-pool counterpart of ``_SegmentStream.prepare_range``: the
+    worker re-runs the segment-local lookup against its own mapping (a dict
+    probe into the frozen offset table — no scan) and translates the
+    requested slice of local posting ids into ``(-weight, global_id)``
+    merge keys.  Both sides slice the same frozen posting list, so the
+    heads are identical to an inline preparation in the engine process.
+    """
+    backend = _backend_for(directory)
+    postings = backend._segment(segment_index).postings(bound_slots, key)
+    globals_ = backend._globals[segment_index]
+    weights = backend._weights
+    return [
+        (-weights[gid], gid)
+        for gid in map(globals_.__getitem__, postings[lo:hi])
+    ]

@@ -16,16 +16,27 @@ only the consumed prefix is ever materialised.  The merge pulls each
 segment's heads in *batches* (one tight list comprehension translates local
 ids to pre-keyed global heads), and :meth:`configure_prefetch` can point it
 at a shared executor so the next batch of every segment is prepared
-concurrently while the consumer drains the current one.  With
+concurrently while the consumer drains the current one.  Batch sizing is
+either fixed or **adaptive** (``batch=None``): each merge starts small and
+doubles its per-segment pull as the consumer keeps draining, so one-head
+rewriting probes stay cheap while deep drains converge to amortised bulk
+pulls — the controller state is per merge instance, i.e. per query.  With
 ``batch_size=1`` and no executor the merge degenerates to the item-at-a-time
 serial pull — the byte-identical reference that parallel execution is
 property-tested against.  The id-space execution core runs over a
 partitioned store unchanged.
 
-Snapshot-restored backends (:mod:`repro.storage.snapshot` format v2) keep
-their segmentation: each segment's columns arrive as a lazy loader over the
-mapped file, materialised on first touch — or all at once, in parallel, via
-:meth:`load_segments`.
+The executor can be a thread pool (prefetch overlaps I/O, still GIL-bound)
+or a :class:`~concurrent.futures.ProcessPoolExecutor` over a **directory
+snapshot** — then batch preparation runs in worker processes against their
+own copy-on-write mappings of the segment files (:mod:`repro.storage.
+procpool`), and only tiny ``(lo, hi)`` requests and prepared head lists
+cross the process boundary.  Emitted order is identical in every mode.
+
+Snapshot-restored backends (:mod:`repro.storage.snapshot` formats v2/v3)
+keep their segmentation: each segment's columns arrive as a lazy loader
+over the mapped file(s), materialised on first touch — or all at once, in
+parallel, via :meth:`load_segments`.
 """
 
 from __future__ import annotations
@@ -33,12 +44,13 @@ from __future__ import annotations
 import heapq
 import threading
 from array import array
-from concurrent.futures import CancelledError, Executor
+from concurrent.futures import CancelledError, Executor, ProcessPoolExecutor
 from typing import Callable, Sequence
 
 from repro.errors import StorageError
 from repro.storage.columnar import ID_TYPECODE, ColumnarBackend
 from repro.storage.index import signature_of
+from repro.storage.procpool import prepare_heads
 
 _EMPTY: tuple[int, ...] = ()
 
@@ -49,35 +61,80 @@ DEFAULT_SEGMENTS = 4
 #: configuration was supplied (``EngineConfig.merge_batch`` overrides).
 DEFAULT_MERGE_BATCH = 64
 
+#: Adaptive merge batching (``batch=None``): per-merge slow start.  A fresh
+#: merge prepares this many heads per segment, and every further full-depth
+#: demand pull doubles the granularity up to the ceiling — so rewriting
+#: probes that peek one head stay cheap while queries that actually drain a
+#: posting list converge to large, amortised pulls.  The state lives on the
+#: :class:`MergedPostings` instance, i.e. per lookup per query: concurrent
+#: queries adapt independently and cannot clobber each other.
+ADAPTIVE_INITIAL_BATCH = 8
+ADAPTIVE_MAX_BATCH = 1024
+
+#: Smallest batch worth shipping to a *process* pool.  A remote preparation
+#: pays pickling plus a queue round trip (~hundreds of microseconds); below
+#: this many heads the consuming thread prepares the range inline faster
+#: than it could post the request.  With adaptive sizing this means a merge
+#: escapes to worker processes exactly when its drain depth has proven the
+#: demand — short probes never leave the process.
+REMOTE_MIN_BATCH = 64
+
 
 class _SegmentStream:
     """One segment's contribution to a merge: postings plus the id map.
 
-    ``prepare`` translates the next ``batch`` local posting ids into
+    ``prepare_range`` translates the ``[lo, hi)`` local posting ids into
     pre-keyed global heads ``(-weight, global_id)`` in one pass — the unit
-    of work the prefetch executor runs ahead of the consumer.  At most one
-    ``prepare`` per stream is ever in flight, so ``position`` needs no lock.
+    of work an executor runs ahead of the consumer.  Ranges are *claimed*
+    (``position`` advanced, the range parked in ``inflight``) before the
+    work is placed, on the consuming thread, so at most one range per
+    stream is ever outstanding and no lock is needed; whoever delivers the
+    claimed range — prefetch worker or inline fallback — produces the same
+    heads.
     """
 
-    __slots__ = ("postings", "globals_", "position", "keys", "index", "future")
+    __slots__ = ("postings", "globals_", "segment_index", "position", "keys",
+                 "index", "future", "inflight")
 
     def __init__(self, postings: Sequence[int], globals_: Sequence[int]):
         self.postings = postings
         self.globals_ = globals_
+        self.segment_index = 0
         self.position = 0
         self.keys: list[tuple[float, int]] = []
         self.index = 0
         self.future = None
+        self.inflight: tuple[int, int] | None = None
 
-    def prepare(self, weights, batch: int) -> list[tuple[float, int]]:
+    def claim(self, batch: int) -> tuple[int, int]:
         lo = self.position
         hi = min(lo + batch, len(self.postings))
         self.position = hi
+        self.inflight = (lo, hi)
+        return lo, hi
+
+    def prepare_range(self, weights, lo: int, hi: int) -> list[tuple[float, int]]:
         globals_ = self.globals_
         return [
             (-weights[gid], gid)
             for gid in map(globals_.__getitem__, self.postings[lo:hi])
         ]
+
+
+class _RemoteSpec:
+    """Address of one lookup for process-pool workers: which directory
+    snapshot, and which (bound-slot mask, key) lookup to re-run there.
+    Everything a :func:`repro.storage.procpool.prepare_heads` request needs
+    besides the segment index and posting range."""
+
+    __slots__ = ("directory", "bound_slots", "key")
+
+    def __init__(
+        self, directory: str, bound_slots: tuple[bool, ...], key: tuple[int, ...]
+    ):
+        self.directory = directory
+        self.bound_slots = bound_slots
+        self.key = key
 
 
 class MergedPostings:
@@ -90,16 +147,23 @@ class MergedPostings:
     accesses never pay for the full merge.
 
     Segment heads are prepared in batches of ``batch`` pre-keyed entries;
-    when ``executor`` is set, the construction immediately prefetches every
-    segment's first batch and keeps one batch per segment in flight while
-    the merge drains (double buffering), so concurrent posting pulls overlap
-    the consumer's own work.  The emitted order is deterministic and
-    independent of executor timing: the heap compares ``(-weight, global
-    id)`` and global ids are unique.
+    ``batch=None`` selects **adaptive** sizing (slow start per merge, see
+    :data:`ADAPTIVE_INITIAL_BATCH`).  When ``executor`` is set, one batch
+    per segment is kept in flight while the merge drains (double
+    buffering), so concurrent posting pulls overlap the consumer's own
+    work; a thread executor additionally prefetches every segment's first
+    batch at construction.  With ``remote`` set (a :class:`_RemoteSpec`,
+    executor a process pool over a directory snapshot), batches are
+    prepared in worker processes against their own segment mappings —
+    construction then skips the eager first-batch round trip, and ranges
+    below :data:`REMOTE_MIN_BATCH` heads are prepared inline, so one-head
+    probes and shallow drains never pay IPC.  The emitted order is deterministic and
+    independent of executor timing and batch sizing: the heap compares
+    ``(-weight, global id)`` and global ids are unique.
     """
 
     __slots__ = ("_items", "_streams", "_weights", "_length", "_heap",
-                 "_executor", "_batch")
+                 "_executor", "_batch", "_adaptive", "_remote")
 
     def __init__(
         self,
@@ -108,16 +172,23 @@ class MergedPostings:
         length: int,
         *,
         executor: Executor | None = None,
-        batch: int = DEFAULT_MERGE_BATCH,
+        batch: int | None = DEFAULT_MERGE_BATCH,
+        remote: "_RemoteSpec | None" = None,
+        segment_indices: Sequence[int] | None = None,
     ):
         self._items = array(ID_TYPECODE)
         self._streams = [_SegmentStream(p, g) for p, g in parts]
+        if segment_indices is not None:
+            for stream, index in zip(self._streams, segment_indices):
+                stream.segment_index = index
         self._weights = weights
         self._length = length
         self._heap: list[tuple[float, int, int]] | None = None
         self._executor = executor
-        self._batch = max(1, batch)
-        if executor is not None:
+        self._adaptive = batch is None
+        self._batch = ADAPTIVE_INITIAL_BATCH if batch is None else max(1, batch)
+        self._remote = remote if executor is not None else None
+        if executor is not None and remote is None:
             for stream in self._streams:
                 stream.future = self._submit(stream)
 
@@ -139,34 +210,63 @@ class MergedPostings:
 
     @property
     def batch_size(self) -> int:
-        """Configured heads-per-segment pull granularity."""
+        """Current heads-per-segment pull granularity (grows when adaptive)."""
         return self._batch
 
     # -- merge machinery ---------------------------------------------------
 
     def _submit(self, stream: _SegmentStream):
-        """Queue the stream's next batch on the executor (inline fallback)."""
+        """Claim the stream's next batch and queue it on the executor.
+
+        The range is claimed *here*, on the consuming thread, so the
+        worker-side preparation is a pure function of ``(lo, hi)`` — for a
+        process pool that means the request pickles as a handful of
+        scalars.  If the executor refuses (shut down under us — engine
+        closed mid-stream), the claim stays parked in ``stream.inflight``
+        and the consumer prepares it inline from here on.
+        """
         executor = self._executor
         if executor is None:
             # A sibling _submit in the same loop already saw the shutdown.
             return None
+        remote = self._remote
+        if remote is not None:
+            remaining = len(stream.postings) - stream.position
+            if min(self._batch, remaining) < REMOTE_MIN_BATCH:
+                # Too small to amortise the IPC round trip — leave the range
+                # unclaimed; the consumer prepares it inline on demand.
+                return None
+        lo, hi = stream.claim(self._batch)
+        if lo >= hi:
+            stream.inflight = None
+            return None
         try:
-            return executor.submit(stream.prepare, self._weights, self._batch)
+            if remote is not None:
+                return executor.submit(
+                    prepare_heads,
+                    remote.directory,
+                    stream.segment_index,
+                    remote.bound_slots,
+                    remote.key,
+                    lo,
+                    hi,
+                )
+            return executor.submit(stream.prepare_range, self._weights, lo, hi)
         except RuntimeError:
-            # Executor shut down under us (engine closed mid-stream): stop
-            # prefetching, the consumer prepares inline from here on.
             self._executor = None
             return None
 
     def _refill(self, stream: _SegmentStream, limit: int | None = None) -> None:
         """Swap in the stream's next prepared batch (prefetched or inline).
 
-        Never *waits* on a batch still sitting in the executor queue: the
-        pool is shared with whole-query tasks (``engine.ask_many``), so a
-        queued prefetch may be stuck behind the very query that needs it —
-        blocking would deadlock the pool.  A pending future cancels (we
-        prepare inline instead); a running or finished one completes on its
-        own worker and is safe to collect.
+        Never *waits* on a batch still sitting in the executor queue: a
+        thread pool is shared with whole-query tasks (``engine.ask_many``),
+        so a queued prefetch may be stuck behind the very query that needs
+        it — blocking would deadlock the pool.  A pending future cancels
+        (we prepare its claimed range inline instead); a running or
+        finished one completes on its own worker and is safe to collect.
+        A worker-side failure (e.g. a broken process pool) downgrades to
+        inline preparation — the heads are identical either way.
 
         ``limit`` caps an *inline* prepare below the configured batch —
         used on heap initialisation so a consumer that reads one head
@@ -174,13 +274,22 @@ class MergedPostings:
         batch per segment.
         """
         future, stream.future = stream.future, None
+        keys = None
         if future is not None and not future.cancel():
             try:
-                stream.keys = future.result()
+                keys = future.result()
             except CancelledError:
-                stream.keys = stream.prepare(self._weights, limit or self._batch)
-        else:
-            stream.keys = stream.prepare(self._weights, limit or self._batch)
+                keys = None
+            except Exception:
+                self._executor = None
+                keys = None
+        if keys is None:
+            if stream.inflight is None:
+                stream.claim(limit or self._batch)
+            lo, hi = stream.inflight
+            keys = stream.prepare_range(self._weights, lo, hi)
+        stream.inflight = None
+        stream.keys = keys
         stream.index = 0
         if (
             self._executor is not None
@@ -192,7 +301,11 @@ class MergedPostings:
         """Push the stream's next head, refilling its batch when drained."""
         stream = self._streams[stream_id]
         if stream.index >= len(stream.keys):
-            if stream.future is None and stream.position >= len(stream.postings):
+            if (
+                stream.future is None
+                and stream.inflight is None
+                and stream.position >= len(stream.postings)
+            ):
                 return
             self._refill(stream, limit)
             if not stream.keys:
@@ -219,6 +332,11 @@ class MergedPostings:
             first = min(n, self._batch)
             for stream_id in range(len(self._streams)):
                 self._push(heap, stream_id, first)
+        elif self._adaptive and n >= self._batch:
+            # The consumer drained the previous granularity and came back
+            # for at least as much again — this lookup is a deep drain, so
+            # double the per-segment pull (slow start, bounded).
+            self._batch = min(self._batch * 2, ADAPTIVE_MAX_BATCH)
         items = self._items
         streams = self._streams
         before = len(items)
@@ -261,10 +379,10 @@ class MergedPostings:
 
     def __iter__(self):
         position = 0
-        batch = self._batch
         while position < self._length:
             if position >= len(self._items):
-                if not self.pull(batch):
+                # Re-read the batch each round so adaptive growth applies.
+                if not self.pull(self._batch):
                     return
             yield self._items[position]
             position += 1
@@ -299,7 +417,9 @@ class ShardedBackend:
         self._buffer = None
         self._load_lock = threading.Lock()
         self._executor: Executor | None = None
-        self._merge_batch = DEFAULT_MERGE_BATCH
+        self._merge_batch: int | None = DEFAULT_MERGE_BATCH
+        self._remote = False
+        self._source_dir: str | None = None
 
     @classmethod
     def _restore(
@@ -312,6 +432,7 @@ class ShardedBackend:
         globals_,
         segment_loaders: list[Callable[[], ColumnarBackend]],
         buffer=None,
+        source_dir: str | None = None,
     ) -> "ShardedBackend":
         """Assemble an already-frozen backend from snapshot sections.
 
@@ -335,7 +456,18 @@ class ShardedBackend:
         backend._load_lock = threading.Lock()
         backend._executor = None
         backend._merge_batch = DEFAULT_MERGE_BATCH
+        backend._remote = False
+        backend._source_dir = source_dir
         return backend
+
+    @property
+    def source_dir(self) -> str | None:
+        """Directory this backend was mapped from, when it came from a v3
+        directory snapshot — the address worker processes re-open segments
+        by (:mod:`repro.storage.procpool`).  ``None`` for in-memory stores
+        and single-file snapshots, which therefore cannot run under the
+        process executor."""
+        return self._source_dir
 
     @property
     def is_frozen(self) -> bool:
@@ -420,18 +552,41 @@ class ShardedBackend:
             list(executor.map(self._segment, indices))
 
     def configure_prefetch(
-        self, executor: Executor | None, batch_size: int = DEFAULT_MERGE_BATCH
+        self,
+        executor: Executor | None,
+        batch_size: int | None = DEFAULT_MERGE_BATCH,
     ) -> None:
         """Set the shared executor and pull granularity for merged postings.
 
         ``executor=None`` keeps the merge on the consumer thread;
         ``batch_size=1`` restores item-at-a-time pulls (the serial
-        reference).  The engine wires its own pool through here
-        (``EngineConfig.parallelism`` / ``merge_batch``).
+        reference) and ``batch_size=None`` selects per-merge adaptive
+        sizing.  The engine wires its own pool through here
+        (``EngineConfig.parallelism`` / ``merge_batch`` /
+        ``executor_kind``).
+
+        Both settings are engine-lifetime defaults copied into each
+        :class:`MergedPostings` at lookup time — nothing here mutates
+        mid-query, so concurrent queries with different adaptive batch
+        trajectories cannot clobber each other through the shared backend.
+
+        A :class:`~concurrent.futures.ProcessPoolExecutor` switches batch
+        preparation to worker processes — valid only for a backend mapped
+        from a **directory snapshot** (:attr:`source_dir` set), since
+        workers re-open segments by path; otherwise the process pool is
+        ignored and the merge stays on the consumer thread (graceful
+        fallback, the engine reports the effective kind).
         """
-        if batch_size < 1:
+        if batch_size is not None and batch_size < 1:
             raise StorageError(f"batch_size must be >= 1, got {batch_size}")
+        remote = False
+        if executor is not None and isinstance(executor, ProcessPoolExecutor):
+            if self._source_dir is None:
+                executor = None
+            else:
+                remote = True
         self._executor = executor
+        self._remote = remote
         self._merge_batch = batch_size
 
     # -- build phase ------------------------------------------------------------
@@ -500,20 +655,29 @@ class ShardedBackend:
     ) -> Sequence[int]:
         self._check_lookup(bound_slots, key)
         parts: list[tuple[Sequence[int], Sequence[int]]] = []
+        indices: list[int] = []
         total = 0
         for segment_index in range(len(self._globals)):
             postings = self._segment(segment_index).postings(bound_slots, key)
             if len(postings):
                 parts.append((postings, self._globals[segment_index]))
+                indices.append(segment_index)
                 total += len(postings)
         if not total:
             return _EMPTY
+        remote = None
+        if self._remote and self._executor is not None:
+            remote = _RemoteSpec(
+                self._source_dir, tuple(bound_slots), tuple(key)
+            )
         return MergedPostings(
             parts,
             self._weights,
             total,
             executor=self._executor,
             batch=self._merge_batch,
+            remote=remote,
+            segment_indices=indices,
         )
 
     def segment_postings(

@@ -18,34 +18,39 @@ the snapshot was written from.  Confidences and weights travel as binary
 IEEE doubles, so reloaded scores are bit-exact, not round-tripped through
 decimal text.
 
-Format version 2 is **segment-aware and lazy**:
+Three format versions are readable; the version is sniffed from the magic
+and the header:
 
-* a :class:`~repro.storage.sharded.ShardedBackend` store round-trips with
-  its segmentation intact — every segment's columns, permutations and
-  offset tables are written as their own ``seg<i>:…`` sections, plus the
-  global id maps (``seg_of`` / ``local_of`` / per-segment ``globals``), and
-  segments are restored as *lazy loaders* over the mapped file (materialise
-  on first touch, or all at once — concurrently — via
-  ``backend.load_segments(executor)``);
-* the term dictionary and the per-triple :class:`StoredTriple` records
-  materialise lazily too: a cold ``TriniT.open()`` maps the file and reads
-  the header — terms decode on the first dictionary access, records (and
-  the provenance JSON behind them) on the first ``store.record()``.
+* **v1** — single file, one eager columnar section set (legacy).
+* **v2** — single file, segment-aware and lazy: a sharded store's segments
+  are written as ``seg<i>:…`` section groups plus the global id maps, and
+  restore as lazy loaders over the one mapping; the term dictionary and the
+  per-triple :class:`StoredTriple` records materialise lazily too.
+* **v3** — a **directory**: one self-contained section file per segment
+  (``segment-0000.xkgsnap`` …) plus ``manifest.xkgsnap`` carrying the
+  global id maps, weights, terms and record metadata.  Every segment is a
+  complete snapshot container on its own, so a worker *process* can mmap
+  exactly the segment files it owns — copy-on-write shared reads with zero
+  pickling of posting data (see :mod:`repro.storage.procpool`).  The
+  loaded backend remembers its :attr:`~repro.storage.sharded.
+  ShardedBackend.source_dir` so executors can hand workers the path
+  instead of the data.
 
-Version-1 files (single columnar section set, eager layout) still load —
-the format is sniffed from the magic and the header's ``version`` field —
-and :func:`save_snapshot` can still write them (``version=1``) for
-migration testing.
+:func:`save_snapshot` writes v3 for sharded stores by default and can
+still write v1/v2 (``version=``) for migration; :func:`load_snapshot`
+dispatches on file-vs-directory and the header.
 
-File layout (all integers little/big per the writing platform, recorded in
-the header)::
+Single-file layout (all integers little/big per the writing platform,
+recorded in the header)::
 
     [ magic "XKGSNAP\\x01" ][ uint64 header offset ][ sections ... ][ header JSON ]
 
 The header JSON carries the format name/version, store name, byte order,
 item sizes, backend kind, segmentation, and a section table
 ``{name: [offset, length]}``.  Placing the header *after* the sections
-keeps section offsets stable while the header is being composed.
+keeps section offsets stable while the header is being composed.  A v3
+directory uses the same container layout for the manifest and for each
+segment file (``kind`` in the header tells them apart).
 """
 
 from __future__ import annotations
@@ -73,17 +78,25 @@ from repro.storage.termcodec import (
     encode_term,
 )
 
-#: First bytes of every snapshot file; :func:`repro.storage.persistence.
-#: load_store` sniffs it to dispatch between formats.
+#: First bytes of every snapshot container file; :func:`repro.storage.
+#: persistence.load_store` sniffs it to dispatch between formats.
 MAGIC = b"XKGSNAP\x01"
 FORMAT_NAME = "trinit-xkg-snapshot"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 #: Versions this build can load.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
+
+#: File names inside a v3 directory snapshot.
+MANIFEST_NAME = "manifest.xkgsnap"
 
 WEIGHT_TYPECODE = "d"
 _ALIGN = 8
 _OFFSET_STRUCT = struct.Struct("<Q")
+
+
+def segment_filename(index: int) -> str:
+    """Name of segment ``index``'s container inside a directory snapshot."""
+    return f"segment-{index:04d}.xkgsnap"
 
 
 def _sig_key(sig: tuple[int, ...]) -> str:
@@ -116,6 +129,48 @@ def _columnar_sections(backend: ColumnarBackend, prefix: str = "") -> dict[str, 
     return sections
 
 
+# -- container writer ---------------------------------------------------------
+
+
+def _write_container(
+    path: Path, sections: dict[str, bytes], header_fields: dict
+) -> int:
+    """Write one snapshot container (magic + sections + trailing header).
+
+    ``header_fields`` supplies the variable part of the header (version,
+    kind, store identity, segmentation); platform fields and the section
+    table are appended here.  Returns bytes written.
+    """
+    table: dict[str, list[int]] = {}
+    with path.open("wb") as handle:
+        handle.write(MAGIC)
+        handle.write(_OFFSET_STRUCT.pack(0))  # header offset, patched below
+        position = len(MAGIC) + _OFFSET_STRUCT.size
+        for name, payload in sections.items():
+            if position % _ALIGN:
+                padding = _ALIGN - position % _ALIGN
+                handle.write(b"\x00" * padding)
+                position += padding
+            table[name] = [position, len(payload)]
+            handle.write(payload)
+            position += len(payload)
+        header = {
+            "format": FORMAT_NAME,
+            **header_fields,
+            "byteorder": sys.byteorder,
+            "id_itemsize": array(ID_TYPECODE).itemsize,
+            "weight_itemsize": array(WEIGHT_TYPECODE).itemsize,
+            "signatures": [_sig_key(sig) for sig in SIGNATURES],
+            "sections": table,
+        }
+        header_offset = position
+        handle.write(json.dumps(header, ensure_ascii=False).encode("utf-8"))
+        total = handle.tell()
+        handle.seek(len(MAGIC))
+        handle.write(_OFFSET_STRUCT.pack(header_offset))
+    return total
+
+
 def save_snapshot(
     store: TripleStore, path: str | Path, *, version: int = FORMAT_VERSION
 ) -> int:
@@ -127,8 +182,16 @@ def save_snapshot(
     sharded store keeps its segmentation: segment count, per-segment
     posting layout and the global id maps all round-trip.
 
-    ``version=1`` writes the legacy single-backend layout (columnar only);
-    the default writes the current format.
+    ``version`` selects the layout:
+
+    * ``3`` (default) — a **directory snapshot**: ``path`` becomes a
+      directory holding one self-contained container per segment plus the
+      manifest.  Requires the sharded backend (segments are the unit of the
+      layout); columnar stores fall back to the single-file v2 layout
+      automatically.
+    * ``2`` — a single segment-aware file (sharded or columnar).
+    * ``1`` — the legacy single-backend layout (columnar only), kept
+      writable for migration testing.
     """
     if not store.is_frozen:
         raise PersistenceError("Only frozen stores can be snapshotted")
@@ -138,18 +201,26 @@ def save_snapshot(
     path = Path(path)
 
     records = list(store.records())
-    sections: dict[str, bytes] = {}
-    sections["terms"] = json.dumps(
+    meta_sections: dict[str, bytes] = {}
+    meta_sections["terms"] = json.dumps(
         [encode_term(term) for term in store.dictionary], ensure_ascii=False
     ).encode("utf-8")
-    sections["prov"] = json.dumps(
+    meta_sections["prov"] = json.dumps(
         [[encode_provenance(p) for p in record.provenances] for record in records],
         ensure_ascii=False,
     ).encode("utf-8")
-    sections["confidence"] = array(
+    meta_sections["confidence"] = array(
         WEIGHT_TYPECODE, [record.confidence for record in records]
     ).tobytes()
 
+    if version >= 3:
+        if isinstance(backend, ShardedBackend):
+            return _save_snapshot_dir(store, backend, path, meta_sections)
+        # Directory layouts partition by segment; a monolithic store has
+        # nothing to partition — write the equivalent single-file layout.
+        version = 2
+
+    sections = dict(meta_sections)
     header_extra: dict = {}
     if isinstance(backend, ColumnarBackend):
         sections.update(_columnar_sections(backend))
@@ -179,38 +250,74 @@ def save_snapshot(
             f"{store.backend_name!r} — use store.convert(\"columnar\") first"
         )
 
-    table: dict[str, list[int]] = {}
-    with path.open("wb") as handle:
-        handle.write(MAGIC)
-        handle.write(_OFFSET_STRUCT.pack(0))  # header offset, patched below
-        position = len(MAGIC) + _OFFSET_STRUCT.size
-        for name, payload in sections.items():
-            if position % _ALIGN:
-                padding = _ALIGN - position % _ALIGN
-                handle.write(b"\x00" * padding)
-                position += padding
-            table[name] = [position, len(payload)]
-            handle.write(payload)
-            position += len(payload)
-        header = {
-            "format": FORMAT_NAME,
+    return _write_container(
+        path,
+        sections,
+        {
             "version": version,
             "name": store.name,
             "triples": len(store),
             "terms": len(store.dictionary),
-            "byteorder": sys.byteorder,
-            "id_itemsize": array(ID_TYPECODE).itemsize,
-            "weight_itemsize": array(WEIGHT_TYPECODE).itemsize,
-            "signatures": [_sig_key(sig) for sig in SIGNATURES],
             **header_extra,
-            "sections": table,
-        }
-        header_offset = position
-        handle.write(json.dumps(header, ensure_ascii=False).encode("utf-8"))
-        total = handle.tell()
-        handle.seek(len(MAGIC))
-        handle.write(_OFFSET_STRUCT.pack(header_offset))
+        },
+    )
+
+
+def _save_snapshot_dir(
+    store: TripleStore,
+    backend: ShardedBackend,
+    path: Path,
+    meta_sections: dict[str, bytes],
+) -> int:
+    """Write the v3 directory layout: per-segment containers + manifest."""
+    if path.exists() and not path.is_dir():
+        raise PersistenceError(
+            f"Directory snapshot target exists and is not a directory: {path}"
+        )
+    path.mkdir(parents=True, exist_ok=True)
+    total = 0
+    segment_files: list[str] = []
+    for index in range(backend.num_segments):
+        filename = segment_filename(index)
+        segment = backend._segment(index)
+        total += _write_container(
+            path / filename,
+            _columnar_sections(segment),
+            {
+                "version": 3,
+                "kind": "segment",
+                "name": store.name,
+                "segment": index,
+                "triples": len(segment),
+            },
+        )
+        segment_files.append(filename)
+    sections = dict(meta_sections)
+    sections["seg_of"] = _column_bytes(backend._seg_of)
+    sections["local_of"] = _column_bytes(backend._local_of)
+    sections["weights"] = _column_bytes(backend._weights)
+    sections["counts"] = _column_bytes(backend._counts)
+    for index in range(backend.num_segments):
+        sections[f"seg{index}:globals"] = _column_bytes(backend._globals[index])
+    total += _write_container(
+        path / MANIFEST_NAME,
+        sections,
+        {
+            "version": 3,
+            "kind": "manifest",
+            "name": store.name,
+            "triples": len(store),
+            "terms": len(store.dictionary),
+            "backend": "sharded",
+            "segments": backend.num_segments,
+            "segment_sizes": backend.segment_sizes(),
+            "segment_files": segment_files,
+        },
+    )
     return total
+
+
+# -- container reader ---------------------------------------------------------
 
 
 def _read_header(base: memoryview) -> dict:
@@ -223,6 +330,8 @@ def _read_header(base: memoryview) -> dict:
         header = json.loads(bytes(base[header_offset:]).decode("utf-8"))
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise PersistenceError(f"Corrupt snapshot header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise PersistenceError("Corrupt snapshot header: not an object")
     if header.get("format") != FORMAT_NAME:
         raise PersistenceError(
             f"Not a {FORMAT_NAME} file: format={header.get('format')!r}"
@@ -246,7 +355,147 @@ def _read_header(base: memoryview) -> dict:
             f"Snapshot weight itemsize {header.get('weight_itemsize')} does "
             f"not match this platform's {array(WEIGHT_TYPECODE).itemsize}"
         )
+    if header.get("signatures") != [_sig_key(sig) for sig in SIGNATURES]:
+        raise PersistenceError("Snapshot signature set does not match this build")
     return header
+
+
+class _Container:
+    """One mapped snapshot container: header plus typed section views.
+
+    With ``map_file=True`` the file is ``mmap``-ed and sections are
+    zero-copy memoryviews over the mapped pages; otherwise the file is
+    read into a private bytes buffer once.  Ownership of :attr:`buffer`
+    passes to whichever backend the loader assembles from it.
+    """
+
+    def __init__(self, path: Path, *, map_file: bool = True):
+        self.path = Path(path)
+        if not self.path.exists():
+            raise PersistenceError(f"No such file: {self.path}")
+        if map_file:
+            with self.path.open("rb") as handle:
+                self.buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        else:
+            self.buffer = self.path.read_bytes()
+        try:
+            self.base = memoryview(self.buffer)
+            self.header = _read_header(self.base)
+        except Exception:
+            self.discard()
+            raise
+
+    @property
+    def kind(self) -> str:
+        """Container role: "store" (v1/v2 file), "manifest" or "segment"."""
+        return self.header.get("kind", "store")
+
+    def discard(self) -> None:
+        """Release the mapping of a container that will not be adopted."""
+        base, self.base = getattr(self, "base", None), None
+        if base is not None:
+            base.release()
+        buffer, self.buffer = self.buffer, None
+        if buffer is not None and hasattr(buffer, "close"):
+            try:
+                buffer.close()
+            except BufferError:  # a view escaped; freed when it is collected
+                pass
+
+    # -- typed section access ---------------------------------------------
+
+    def view(self, name: str) -> memoryview:
+        entry = self.header["sections"].get(name)
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 2
+            or not all(isinstance(v, int) for v in entry)
+        ):
+            raise PersistenceError(f"Snapshot is missing section {name!r}")
+        offset, length = entry
+        if offset < 0 or length < 0 or offset + length > len(self.base):
+            raise PersistenceError(f"Corrupt snapshot: section {name!r} truncated")
+        return self.base[offset : offset + length]
+
+    def cast(self, name: str, typecode: str) -> memoryview:
+        raw = self.view(name)
+        itemsize = array(typecode).itemsize
+        if len(raw) % itemsize:
+            raise PersistenceError(
+                f"Corrupt snapshot: section {name!r} is not a whole number "
+                f"of {itemsize}-byte items"
+            )
+        return raw.cast(typecode)
+
+    def ids(self, name: str) -> memoryview:
+        return self.cast(name, ID_TYPECODE)
+
+    def doubles(self, name: str) -> memoryview:
+        return self.cast(name, WEIGHT_TYPECODE)
+
+    def columnar_parts(self, prefix: str, length: int):
+        """Validated column/permutation views of one (segment) section set."""
+        col_s = self.ids(f"{prefix}col:s")
+        col_p = self.ids(f"{prefix}col:p")
+        col_o = self.ids(f"{prefix}col:o")
+        weights = self.doubles(f"{prefix}weights")
+        counts = self.ids(f"{prefix}counts")
+        if not (
+            len(col_s) == len(col_p) == len(col_o) == len(weights)
+            == len(counts) == length
+        ):
+            raise PersistenceError(
+                f"Header declares {length} triples for {prefix or 'store'!r} "
+                "but the columns disagree"
+            )
+        perm_views: dict[tuple[int, ...], memoryview] = {}
+        offsets: dict[tuple[int, ...], dict[tuple[int, ...], tuple[int, int]]] = {}
+        for sig in SIGNATURES:
+            key = _sig_key(sig)
+            perm = self.ids(f"{prefix}perm:{key}")
+            if len(perm) != length:
+                raise PersistenceError(
+                    f"Corrupt snapshot: permutation {prefix}{key} has "
+                    f"{len(perm)} entries, expected {length}"
+                )
+            perm_views[sig] = perm
+            flat = self.ids(f"{prefix}offsets:{key}")
+            arity = len(sig)
+            stride = arity + 2
+            if len(flat) % stride:
+                raise PersistenceError(
+                    f"Corrupt snapshot: offset table {prefix}{key}"
+                )
+            table: dict[tuple[int, ...], tuple[int, int]] = {}
+            for i in range(0, len(flat), stride):
+                table[tuple(flat[i : i + arity])] = (
+                    flat[i + arity],
+                    flat[i + arity + 1],
+                )
+            offsets[sig] = table
+        scan = self.ids(f"{prefix}scan")
+        if len(scan) != length:
+            raise PersistenceError(
+                f"Corrupt snapshot: scan permutation {prefix or 'store'!r} truncated"
+            )
+        return col_s, col_p, col_o, weights, counts, scan, perm_views, offsets
+
+    def restore_columnar(self, prefix: str, length: int, *, own_buffer: bool):
+        """A :class:`ColumnarBackend` over this container's section set."""
+        col_s, col_p, col_o, weights, counts, scan, perm_views, offsets = (
+            self.columnar_parts(prefix, length)
+        )
+        return ColumnarBackend._restore(
+            s=col_s,
+            p=col_p,
+            o=col_o,
+            weights=weights,
+            counts=counts,
+            scan_view=scan,
+            perm_views=perm_views,
+            offsets=offsets,
+            buffer=self.buffer if own_buffer else None,
+        )
 
 
 class _SnapshotRecords(Sequence):
@@ -345,205 +594,53 @@ class _SnapshotRecords(Sequence):
         return record
 
 
-def load_snapshot(path: str | Path, *, map_file: bool = True) -> TripleStore:
-    """Load a snapshot written by :func:`save_snapshot`.
-
-    With ``map_file=True`` (the default) the file is ``mmap``-ed and every
-    column and permutation array is a read-only memoryview over the mapped
-    pages — the OS pages postings in on demand and shares them across
-    processes.  ``map_file=False`` reads the file into memory once instead
-    (same views, private buffer); useful where mapping is unavailable.
-
-    The returned store is **lazy**: records and the term dictionary decode
-    on first use, and a version-2 sharded snapshot materialises each
-    segment's posting structures only when a lookup touches it (or all in
-    parallel via ``store.backend.load_segments(executor)``).
-
-    The mapping is owned by the returned store's backend: release it with
-    ``store.close()`` (or the engine lifecycle — ``with TriniT.open(path)``),
-    which releases every retained view and unmaps the file.
-    """
-    path = Path(path)
-    if not path.exists():
-        raise PersistenceError(f"No such file: {path}")
-    if map_file:
-        with path.open("rb") as handle:
-            buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
-    else:
-        buffer = path.read_bytes()
-    base = memoryview(buffer)
-    header = _read_header(base)
-    sections = header["sections"]
-
-    def view(name: str) -> memoryview:
-        entry = sections.get(name)
-        if (
-            not isinstance(entry, list)
-            or len(entry) != 2
-            or not all(isinstance(v, int) for v in entry)
-        ):
-            raise PersistenceError(f"Snapshot is missing section {name!r}")
-        offset, length = entry
-        if offset < 0 or length < 0 or offset + length > len(base):
-            raise PersistenceError(f"Corrupt snapshot: section {name!r} truncated")
-        return base[offset : offset + length]
-
-    def cast(name: str, typecode: str) -> memoryview:
-        raw = view(name)
-        itemsize = array(typecode).itemsize
-        if len(raw) % itemsize:
-            raise PersistenceError(
-                f"Corrupt snapshot: section {name!r} is not a whole number "
-                f"of {itemsize}-byte items"
-            )
-        return raw.cast(typecode)
-
-    def ids(name: str) -> memoryview:
-        return cast(name, ID_TYPECODE)
-
-    def doubles(name: str) -> memoryview:
-        return cast(name, WEIGHT_TYPECODE)
-
-    if header.get("signatures") != [_sig_key(sig) for sig in SIGNATURES]:
-        raise PersistenceError("Snapshot signature set does not match this build")
-
+def _global_id_maps(container: _Container, header: dict):
+    """Validated (seg_of, local_of, weights, counts, globals) of a sharded
+    container (the v2 single file, or the v3 manifest)."""
     n = header["triples"]
-
-    def columnar_parts(prefix: str, length: int):
-        """Validated column/permutation views of one (segment) section set."""
-        col_s = ids(f"{prefix}col:s")
-        col_p = ids(f"{prefix}col:p")
-        col_o = ids(f"{prefix}col:o")
-        weights = doubles(f"{prefix}weights")
-        counts = ids(f"{prefix}counts")
-        if not (
-            len(col_s) == len(col_p) == len(col_o) == len(weights)
-            == len(counts) == length
-        ):
-            raise PersistenceError(
-                f"Header declares {length} triples for {prefix or 'store'!r} "
-                "but the columns disagree"
-            )
-        perm_views: dict[tuple[int, ...], memoryview] = {}
-        offsets: dict[tuple[int, ...], dict[tuple[int, ...], tuple[int, int]]] = {}
-        for sig in SIGNATURES:
-            key = _sig_key(sig)
-            perm = ids(f"{prefix}perm:{key}")
-            if len(perm) != length:
-                raise PersistenceError(
-                    f"Corrupt snapshot: permutation {prefix}{key} has "
-                    f"{len(perm)} entries, expected {length}"
-                )
-            perm_views[sig] = perm
-            flat = ids(f"{prefix}offsets:{key}")
-            arity = len(sig)
-            stride = arity + 2
-            if len(flat) % stride:
-                raise PersistenceError(
-                    f"Corrupt snapshot: offset table {prefix}{key}"
-                )
-            table: dict[tuple[int, ...], tuple[int, int]] = {}
-            for i in range(0, len(flat), stride):
-                table[tuple(flat[i : i + arity])] = (
-                    flat[i + arity],
-                    flat[i + arity + 1],
-                )
-            offsets[sig] = table
-        scan = ids(f"{prefix}scan")
-        if len(scan) != length:
-            raise PersistenceError(
-                f"Corrupt snapshot: scan permutation {prefix or 'store'!r} truncated"
-            )
-        return col_s, col_p, col_o, weights, counts, scan, perm_views, offsets
-
-    backend_kind = header.get("backend", "columnar")
-    if backend_kind == "columnar":
-        col_s, col_p, col_o, weights, counts, scan, perm_views, offsets = (
-            columnar_parts("", n)
+    num_segments = header.get("segments")
+    sizes = header.get("segment_sizes")
+    if (
+        not isinstance(num_segments, int)
+        or num_segments < 1
+        or not isinstance(sizes, list)
+        or len(sizes) != num_segments
+        or not all(isinstance(size, int) and size >= 0 for size in sizes)
+        or sum(sizes) != n
+    ):
+        raise PersistenceError("Corrupt snapshot: bad segmentation header")
+    seg_of = container.ids("seg_of")
+    local_of = container.ids("local_of")
+    weights = container.doubles("weights")
+    counts = container.ids("counts")
+    if not (len(seg_of) == len(local_of) == len(weights) == len(counts) == n):
+        raise PersistenceError(
+            f"Header declares {n} triples but the global columns disagree"
         )
-        backend = ColumnarBackend._restore(
-            s=col_s,
-            p=col_p,
-            o=col_o,
-            weights=weights,
-            counts=counts,
-            scan_view=scan,
-            perm_views=perm_views,
-            offsets=offsets,
-            buffer=buffer,
-        )
-    elif backend_kind == "sharded":
-        num_segments = header.get("segments")
-        sizes = header.get("segment_sizes")
-        if (
-            not isinstance(num_segments, int)
-            or num_segments < 1
-            or not isinstance(sizes, list)
-            or len(sizes) != num_segments
-            or sum(sizes) != n
-        ):
-            raise PersistenceError("Corrupt snapshot: bad segmentation header")
-        seg_of = ids("seg_of")
-        local_of = ids("local_of")
-        weights = doubles("weights")
-        counts = ids("counts")
-        if not (len(seg_of) == len(local_of) == len(weights) == len(counts) == n):
+    globals_ = []
+    for index in range(num_segments):
+        seg_globals = container.ids(f"seg{index}:globals")
+        if len(seg_globals) != sizes[index]:
             raise PersistenceError(
-                f"Header declares {n} triples but the global columns disagree"
+                f"Corrupt snapshot: segment {index} id map truncated"
             )
-        globals_ = []
-        for index in range(num_segments):
-            seg_globals = ids(f"seg{index}:globals")
-            if len(seg_globals) != sizes[index]:
-                raise PersistenceError(
-                    f"Corrupt snapshot: segment {index} id map truncated"
-                )
-            globals_.append(seg_globals)
+        globals_.append(seg_globals)
+    return seg_of, local_of, weights, counts, globals_, sizes
 
-        def make_loader(index: int, length: int):
-            prefix = f"seg{index}:"
 
-            def load() -> ColumnarBackend:
-                col_s, col_p, col_o, w, c, scan, perm_views, offsets = (
-                    columnar_parts(prefix, length)
-                )
-                return ColumnarBackend._restore(
-                    s=col_s,
-                    p=col_p,
-                    o=col_o,
-                    weights=w,
-                    counts=c,
-                    scan_view=scan,
-                    perm_views=perm_views,
-                    offsets=offsets,
-                    buffer=None,  # the sharded composite owns the mapping
-                )
-
-            return load
-
-        backend = ShardedBackend._restore(
-            seg_of=seg_of,
-            local_of=local_of,
-            weights=weights,
-            counts=counts,
-            globals_=globals_,
-            segment_loaders=[
-                make_loader(index, sizes[index]) for index in range(num_segments)
-            ],
-            buffer=buffer,
-        )
-    else:
-        raise PersistenceError(f"Unknown snapshot backend {backend_kind!r}")
-
-    confidences = doubles("confidence")
+def _assemble_store(container: _Container, backend) -> TripleStore:
+    """Finish a load: lazy dictionary, lazy records, adopt the backend."""
+    header = container.header
+    n = header["triples"]
+    confidences = container.doubles("confidence")
     if len(confidences) != n:
         raise PersistenceError(
             f"Header declares {n} triples but the confidence column disagrees"
         )
     # Terms are copied out of the mapping (one memcpy, still no parse): the
     # dictionary must stay decodable after close(), when the map is gone.
-    terms_blob = bytes(view("terms"))
-    prov_raw = view("prov")
+    terms_blob = bytes(container.view("terms"))
+    prov_raw = container.view("prov")
     expected_terms = header["terms"]
 
     def populate_terms(dictionary: TermDictionary) -> None:
@@ -561,16 +658,208 @@ def load_snapshot(path: str | Path, *, map_file: bool = True) -> TripleStore:
 
     dictionary = LazyTermDictionary(populate_terms)
     records = _SnapshotRecords(
-        dictionary, backend, ids("counts"), confidences, prov_raw, n
+        dictionary, backend, container.ids("counts"), confidences, prov_raw, n
     )
+    weights = container.doubles("weights")
     return TripleStore._adopt_frozen(
         header.get("name", "XKG"), dictionary, records, None, backend, weights
     )
 
 
-def is_snapshot(path: str | Path) -> bool:
-    """True if ``path`` starts with the snapshot magic (format sniffing)."""
+def load_snapshot(path: str | Path, *, map_file: bool = True) -> TripleStore:
+    """Load a snapshot written by :func:`save_snapshot`.
+
+    ``path`` may be a single-file snapshot (v1/v2) or a v3 snapshot
+    *directory* — the layout is sniffed.  With ``map_file=True`` (the
+    default) each file is ``mmap``-ed and every column and permutation
+    array is a read-only memoryview over the mapped pages — the OS pages
+    postings in on demand and shares them across processes.
+    ``map_file=False`` reads the files into memory once instead (same
+    views, private buffers); useful where mapping is unavailable.
+
+    The returned store is **lazy**: records and the term dictionary decode
+    on first use, and a segmented snapshot materialises each segment's
+    posting structures only when a lookup touches it (or all in parallel
+    via ``store.backend.load_segments(executor)``).  For a directory
+    snapshot, touching a segment maps that segment's own file — and a
+    missing or damaged segment file surfaces as :class:`~repro.errors.
+    StorageError` at that point, not at open time.
+
+    The mappings are owned by the returned store's backend: release them
+    with ``store.close()`` (or the engine lifecycle — ``with
+    TriniT.open(path)``), which releases every retained view and unmaps
+    the files.
+    """
     path = Path(path)
+    if path.is_dir():
+        return _load_snapshot_dir(path, map_file)
+    container = _Container(path, map_file=map_file)
+    try:
+        kind = container.kind
+        if kind != "store":
+            raise PersistenceError(
+                f"{path} is the {kind} container of a directory snapshot — "
+                "load the directory instead"
+            )
+        header = container.header
+        n = header["triples"]
+        backend_kind = header.get("backend", "columnar")
+        if backend_kind == "columnar":
+            backend = container.restore_columnar("", n, own_buffer=True)
+        elif backend_kind == "sharded":
+            seg_of, local_of, weights, counts, globals_, sizes = _global_id_maps(
+                container, header
+            )
+
+            def make_loader(index: int, length: int):
+                def load() -> ColumnarBackend:
+                    # The sharded composite owns the one shared mapping.
+                    return container.restore_columnar(
+                        f"seg{index}:", length, own_buffer=False
+                    )
+
+                return load
+
+            backend = ShardedBackend._restore(
+                seg_of=seg_of,
+                local_of=local_of,
+                weights=weights,
+                counts=counts,
+                globals_=globals_,
+                segment_loaders=[
+                    make_loader(index, sizes[index])
+                    for index in range(len(sizes))
+                ],
+                buffer=container.buffer,
+            )
+        else:
+            raise PersistenceError(f"Unknown snapshot backend {backend_kind!r}")
+        return _assemble_store(container, backend)
+    except Exception:
+        container.discard()
+        raise
+
+
+def _load_snapshot_dir(path: Path, map_file: bool) -> TripleStore:
+    """Load a v3 directory snapshot: manifest now, segment files on touch."""
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise PersistenceError(
+            f"Not a snapshot directory (no {MANIFEST_NAME}): {path}"
+        )
+    manifest = _Container(manifest_path, map_file=map_file)
+    try:
+        header = manifest.header
+        if manifest.kind != "manifest":
+            raise PersistenceError(
+                f"Corrupt directory snapshot: {MANIFEST_NAME} has kind "
+                f"{manifest.kind!r}"
+            )
+        if header.get("backend") != "sharded":
+            raise PersistenceError(
+                f"Corrupt directory snapshot: backend "
+                f"{header.get('backend')!r} is not sharded"
+            )
+        seg_of, local_of, weights, counts, globals_, sizes = _global_id_maps(
+            manifest, header
+        )
+        segment_files = header.get("segment_files")
+        if (
+            not isinstance(segment_files, list)
+            or len(segment_files) != len(sizes)
+            or not all(isinstance(name, str) for name in segment_files)
+        ):
+            raise PersistenceError(
+                "Corrupt directory snapshot: bad segment file table"
+            )
+
+        def make_loader(index: int, length: int, filename: str):
+            def load() -> ColumnarBackend:
+                segment = open_segment_container(
+                    path, index, length, filename, map_file=map_file
+                )
+                try:
+                    return segment.restore_columnar("", length, own_buffer=True)
+                except Exception:
+                    segment.discard()
+                    raise
+
+            return load
+
+        backend = ShardedBackend._restore(
+            seg_of=seg_of,
+            local_of=local_of,
+            weights=weights,
+            counts=counts,
+            globals_=globals_,
+            segment_loaders=[
+                make_loader(index, sizes[index], segment_files[index])
+                for index in range(len(sizes))
+            ],
+            buffer=manifest.buffer,
+            source_dir=str(path),
+        )
+        return _assemble_store(manifest, backend)
+    except Exception:
+        manifest.discard()
+        raise
+
+
+def open_segment_container(
+    directory: Path,
+    index: int,
+    length: int | None,
+    filename: str | None = None,
+    *,
+    map_file: bool = True,
+) -> _Container:
+    """Map and validate one segment container of a directory snapshot.
+
+    The entry point worker processes use to re-open exactly the segment
+    files they own (:mod:`repro.storage.procpool`); the in-process lazy
+    loaders go through it too.  A missing or mismatched file raises
+    :class:`PersistenceError` (a :class:`~repro.errors.StorageError`).
+    """
+    directory = Path(directory)
+    if filename is None:
+        filename = segment_filename(index)
+    segment_path = directory / filename
+    if not segment_path.exists():
+        raise PersistenceError(
+            f"Directory snapshot is missing segment file {filename!r} "
+            f"(segment {index}): {directory}"
+        )
+    container = _Container(segment_path, map_file=map_file)
+    try:
+        if container.kind != "segment":
+            raise PersistenceError(
+                f"Corrupt directory snapshot: {filename!r} has kind "
+                f"{container.kind!r}, expected a segment container"
+            )
+        if container.header.get("segment") != index:
+            raise PersistenceError(
+                f"Corrupt directory snapshot: {filename!r} claims segment "
+                f"{container.header.get('segment')!r}, expected {index}"
+            )
+        if length is not None and container.header.get("triples") != length:
+            raise PersistenceError(
+                f"Corrupt directory snapshot: segment {index} holds "
+                f"{container.header.get('triples')!r} triples, manifest "
+                f"declares {length}"
+            )
+    except Exception:
+        container.discard()
+        raise
+    return container
+
+
+def is_snapshot(path: str | Path) -> bool:
+    """True if ``path`` is a snapshot: a container file starting with the
+    snapshot magic, or a v3 directory holding a ``manifest.xkgsnap``
+    (format sniffing)."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / MANIFEST_NAME
     try:
         with path.open("rb") as handle:
             return handle.read(len(MAGIC)) == MAGIC

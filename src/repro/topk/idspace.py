@@ -365,6 +365,7 @@ class IdPostingCursor:
                 pulled = merged.pull(merged.batch_size)
                 if self.ctx.stats is not None:
                     self.ctx.stats.postings_materialized += pulled
+                    self.ctx.stats.posting_pulls += 1
             tid = ids[self._position]
             if not needs_filter or plan.consistent(self._slot_ids(tid)):
                 return tid

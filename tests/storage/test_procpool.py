@@ -1,0 +1,111 @@
+"""Process-pool segment workers: remote head preparation over directory
+snapshots.
+
+Pins the worker-side function (:func:`~repro.storage.procpool.prepare_heads`
+produces exactly the heads the consuming thread would prepare inline), the
+per-process snapshot cache, and the IPC economics: merges only ship ranges
+of at least :data:`~repro.storage.sharded.REMOTE_MIN_BATCH` heads to the
+pool — smaller claims are prepared inline, so shallow probes never pay a
+round trip.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.engine import EngineConfig, TriniT
+from repro.core.terms import Resource
+from repro.core.triples import Triple
+from repro.storage import procpool
+from repro.storage.procpool import prepare_heads, process_context
+from repro.storage.sharded import REMOTE_MIN_BATCH
+from repro.storage.snapshot import load_snapshot, save_snapshot
+
+SCAN = (False, False, False)
+
+
+class CountingPool(ProcessPoolExecutor):
+    """A real process pool that counts submissions (isinstance-compatible,
+    so ``configure_prefetch`` treats it as remote)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.submitted = 0
+
+    def submit(self, fn, /, *args, **kwargs):
+        self.submitted += 1
+        return super().submit(fn, *args, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(tmp_path_factory):
+    store = TriniT.from_triples(
+        [],
+        [
+            (
+                Triple(
+                    Resource(f"E{i}"),
+                    Resource(f"p{i % 3}"),
+                    Resource(f"E{(i * 5) % 23}"),
+                ),
+                None,
+                0.05 + (i % 19) / 20,
+            )
+            for i in range(3000)
+        ],
+        config=EngineConfig(storage_backend="sharded", parallelism=1),
+    ).store
+    path = tmp_path_factory.mktemp("procpool") / "store.snapd"
+    save_snapshot(store, path)
+    store.close()
+    return path
+
+
+def test_process_context_available():
+    assert process_context() is not None
+
+
+def test_prepare_heads_matches_inline(snapshot_dir):
+    backend = load_snapshot(snapshot_dir).backend
+    for index in range(backend.num_segments):
+        remote = prepare_heads(str(snapshot_dir), index, SCAN, (), 0, 40)
+        local = backend._segment(index).postings(SCAN, ())
+        globals_ = backend._globals[index]
+        inline = [
+            (-backend._weights[gid], gid)
+            for gid in map(globals_.__getitem__, local[:40])
+        ]
+        assert remote == inline
+
+
+def test_worker_cache_reuses_backend(snapshot_dir):
+    procpool._CACHE.clear()
+    prepare_heads(str(snapshot_dir), 0, SCAN, (), 0, 5)
+    cached = procpool._CACHE[str(snapshot_dir)]
+    prepare_heads(str(snapshot_dir), 1, SCAN, (), 0, 5)
+    assert procpool._CACHE[str(snapshot_dir)] is cached
+
+
+def _drained(backend):
+    postings = backend.postings(SCAN, ())
+    return list(postings)
+
+
+def test_large_batches_go_remote_and_match(snapshot_dir):
+    reference_backend = load_snapshot(snapshot_dir).backend
+    reference = _drained(reference_backend)
+    backend = load_snapshot(snapshot_dir).backend
+    with CountingPool(max_workers=2, mp_context=process_context()) as pool:
+        backend.configure_prefetch(pool, REMOTE_MIN_BATCH * 2)
+        assert _drained(backend) == reference
+        assert pool.submitted > 0
+
+
+def test_small_batches_stay_inline(snapshot_dir):
+    reference_backend = load_snapshot(snapshot_dir).backend
+    reference = _drained(reference_backend)
+    backend = load_snapshot(snapshot_dir).backend
+    with CountingPool(max_workers=2, mp_context=process_context()) as pool:
+        backend.configure_prefetch(pool, REMOTE_MIN_BATCH // 4)
+        assert _drained(backend) == reference
+        assert pool.submitted == 0  # below REMOTE_MIN_BATCH: all inline

@@ -1,0 +1,228 @@
+"""Directory snapshots (format v3): per-segment files + manifest.
+
+The v3 layout's contract extends the single-file one: byte-identical
+postings and answers after a round trip, v2 files migrate losslessly, and —
+because segment files load lazily, possibly in *worker processes* — damage
+to the directory (missing or swapped segment files, corrupt manifest) must
+surface as :class:`StorageError`, never as a KeyError or a wrong answer.
+"""
+
+import pytest
+
+from repro.core.engine import EngineConfig, TriniT
+from repro.core.terms import Resource
+from repro.core.triples import Triple
+from repro.errors import PersistenceError, StorageError
+from repro.storage.index import SIGNATURES
+from repro.storage.persistence import load_store
+from repro.storage.snapshot import (
+    MAGIC,
+    MANIFEST_NAME,
+    is_snapshot,
+    load_snapshot,
+    save_snapshot,
+    segment_filename,
+)
+from repro.storage.store import TripleStore
+
+
+@pytest.fixture()
+def sharded_store(frozen_small_store) -> TripleStore:
+    return frozen_small_store.convert("sharded")
+
+
+@pytest.fixture()
+def snapshot_dir(sharded_store, tmp_path):
+    path = tmp_path / "store.snapd"
+    save_snapshot(sharded_store, path)
+    return path
+
+
+def _all_posting_bytes(store):
+    backend = store.backend
+    out = {}
+    for sig in SIGNATURES:
+        bound = [slot in sig for slot in range(3)]
+        for key in backend.distinct_keys(bound):
+            out[(sig, key)] = bytes(backend.postings(bound, key))
+    out[("scan",)] = bytes(backend.postings([False, False, False], ()))
+    return out
+
+
+class TestDirectoryLayout:
+    def test_writes_manifest_plus_one_file_per_segment(
+        self, sharded_store, snapshot_dir
+    ):
+        names = sorted(p.name for p in snapshot_dir.iterdir())
+        expected = sorted(
+            [MANIFEST_NAME]
+            + [
+                segment_filename(i)
+                for i in range(sharded_store.backend.num_segments)
+            ]
+        )
+        assert names == expected
+
+    def test_every_file_is_a_self_contained_container(self, snapshot_dir):
+        for path in snapshot_dir.iterdir():
+            assert path.read_bytes()[: len(MAGIC)] == MAGIC
+
+    def test_is_snapshot_on_directories(self, snapshot_dir, tmp_path):
+        assert is_snapshot(snapshot_dir)
+        empty = tmp_path / "not_a_snapshot"
+        empty.mkdir()
+        assert not is_snapshot(empty)
+
+    def test_columnar_store_falls_back_to_single_file(
+        self, frozen_small_store, tmp_path
+    ):
+        path = tmp_path / "columnar.snap"
+        save_snapshot(frozen_small_store, path, version=3)
+        assert path.is_file()
+        loaded = load_snapshot(path)
+        assert _all_posting_bytes(loaded) == _all_posting_bytes(
+            frozen_small_store
+        )
+
+    def test_target_collides_with_existing_file(self, sharded_store, tmp_path):
+        path = tmp_path / "occupied"
+        path.write_text("not a directory")
+        with pytest.raises(PersistenceError, match="not a directory"):
+            save_snapshot(sharded_store, path)
+
+
+class TestRoundtripFidelity:
+    def test_byte_identical_postings(self, sharded_store, snapshot_dir):
+        loaded = load_snapshot(snapshot_dir)
+        assert _all_posting_bytes(loaded) == _all_posting_bytes(sharded_store)
+        assert loaded.backend.segment_sizes() == (
+            sharded_store.backend.segment_sizes()
+        )
+
+    def test_records_and_weights_survive(self, sharded_store, snapshot_dir):
+        loaded = load_snapshot(snapshot_dir)
+        assert len(loaded) == len(sharded_store)
+        assert list(loaded.weights()) == list(sharded_store.weights())
+        for tid in range(len(sharded_store)):
+            original, reloaded = sharded_store.record(tid), loaded.record(tid)
+            assert reloaded.triple == original.triple
+            assert reloaded.count == original.count
+            assert reloaded.confidence == original.confidence
+            assert reloaded.provenances == original.provenances
+
+    def test_source_dir_remembered(self, snapshot_dir):
+        loaded = load_snapshot(snapshot_dir)
+        assert loaded.backend.source_dir == str(snapshot_dir)
+        # Single-file and in-memory backends have no re-open address.
+        assert TripleStore("t").freeze().convert("sharded").backend.source_dir is None
+
+    def test_segments_load_lazily_per_file(self, snapshot_dir):
+        loaded = load_snapshot(snapshot_dir)
+        assert loaded.backend.loaded_segments() == []
+        loaded.backend.load_segments()
+        assert loaded.backend.loaded_segments() == list(
+            range(loaded.backend.num_segments)
+        )
+
+    def test_map_file_false_reads_private_buffers(
+        self, sharded_store, snapshot_dir
+    ):
+        loaded = load_snapshot(snapshot_dir, map_file=False)
+        assert _all_posting_bytes(loaded) == _all_posting_bytes(sharded_store)
+
+    def test_load_store_and_engine_open_dispatch(
+        self, sharded_store, snapshot_dir
+    ):
+        assert len(load_store(snapshot_dir)) == len(sharded_store)
+        with TriniT.open(
+            snapshot_dir, config=EngineConfig(parallelism=1)
+        ) as engine:
+            answers = engine.ask("?x bornIn ?y", k=5)
+            assert len(answers) == 2
+
+    def test_close_releases_directory_mappings(self, snapshot_dir):
+        loaded = load_snapshot(snapshot_dir)
+        loaded.backend.load_segments()
+        loaded.close()
+        with pytest.raises(StorageError):
+            loaded.backend.postings([True, False, False], (0,))
+
+
+class TestMigration:
+    def test_v2_single_file_to_v3_directory(self, sharded_store, tmp_path):
+        v2_path = tmp_path / "store.v2.snap"
+        save_snapshot(sharded_store, v2_path, version=2)
+        via_v2 = load_snapshot(v2_path)
+        v3_path = tmp_path / "store.v3.snapd"
+        save_snapshot(via_v2, v3_path, version=3)
+        via_v3 = load_snapshot(v3_path)
+        assert v3_path.is_dir()
+        assert _all_posting_bytes(via_v3) == _all_posting_bytes(sharded_store)
+        assert list(via_v3.weights()) == list(sharded_store.weights())
+        for tid in range(len(sharded_store)):
+            assert via_v3.record(tid).triple == sharded_store.record(tid).triple
+
+    def test_v2_files_still_load(self, sharded_store, tmp_path):
+        path = tmp_path / "store.v2.snap"
+        save_snapshot(sharded_store, path, version=2)
+        loaded = load_snapshot(path)
+        assert _all_posting_bytes(loaded) == _all_posting_bytes(sharded_store)
+        assert loaded.backend.source_dir is None
+
+
+class TestDamage:
+    def test_missing_manifest(self, snapshot_dir):
+        (snapshot_dir / MANIFEST_NAME).unlink()
+        assert not is_snapshot(snapshot_dir)
+        with pytest.raises(PersistenceError, match="manifest"):
+            load_snapshot(snapshot_dir)
+        with pytest.raises(PersistenceError):
+            load_store(snapshot_dir)
+
+    def test_corrupt_manifest_magic(self, snapshot_dir):
+        manifest = snapshot_dir / MANIFEST_NAME
+        manifest.write_bytes(b"garbage" + manifest.read_bytes()[7:])
+        with pytest.raises(PersistenceError, match="magic"):
+            load_snapshot(snapshot_dir)
+
+    def test_truncated_manifest(self, snapshot_dir):
+        manifest = snapshot_dir / MANIFEST_NAME
+        manifest.write_bytes(manifest.read_bytes()[:40])
+        with pytest.raises(PersistenceError):
+            load_snapshot(snapshot_dir)
+
+    def test_missing_segment_file_surfaces_as_storage_error(self, snapshot_dir):
+        loaded = load_snapshot(snapshot_dir)
+        (snapshot_dir / segment_filename(0)).unlink()
+        # The manifest loads fine; the damage surfaces when segment 0 is
+        # touched — PersistenceError is a StorageError, so storage-layer
+        # callers need no new except clause.
+        with pytest.raises(StorageError, match="missing segment file"):
+            loaded.backend.load_segments()
+
+    def test_swapped_segment_file_rejected(self, snapshot_dir):
+        seg0 = snapshot_dir / segment_filename(0)
+        seg1 = snapshot_dir / segment_filename(1)
+        seg0.write_bytes(seg1.read_bytes())
+        loaded = load_snapshot(snapshot_dir)
+        with pytest.raises(StorageError, match="claims segment"):
+            loaded.backend.load_segments()
+
+    def test_manifest_in_segment_slot_rejected(self, snapshot_dir):
+        seg0 = snapshot_dir / segment_filename(0)
+        seg0.write_bytes((snapshot_dir / MANIFEST_NAME).read_bytes())
+        loaded = load_snapshot(snapshot_dir)
+        with pytest.raises(StorageError, match="kind"):
+            loaded.backend.load_segments()
+
+    def test_segment_file_opened_directly_is_redirected(self, snapshot_dir):
+        with pytest.raises(PersistenceError, match="directory"):
+            load_snapshot(snapshot_dir / segment_filename(0))
+        with pytest.raises(PersistenceError, match="directory"):
+            load_snapshot(snapshot_dir / MANIFEST_NAME)
+
+    def test_non_snapshot_directory_via_load_store(self, tmp_path):
+        plain = tmp_path / "plain_dir"
+        plain.mkdir()
+        with pytest.raises(PersistenceError, match="snapshot directory"):
+            load_store(plain)
