@@ -33,7 +33,9 @@ not halve throughput).  The env var overrides either default.
 import json
 import os
 import random
+import subprocess
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 from conftest import print_artifact
@@ -98,6 +100,31 @@ def _percentile(latencies, q):
     ordered = sorted(latencies)
     index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
     return ordered[index]
+
+
+def _git_sha():
+    """Short commit id of the benched tree, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def _prior_trajectory():
+    """Run entries accumulated by earlier bench runs (grown, never reset)."""
+    try:
+        prior = json.loads(ARTIFACT.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    trajectory = prior.get("trajectory") if isinstance(prior, dict) else None
+    return trajectory if isinstance(trajectory, list) else []
 
 
 MODES = {
@@ -165,6 +192,24 @@ def test_traffic_replay_table(medium_harness, tmp_path):
         "speedup": speedups,
         "identical_answers": True,
     }
+    # The artifact's headline numbers are the latest run; the trajectory
+    # appends one compact entry per run so the file accumulates a perf
+    # history across commits instead of overwriting it.
+    trajectory = _prior_trajectory()
+    trajectory.append(
+        {
+            "sha": _git_sha(),
+            "timestamp": datetime.now(timezone.utc).isoformat(),
+            "cpus": os.cpu_count(),
+            "modes": {
+                name: {
+                    key: row[key] for key in ("p50_ms", "p95_ms", "p99_ms")
+                }
+                for name, row in results.items()
+            },
+        }
+    )
+    artifact["trajectory"] = trajectory
     ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
 
     rows = [

@@ -26,11 +26,14 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
+import weakref
 from concurrent.futures import (
     CancelledError,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -49,6 +52,7 @@ from repro.relax.operators import OperatorContext, OperatorRegistry
 from repro.relax.rules import RelaxationRule, RuleSet
 from repro.relax.structural import inversion_rules
 from repro.scoring.language_model import PatternScorer, ScoringConfig
+from repro.storage.compaction import compact_store
 from repro.storage.procpool import process_context
 from repro.storage.statistics import StoreStatistics
 from repro.storage.store import TripleStore
@@ -104,6 +108,17 @@ class EngineConfig:
         ``ADAPTIVE_MAX_BATCH``).  ``1`` degenerates to item-at-a-time
         pulls — the serial reference the property suite pins parallel
         execution against.
+    compaction_threshold:
+        Live-ingestion compaction trigger: once :meth:`TriniT.ingest` has
+        grown the store's mutable delta segment past this many statements,
+        the engine folds it into frozen storage — a new snapshot
+        *generation* for directory-backed stores (hardlinked segments, an
+        atomically swapped ``CURRENT`` pointer), an in-memory rebuild
+        otherwise.  Folding runs in the background on the shared executor
+        when one exists (queries keep answering from the delta meanwhile)
+        and inline under ``parallelism<=1``/``"serial"``.  ``None``
+        (default) never compacts automatically; :meth:`TriniT.compact`
+        stays available explicitly.
     mine_arg_overlap, mine_chains, mine_inversions:
         Default rule-mining operators to register and run at startup.
     mine_amie, mine_esa:
@@ -123,6 +138,7 @@ class EngineConfig:
         default_factory=lambda: os.environ.get("TRINIT_EXECUTOR_KIND", "thread")
     )
     merge_batch: int | None = None
+    compaction_threshold: int | None = None
     mine_arg_overlap: bool = True
     mine_chains: bool = True
     mine_inversions: bool = True
@@ -131,6 +147,22 @@ class EngineConfig:
     mining_min_support: int = 2
     mining_min_weight: float = 0.1
     suggestion_min_overlap: float = 0.25
+
+
+class _EpochState:
+    """Swap synchronisation shared by an engine and its :meth:`variant`\\ s.
+
+    ``active`` counts queries currently dispatching against the engine's
+    *current* store epoch; a compaction swap waits on the condition until
+    it drains before retiring the old store.  The condition's RLock also
+    serialises pin bookkeeping for streams that outlive a swap.
+    """
+
+    __slots__ = ("cond", "active")
+
+    def __init__(self):
+        self.cond = threading.Condition(threading.RLock())
+        self.active = 0
 
 
 class TriniT:
@@ -238,6 +270,14 @@ class TriniT:
             self.matcher,
             min_overlap=self.config.suggestion_min_overlap,
         )
+        # Live-ingestion state: ingest/compact serialisation, the query
+        # epoch (swap barrier), refcounted pins of retired stores that
+        # open streams still read from, and the visible generation number.
+        self._ingest_lock = threading.RLock()
+        self._epoch = _EpochState()
+        self._pins: dict[int, list] = {}
+        self._compact_scheduled = False
+        self.generation = getattr(store.backend, "generation", 0) or 0
         self._closed = False
 
     # -- construction helpers -----------------------------------------------------
@@ -332,6 +372,196 @@ class TriniT:
                 description="ESA relatedness predicate rewrites",
             )
 
+    # -- live ingestion ------------------------------------------------------------
+
+    def ingest(
+        self,
+        triples: Sequence[Triple],
+        provenance: Provenance | None = None,
+        *,
+        confidence: float = 1.0,
+        count: int = 1,
+    ) -> list[int]:
+        """Absorb new statements while the engine keeps answering queries.
+
+        New distinct statements land in the store's mutable **delta
+        segment** — the posting merge treats it as one more segment head,
+        so they are immediately visible to ``ask``/``stream`` (and show up
+        in :attr:`~repro.core.results.QueryStats.delta_hits`).  Duplicate
+        statements accumulate evidence on their existing records.  Derived
+        structures (statistics, the token matcher, the scorer's collection
+        mass) refresh so relaxation and suggestion see the grown store.
+
+        Once the delta outgrows ``EngineConfig.compaction_threshold`` the
+        engine folds it into frozen storage (see :meth:`compact`) — in the
+        background when it has an executor, inline otherwise.  Returns the
+        triple ids, in input order.
+        """
+        if self._closed:
+            raise TrinitError("Engine is closed")
+        with self._ingest_lock:
+            ids = self.store.add_all(
+                triples, provenance, confidence=confidence, count=count
+            )
+            self.statistics.invalidate()
+            self.matcher.invalidate()
+            self.scorer.refresh()
+            self._maybe_compact()
+        return ids
+
+    def compact(self) -> int:
+        """Synchronously fold the live delta into frozen storage.
+
+        Directory-backed stores get a new snapshot **generation** (old
+        segment files hardlinked, the delta frozen as one new segment, the
+        root's ``CURRENT`` pointer swapped atomically); in-memory stores
+        rebuild onto a fresh backend of the same class.  The engine then
+        swaps onto the compacted store once in-flight queries drain; open
+        :class:`~repro.core.results.AnswerStream`\\ s keep the store they
+        started on (it closes when the last of them is collected), so
+        their remaining ``next_k`` calls stay byte-identical.  Returns the
+        engine's generation number (unchanged when there was no delta).
+        """
+        if self._closed:
+            raise TrinitError("Engine is closed")
+        with self._ingest_lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        store = self.store
+        if not store.has_delta:
+            return self.generation
+        self._adopt_store(compact_store(store))
+        return self.generation
+
+    def _maybe_compact(self) -> None:
+        threshold = self.config.compaction_threshold
+        if threshold is None or self.store.delta_size < threshold:
+            return
+        if self._executor is None:
+            self._compact_locked()
+            return
+        with self._epoch.cond:
+            if self._compact_scheduled:
+                return
+            self._compact_scheduled = True
+        self._executor.submit(self._background_compact)
+
+    def _background_compact(self) -> None:
+        try:
+            with self._ingest_lock:
+                if self._closed:
+                    return
+                threshold = self.config.compaction_threshold
+                if (
+                    threshold is not None
+                    and self.store.delta_size >= threshold
+                ):
+                    self._compact_locked()
+        finally:
+            with self._epoch.cond:
+                self._compact_scheduled = False
+
+    def _adopt_store(self, store: TripleStore) -> None:
+        """Swap the engine onto ``store`` once in-flight queries drain.
+
+        The replacement read surfaces (statistics, matcher, scorer,
+        processor, suggester) are built *before* the swap barrier, so the
+        window with queries blocked covers only attribute assignment.
+        Mined rules carry over — compaction changes the statements'
+        storage, not the statements.
+        """
+        statistics = StoreStatistics(store)
+        matcher = TokenMatcher(store)
+        scorer = PatternScorer(store, self.config.scoring)
+        processor = TopKProcessor(
+            store,
+            rules=self.rules,
+            scorer=scorer,
+            matcher=matcher,
+            config=self.config.processor,
+            executor=self._executor,
+        )
+        suggester = QuerySuggester(
+            statistics,
+            matcher,
+            min_overlap=self.config.suggestion_min_overlap,
+        )
+        configure = getattr(store.backend, "configure_prefetch", None)
+        if configure is not None:
+            configure(
+                self._process_executor
+                if self._process_executor is not None
+                else self._executor,
+                self.config.merge_batch,
+            )
+        epoch = self._epoch
+        with epoch.cond:
+            while epoch.active:
+                epoch.cond.wait()
+            old = self.store
+            self.store = store
+            self.statistics = statistics
+            self.matcher = matcher
+            self.scorer = scorer
+            self.processor = processor
+            self.suggester = suggester
+            backend_generation = getattr(store.backend, "generation", 0) or 0
+            self.generation = (
+                backend_generation
+                if backend_generation > self.generation
+                else self.generation + 1
+            )
+            self._retire(old)
+
+    def _retire(self, old: TripleStore) -> None:
+        # Called under the epoch lock: close the outgoing store now, or —
+        # when open streams still pin it — when the last pin is collected.
+        entry = self._pins.get(id(old))
+        if entry is None or entry[1] <= 0:
+            self._pins.pop(id(old), None)
+            old.close()
+        else:
+            entry[2] = True
+
+    def _pin_store(self, store: TripleStore, owner: object) -> None:
+        with self._epoch.cond:
+            entry = self._pins.get(id(store))
+            if entry is None:
+                entry = self._pins[id(store)] = [store, 0, False]
+            entry[1] += 1
+        weakref.finalize(owner, self._unpin, id(store))
+
+    def _unpin(self, key: int) -> None:
+        with self._epoch.cond:
+            entry = self._pins.get(key)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] <= 0:
+                del self._pins[key]
+                if entry[2]:
+                    entry[0].close()
+
+    @contextmanager
+    def _query_guard(self):
+        """Hold the current store epoch across one query dispatch.
+
+        While any guard is held a compaction swap waits; conversely a
+        swap in progress (holding the epoch lock) delays entry, so a
+        dispatch never reads half-swapped engine attributes.
+        """
+        epoch = self._epoch
+        with epoch.cond:
+            epoch.active += 1
+        try:
+            yield
+        finally:
+            with epoch.cond:
+                epoch.active -= 1
+                if not epoch.active:
+                    epoch.cond.notify_all()
+
     # -- lifecycle -----------------------------------------------------------------
 
     def close(self) -> None:
@@ -352,6 +582,11 @@ class TriniT:
                 self._executor.shutdown(wait=True, cancel_futures=True)
             if self._process_executor is not None:
                 self._process_executor.shutdown(wait=True, cancel_futures=True)
+            with self._epoch.cond:
+                pinned = [entry[0] for entry in self._pins.values()]
+                self._pins.clear()
+            for store in pinned:
+                store.close()
             self.store.close()
 
     @property
@@ -374,7 +609,8 @@ class TriniT:
         """Answer a query (textual or parsed) with top-k processing."""
         if isinstance(query, str):
             query = parse_query(query)
-        return self.processor.query(query, k)
+        with self._query_guard():
+            return self.processor.query(query, k)
 
     def stream(self, query: Query | str) -> AnswerStream:
         """An :class:`AnswerStream` over ``query`` — the anytime surface.
@@ -387,7 +623,13 @@ class TriniT:
         """
         if isinstance(query, str):
             query = parse_query(query)
-        return AnswerStream(self.processor.driver(query))
+        with self._query_guard():
+            stream = AnswerStream(self.processor.driver(query))
+            # The stream keeps the store it opened on across compactions:
+            # the pin defers the retired store's close until the stream is
+            # collected, so later next_k calls resume byte-identically.
+            self._pin_store(self.store, stream)
+            return stream
 
     def ask_many(
         self,
@@ -423,35 +665,37 @@ class TriniT:
         if not parsed:
             return []
         pool = self._executor
-        if (
-            pool is None
-            or len(parsed) == 1
-            or (max_workers is not None and max_workers <= 1)
-        ):
-            return [self.processor.query(query, k) for query in parsed]
-        # Build the shared lazily-initialised structures once, up front,
-        # rather than racing the first queries into them.
-        self.processor._single_rule_index()
-        try:
-            if max_workers is not None and max_workers < len(parsed):
-                # Honor an explicit concurrency cap without a throwaway
-                # pool: feed the shared executor in slices, so at most
-                # max_workers queries are in flight at once.
-                results: list[AnswerSet] = []
-                run = lambda query: self.processor.query(query, k)  # noqa: E731
-                for start in range(0, len(parsed), max_workers):
-                    results.extend(
-                        pool.map(run, parsed[start : start + max_workers])
-                    )
-                return results
-            return list(
-                pool.map(lambda query: self.processor.query(query, k), parsed)
-            )
-        except (RuntimeError, CancelledError):
-            # CancelledError: close() cancelled our queued query futures.
-            if not self._closed:
-                raise
-            raise TrinitError("Engine is closed") from None
+        with self._query_guard():
+            processor = self.processor
+            if (
+                pool is None
+                or len(parsed) == 1
+                or (max_workers is not None and max_workers <= 1)
+            ):
+                return [processor.query(query, k) for query in parsed]
+            # Build the shared lazily-initialised structures once, up front,
+            # rather than racing the first queries into them.
+            processor._single_rule_index()
+            try:
+                if max_workers is not None and max_workers < len(parsed):
+                    # Honor an explicit concurrency cap without a throwaway
+                    # pool: feed the shared executor in slices, so at most
+                    # max_workers queries are in flight at once.
+                    results: list[AnswerSet] = []
+                    run = lambda query: processor.query(query, k)  # noqa: E731
+                    for start in range(0, len(parsed), max_workers):
+                        results.extend(
+                            pool.map(run, parsed[start : start + max_workers])
+                        )
+                    return results
+                return list(
+                    pool.map(lambda query: processor.query(query, k), parsed)
+                )
+            except (RuntimeError, CancelledError):
+                # CancelledError: close() cancelled our queued query futures.
+                if not self._closed:
+                    raise
+                raise TrinitError("Engine is closed") from None
 
     def explain(self, answer: Answer, query: Query | None = None) -> Explanation:
         """Explanation of an answer's provenance and relaxations."""
@@ -465,7 +709,8 @@ class TriniT:
         """Suggestions for better-aligned future queries."""
         if isinstance(query, str):
             query = parse_query(query)
-        return self.suggester.suggest(query, answers)
+        with self._query_guard():
+            return self.suggester.suggest(query, answers)
 
     # -- rule management ------------------------------------------------------------
 
@@ -502,6 +747,13 @@ class TriniT:
         clone._executor = self._executor
         clone._process_executor = self._process_executor
         clone.executor_kind = self.executor_kind
+        # Live-ingestion state is shared with the parent: a compaction in
+        # either must drain and retire the same epoch and pin set.
+        clone._ingest_lock = self._ingest_lock
+        clone._epoch = self._epoch
+        clone._pins = self._pins
+        clone._compact_scheduled = False
+        clone.generation = self.generation
         clone.processor = TopKProcessor(
             self.store,
             rules=self.rules,

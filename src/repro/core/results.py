@@ -144,6 +144,11 @@ class QueryStats:
     monolithic posting lists are zero-copy views with nothing to pull).
     The ratio ``postings_materialized / posting_pulls`` is the observed
     per-query posting-drain depth the adaptive merge batching responds to.
+
+    ``delta_hits`` counts materialised posting heads that came from the
+    store's mutable delta segment (live ingestion) rather than a frozen
+    segment — the observable share of a query answered by not-yet-
+    compacted data.
     """
 
     sorted_accesses: int = 0
@@ -159,6 +164,7 @@ class QueryStats:
     segments_touched: int = 0
     postings_materialized: int = 0
     posting_pulls: int = 0
+    delta_hits: int = 0
 
     def copy(self) -> "QueryStats":
         return replace(self)

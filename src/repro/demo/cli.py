@@ -39,6 +39,8 @@ def _interactive(session: DemoSession, completer: AutoCompleter) -> int:
     print("  <query>            run a query (e.g.  ?x bornIn Germany )")
     print("  :more [n]          fetch the next n answers (default --k), resuming")
     print("  :rule <rule>       add a relaxation rule (lhs => rhs @ w)")
+    print("  :ingest <s> <p> <o> [conf]")
+    print("                     absorb a statement live (visible immediately)")
     print("  :explain <rank>    explain the i-th answer of the last query")
     print("  :stats             work counters of the last query (segments,")
     print("                     postings pulled, sorted accesses, ...)")
@@ -60,6 +62,17 @@ def _interactive(session: DemoSession, completer: AutoCompleter) -> int:
             if line.startswith(":rule "):
                 added = session.add_user_rule(line[len(":rule "):])
                 print(f"added: {added}")
+            elif line.startswith(":ingest "):
+                rest = line[len(":ingest "):].strip()
+                confidence = 1.0
+                head, _sep, tail = rest.rpartition(" ")
+                if head:
+                    try:
+                        confidence = float(tail)
+                        rest = head
+                    except ValueError:
+                        pass
+                print(session.ingest(rest, confidence))
             elif line == ":more" or line.startswith(":more "):
                 parts = line.split()
                 n = int(parts[1]) if len(parts) > 1 else None

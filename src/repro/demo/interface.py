@@ -13,8 +13,11 @@ from __future__ import annotations
 import textwrap
 
 from repro.core.engine import TriniT
+from repro.core.parser import parse_pattern
 from repro.core.query import Query
 from repro.core.results import Answer, AnswerSet, AnswerStream
+from repro.core.terms import Variable
+from repro.core.triples import Triple
 from repro.errors import TrinitError
 
 _WIDTH = 74
@@ -64,6 +67,30 @@ class DemoSession:
         rule = self.engine.add_rule(rule_text)
         self.user_rules.append(rule.n3())
         return rule.n3()
+
+    def ingest(self, statement: str, confidence: float = 1.0) -> str:
+        """Absorb one ground statement live (``:ingest <s> <p> <o> [conf]``).
+
+        The statement uses the query syntax for its terms (resources or
+        quoted text phrases, no variables) and lands in the engine's
+        mutable delta segment — the very next query sees it, and the
+        engine compacts in the background once its threshold is crossed.
+        """
+        pattern = parse_pattern(statement)
+        terms = (pattern.s, pattern.p, pattern.o)
+        if any(isinstance(term, Variable) for term in terms):
+            raise TrinitError(
+                "Ingest needs a ground statement — variables cannot be stored"
+            )
+        self.engine.ingest(
+            [Triple(*terms)], confidence=confidence
+        )
+        rendered = " ".join(term.n3() for term in terms)
+        return (
+            f"ingested {rendered} (confidence {confidence:g}; delta "
+            f"{self.engine.store.delta_size} statements, generation "
+            f"{self.engine.generation})"
+        )
 
     def run(self, query_text: str, k: int | None = None) -> AnswerSet:
         """Run a query, keeping its stream open for :meth:`more`."""
@@ -179,6 +206,10 @@ class DemoSession:
             f"  segments touched       {stats.segments_touched}",
             f"  postings materialized  {stats.postings_materialized}",
             f"  posting pulls          {stats.posting_pulls}",
+            f"  delta hits             {stats.delta_hits}",
+            "",
+            f"  live delta             {self.engine.store.delta_size}"
+            f" statements (generation {self.engine.generation})",
             "",
             f"  elapsed                {stats.elapsed_seconds * 1000:.1f} ms",
         ]

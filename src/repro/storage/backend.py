@@ -42,10 +42,19 @@ class StorageBackend(Protocol):
 
     Build phase: :meth:`insert` every triple id with its (s, p, o) term ids,
     then :meth:`freeze` once with the per-triple sort weights.  After
-    freezing the backend is immutable and lookups are allowed — until
-    :meth:`close` releases whatever the backend holds (mapped snapshot
-    buffers, segment columns); any use after that raises
+    freezing the backend's *frozen* structures are immutable and lookups
+    are allowed — until :meth:`close` releases whatever the backend holds
+    (mapped snapshot buffers, segment columns); any use after that raises
     :class:`~repro.errors.StorageError`.
+
+    Live ingestion rides on one optional extension: ``attach_delta(delta)``
+    hooks a mutable :class:`~repro.storage.delta.DeltaSegment` (ids densely
+    above the frozen size) into the lookup surface — ``postings`` merges
+    the delta's score-sorted matches behind the same sequence interface,
+    and the id-level accessors (:meth:`slot_ids` / :meth:`weight` /
+    :meth:`count` / :meth:`__len__`) dispatch delta ids to it.  All three
+    in-tree backends implement it; a backend without it simply cannot back
+    a live store (``TripleStore`` raises on the first post-freeze add).
     """
 
     #: Registry name ("dict", "columnar", ...).
@@ -183,6 +192,20 @@ class DictBackend:
         self._weights: Sequence[float] = ()
         self._counts: Sequence[int] | None = None
         self._closed = False
+        self._delta = None
+
+    @property
+    def delta(self):
+        """The attached mutable delta segment, or ``None``."""
+        return self._delta
+
+    def attach_delta(self, delta) -> None:
+        """Overlay a mutable delta on the frozen index (live ingestion)."""
+        if not self.is_frozen:
+            raise StorageError("Only a frozen backend can carry a delta")
+        if self._closed:
+            raise StorageError("Storage backend is closed")
+        self._delta = delta
 
     @property
     def is_frozen(self) -> bool:
@@ -198,6 +221,7 @@ class DictBackend:
             return
         self._frozen_at_close = self._index.is_frozen
         self._closed = True
+        self._delta = None
         self._index = _CLOSED
         self._keys = _CLOSED
         self._weights = _CLOSED
@@ -205,7 +229,10 @@ class DictBackend:
             self._counts = _CLOSED
 
     def __len__(self) -> int:
-        return len(self._keys)
+        n = len(self._keys)
+        if self._delta is not None:
+            n += len(self._delta)
+        return n
 
     def insert(self, triple_id: int, slot_ids: tuple[int, int, int]) -> None:
         if triple_id != len(self._keys):
@@ -237,7 +264,14 @@ class DictBackend:
     ) -> Sequence[int]:
         if self._closed:
             raise StorageError("Storage backend is closed")
-        return self._index.postings(bound_slots, key)
+        base = self._index.postings(bound_slots, key)
+        if self._delta is None or not len(self._delta):
+            return base
+        from repro.storage.delta import overlay_postings
+
+        return overlay_postings(
+            base, len(self._keys), self._weights, self._delta, bound_slots, key
+        )
 
     def segment_count(self) -> int:
         return 1
@@ -253,15 +287,29 @@ class DictBackend:
     def distinct_keys(self, bound_slots: Sequence[bool]) -> list[tuple[int, ...]]:
         if self._closed:
             raise StorageError("Storage backend is closed")
-        return self._index.distinct_keys(bound_slots)
+        keys = list(self._index.distinct_keys(bound_slots))
+        if self._delta is not None and len(self._delta):
+            known = set(keys)
+            keys.extend(
+                key
+                for key in self._delta.distinct_keys(bound_slots)
+                if key not in known
+            )
+        return keys
 
     def slot_ids(self, triple_id: int) -> tuple[int, int, int]:
+        if self._delta is not None and triple_id >= len(self._keys):
+            return self._delta.slot_ids(triple_id)
         return self._keys[triple_id]
 
     def weight(self, triple_id: int) -> float:
+        if self._delta is not None and triple_id >= len(self._weights):
+            return self._delta.weight(triple_id)
         return self._weights[triple_id]
 
     def count(self, triple_id: int) -> int:
+        if self._delta is not None and triple_id >= len(self._keys):
+            return self._delta.count(triple_id)
         if not 0 <= triple_id < len(self._keys):
             raise StorageError(f"Unknown triple id: {triple_id}")
         if self._counts is None:

@@ -22,6 +22,7 @@ from array import array
 from typing import Sequence
 
 from repro.errors import StorageError
+from repro.storage.delta import overlay_postings
 from repro.storage.index import SIGNATURES, signature_of
 
 #: Typecode for id columns.  'q' (64-bit) would also work; 'i' (>= 32-bit)
@@ -49,6 +50,7 @@ class ColumnarBackend:
         self._scan_view: memoryview | None = None
         self._frozen = False
         self._closed = False
+        self._delta = None
         # Set by _restore: keeps a snapshot's mmap (or bytes) buffer alive
         # for as long as the views over it exist.
         self._buffer = None
@@ -85,8 +87,22 @@ class ColumnarBackend:
         backend._scan_view = scan_view
         backend._frozen = True
         backend._closed = False
+        backend._delta = None
         backend._buffer = buffer
         return backend
+
+    @property
+    def delta(self):
+        """The attached mutable delta segment, or ``None``."""
+        return self._delta
+
+    def attach_delta(self, delta) -> None:
+        """Overlay a mutable delta on the frozen columns (live ingestion)."""
+        if not self._frozen:
+            raise StorageError("Only a frozen backend can carry a delta")
+        if self._closed:
+            raise StorageError("Storage backend is closed")
+        self._delta = delta
 
     @property
     def is_frozen(self) -> bool:
@@ -110,6 +126,7 @@ class ColumnarBackend:
         if self._closed:
             return
         self._closed = True
+        self._delta = None
         views = [
             view
             for view in (
@@ -140,7 +157,10 @@ class ColumnarBackend:
                 pass
 
     def __len__(self) -> int:
-        return len(self._s)
+        n = len(self._s)
+        if self._delta is not None:
+            n += len(self._delta)
+        return n
 
     # -- build phase ------------------------------------------------------------
 
@@ -206,17 +226,24 @@ class ColumnarBackend:
         if not self._frozen:
             raise StorageError("Backend must be frozen before lookup")
         sig = signature_of(bound_slots)
-        if not sig:
-            return self._scan_view  # type: ignore[return-value]
-        if len(key) != len(sig):
+        if sig and len(key) != len(sig):
             raise StorageError(
                 f"Key arity {len(key)} does not match signature {sig}"
             )
-        span = self._offsets[sig].get(key)
-        if span is None:
-            return _EMPTY
-        start, stop = span
-        return self._perm_views[sig][start:stop]
+        if not sig:
+            base: Sequence[int] = self._scan_view  # type: ignore[assignment]
+        else:
+            span = self._offsets[sig].get(key)
+            if span is None:
+                base = _EMPTY
+            else:
+                start, stop = span
+                base = self._perm_views[sig][start:stop]
+        if self._delta is None or not len(self._delta):
+            return base
+        return overlay_postings(
+            base, len(self._s), self._weights, self._delta, bound_slots, key
+        )
 
     def segment_count(self) -> int:
         return 1
@@ -237,15 +264,29 @@ class ColumnarBackend:
         sig = signature_of(bound_slots)
         if not sig:
             raise StorageError("The scan signature has no keys")
-        return list(self._offsets[sig].keys())
+        keys = list(self._offsets[sig].keys())
+        if self._delta is not None and len(self._delta):
+            known = set(keys)
+            keys.extend(
+                key
+                for key in self._delta.distinct_keys(bound_slots)
+                if key not in known
+            )
+        return keys
 
     def slot_ids(self, triple_id: int) -> tuple[int, int, int]:
+        if self._delta is not None and triple_id >= len(self._s):
+            return self._delta.slot_ids(triple_id)
         return (self._s[triple_id], self._p[triple_id], self._o[triple_id])
 
     def weight(self, triple_id: int) -> float:
+        if self._delta is not None and triple_id >= len(self._weights):
+            return self._delta.weight(triple_id)
         return self._weights[triple_id]
 
     def count(self, triple_id: int) -> int:
+        if self._delta is not None and triple_id >= len(self._s):
+            return self._delta.count(triple_id)
         if not 0 <= triple_id < len(self._s):
             raise StorageError(f"Unknown triple id: {triple_id}")
         if len(self._counts) != len(self._s):

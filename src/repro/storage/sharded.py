@@ -94,9 +94,15 @@ class _SegmentStream:
     """
 
     __slots__ = ("postings", "globals_", "segment_index", "position", "keys",
-                 "index", "future", "inflight")
+                 "index", "future", "inflight", "weights", "is_delta")
 
-    def __init__(self, postings: Sequence[int], globals_: Sequence[int]):
+    def __init__(
+        self,
+        postings: Sequence[int],
+        globals_: Sequence[int],
+        weights=None,
+        is_delta: bool = False,
+    ):
         self.postings = postings
         self.globals_ = globals_
         self.segment_index = 0
@@ -105,6 +111,11 @@ class _SegmentStream:
         self.index = 0
         self.future = None
         self.inflight: tuple[int, int] | None = None
+        # Per-stream weight override: the mutable delta segment carries its
+        # own immutable weight snapshot (frozen weights columns don't cover
+        # delta ids).  None means "use the merge-level weights".
+        self.weights = weights
+        self.is_delta = is_delta
 
     def claim(self, batch: int) -> tuple[int, int]:
         lo = self.position
@@ -114,6 +125,8 @@ class _SegmentStream:
         return lo, hi
 
     def prepare_range(self, weights, lo: int, hi: int) -> list[tuple[float, int]]:
+        if self.weights is not None:
+            weights = self.weights
         globals_ = self.globals_
         return [
             (-weights[gid], gid)
@@ -160,10 +173,19 @@ class MergedPostings:
     probes and shallow drains never pay IPC.  The emitted order is deterministic and
     independent of executor timing and batch sizing: the heap compares
     ``(-weight, global id)`` and global ids are unique.
+
+    ``delta`` adds the store's mutable delta segment as one more stream:
+    a ``(postings, globals_, weights)`` snapshot (:class:`~repro.storage.
+    delta.DeltaPart`) whose per-stream weight view covers the delta ids the
+    merge-level weights column doesn't.  Delta heads are always prepared
+    in-process (the delta lives in this process's memory, workers can't
+    map it), and :attr:`delta_emitted` counts how many merged items came
+    from it — the source of ``QueryStats.delta_hits``.
     """
 
     __slots__ = ("_items", "_streams", "_weights", "_length", "_heap",
-                 "_executor", "_batch", "_adaptive", "_remote")
+                 "_executor", "_batch", "_adaptive", "_remote",
+                 "_has_delta", "_delta_emitted")
 
     def __init__(
         self,
@@ -175,12 +197,22 @@ class MergedPostings:
         batch: int | None = DEFAULT_MERGE_BATCH,
         remote: "_RemoteSpec | None" = None,
         segment_indices: Sequence[int] | None = None,
+        delta=None,
     ):
         self._items = array(ID_TYPECODE)
         self._streams = [_SegmentStream(p, g) for p, g in parts]
         if segment_indices is not None:
             for stream, index in zip(self._streams, segment_indices):
                 stream.segment_index = index
+        if delta is not None:
+            delta_postings, delta_globals, delta_weights = delta
+            stream = _SegmentStream(
+                delta_postings, delta_globals, delta_weights, is_delta=True
+            )
+            stream.segment_index = -1
+            self._streams.append(stream)
+        self._has_delta = delta is not None
+        self._delta_emitted = 0
         self._weights = weights
         self._length = length
         self._heap: list[tuple[float, int, int]] | None = None
@@ -213,6 +245,11 @@ class MergedPostings:
         """Current heads-per-segment pull granularity (grows when adaptive)."""
         return self._batch
 
+    @property
+    def delta_emitted(self) -> int:
+        """How many materialised items came from the mutable delta."""
+        return self._delta_emitted
+
     # -- merge machinery ---------------------------------------------------
 
     def _submit(self, stream: _SegmentStream):
@@ -230,6 +267,10 @@ class MergedPostings:
             # A sibling _submit in the same loop already saw the shutdown.
             return None
         remote = self._remote
+        if remote is not None and stream.is_delta:
+            # The delta lives in this process's memory — workers can't map
+            # it; the consumer prepares delta ranges inline on demand.
+            return None
         if remote is not None:
             remaining = len(stream.postings) - stream.position
             if min(self._batch, remaining) < REMOTE_MIN_BATCH:
@@ -339,12 +380,16 @@ class MergedPostings:
             self._batch = min(self._batch * 2, ADAPTIVE_MAX_BATCH)
         items = self._items
         streams = self._streams
+        has_delta = self._has_delta
+        delta_emitted = 0
         before = len(items)
         target = min(self._length, before + n)
         while len(items) < target and heap:
             neg_weight, gid, stream_id = heap[0]
             items.append(gid)
             stream = streams[stream_id]
+            if has_delta and stream.is_delta:
+                delta_emitted += 1
             if stream.index < len(stream.keys):
                 # Fast path: the stream's next head is already prepared.
                 neg_weight, gid = stream.keys[stream.index]
@@ -356,6 +401,8 @@ class MergedPostings:
                 # merge resumable, but prepare no more than this pull still
                 # needs (at least one) — light consumers stay light.
                 self._push(heap, stream_id, max(1, target - len(items)))
+        if delta_emitted:
+            self._delta_emitted += delta_emitted
         return len(items) - before
 
     def _fill(self, needed: int) -> None:
@@ -420,6 +467,9 @@ class ShardedBackend:
         self._merge_batch: int | None = DEFAULT_MERGE_BATCH
         self._remote = False
         self._source_dir: str | None = None
+        self._snapshot_root: str | None = None
+        self._generation = 0
+        self._delta = None
 
     @classmethod
     def _restore(
@@ -433,6 +483,8 @@ class ShardedBackend:
         segment_loaders: list[Callable[[], ColumnarBackend]],
         buffer=None,
         source_dir: str | None = None,
+        snapshot_root: str | None = None,
+        generation: int = 0,
     ) -> "ShardedBackend":
         """Assemble an already-frozen backend from snapshot sections.
 
@@ -458,6 +510,9 @@ class ShardedBackend:
         backend._merge_batch = DEFAULT_MERGE_BATCH
         backend._remote = False
         backend._source_dir = source_dir
+        backend._snapshot_root = snapshot_root if snapshot_root else source_dir
+        backend._generation = generation
+        backend._delta = None
         return backend
 
     @property
@@ -468,6 +523,38 @@ class ShardedBackend:
         and single-file snapshots, which therefore cannot run under the
         process executor."""
         return self._source_dir
+
+    @property
+    def snapshot_root(self) -> str | None:
+        """Root of the generational snapshot this backend was loaded from
+        (the directory holding ``CURRENT`` + ``generation-K`` dirs).  For
+        flat single-generation layouts this equals :attr:`source_dir`;
+        compaction writes the next generation here."""
+        return self._snapshot_root
+
+    @property
+    def generation(self) -> int:
+        """Snapshot generation number this backend serves (0 = flat/legacy)."""
+        return self._generation
+
+    @property
+    def delta(self):
+        """The attached mutable :class:`~repro.storage.delta.DeltaSegment`,
+        or ``None`` while the store is purely frozen."""
+        return self._delta
+
+    def attach_delta(self, delta) -> None:
+        """Hook the store's mutable delta into every lookup surface.
+
+        From here on the delta contributes one more stream to every
+        :meth:`postings` merge and the id-space accessors dispatch global
+        ids at or above the frozen size to it.
+        """
+        if not self._frozen:
+            raise StorageError("Only a frozen backend can carry a delta")
+        if self._closed:
+            raise StorageError("Storage backend is closed")
+        self._delta = delta
 
     @property
     def is_frozen(self) -> bool:
@@ -482,6 +569,7 @@ class ShardedBackend:
         if self._closed:
             return
         self._closed = True
+        self._delta = None
         self._segment_loaders = None
         views = [
             view
@@ -518,7 +606,10 @@ class ShardedBackend:
         return len(self._globals)
 
     def __len__(self) -> int:
-        return len(self._seg_of)
+        n = len(self._seg_of)
+        if self._delta is not None:
+            n += len(self._delta)
+        return n
 
     def segment_sizes(self) -> list[int]:
         """Triples per segment (introspection and partitioning tests)."""
@@ -654,6 +745,11 @@ class ShardedBackend:
         self, bound_slots: Sequence[bool], key: tuple[int, ...]
     ) -> Sequence[int]:
         self._check_lookup(bound_slots, key)
+        delta_part = (
+            self._delta.posting_part(bound_slots, key)
+            if self._delta is not None
+            else None
+        )
         parts: list[tuple[Sequence[int], Sequence[int]]] = []
         indices: list[int] = []
         total = 0
@@ -663,6 +759,8 @@ class ShardedBackend:
                 parts.append((postings, self._globals[segment_index]))
                 indices.append(segment_index)
                 total += len(postings)
+        if delta_part is not None:
+            total += len(delta_part.postings)
         if not total:
             return _EMPTY
         remote = None
@@ -678,6 +776,7 @@ class ShardedBackend:
             batch=self._merge_batch,
             remote=remote,
             segment_indices=indices,
+            delta=delta_part,
         )
 
     def segment_postings(
@@ -698,6 +797,15 @@ class ShardedBackend:
             handles.append(
                 array(ID_TYPECODE, map(globals_.__getitem__, postings))
             )
+        if self._delta is not None:
+            part = self._delta.posting_part(bound_slots, key)
+            if part is not None:
+                handles.append(
+                    array(
+                        ID_TYPECODE,
+                        map(part.globals_.__getitem__, part.postings),
+                    )
+                )
         return handles
 
     def distinct_keys(self, bound_slots: Sequence[bool]) -> list[tuple[int, ...]]:
@@ -709,22 +817,30 @@ class ShardedBackend:
         if not sig:
             raise StorageError("The scan signature has no keys")
         # Walk global ids so keys come out in first-occurrence order — the
-        # same order the single-segment backends produce.
+        # same order the single-segment backends produce.  Delta ids sit
+        # densely above the frozen ids, so delta-only keys land last in
+        # delta insertion order — the fresh-build order too.
         seen: dict[tuple[int, ...], None] = {}
-        for triple_id in range(len(self._seg_of)):
+        for triple_id in range(len(self)):
             spo = self.slot_ids(triple_id)
             seen[tuple(spo[slot] for slot in sig)] = None
         return list(seen)
 
     def slot_ids(self, triple_id: int) -> tuple[int, int, int]:
+        if self._delta is not None and triple_id >= len(self._seg_of):
+            return self._delta.slot_ids(triple_id)
         return self._segment(self._seg_of[triple_id]).slot_ids(
             self._local_of[triple_id]
         )
 
     def weight(self, triple_id: int) -> float:
+        if self._delta is not None and triple_id >= len(self._weights):
+            return self._delta.weight(triple_id)
         return self._weights[triple_id]
 
     def count(self, triple_id: int) -> int:
+        if self._delta is not None and triple_id >= len(self._seg_of):
+            return self._delta.count(triple_id)
         if not 0 <= triple_id < len(self._seg_of):
             raise StorageError(f"Unknown triple id: {triple_id}")
         if len(self._counts) != len(self._seg_of):

@@ -36,6 +36,13 @@ and the header:
   ShardedBackend.source_dir` so executors can hand workers the path
   instead of the data.
 
+A v3 directory may additionally be **generational**: after background
+compaction (:mod:`repro.storage.compaction`) the root holds
+``generation-K`` subdirectories — each a complete flat v3 layout — plus a
+``CURRENT`` pointer file naming the live one, swapped atomically by
+write-new-then-rename.  A root without ``CURRENT`` *is* its own
+generation 0, so pre-generation snapshots load unchanged.
+
 :func:`save_snapshot` writes v3 for sharded stores by default and can
 still write v1/v2 (``version=``) for migration; :func:`load_snapshot`
 dispatches on file-vs-directory and the header.
@@ -57,6 +64,7 @@ from __future__ import annotations
 
 import json
 import mmap
+import os
 import struct
 import sys
 import threading
@@ -89,6 +97,10 @@ SUPPORTED_VERSIONS = (1, 2, 3)
 #: File names inside a v3 directory snapshot.
 MANIFEST_NAME = "manifest.xkgsnap"
 
+#: Pointer file naming the active generation of a multi-generation
+#: directory snapshot.  Absent on flat (single-generation) layouts.
+CURRENT_NAME = "CURRENT"
+
 WEIGHT_TYPECODE = "d"
 _ALIGN = 8
 _OFFSET_STRUCT = struct.Struct("<Q")
@@ -97,6 +109,70 @@ _OFFSET_STRUCT = struct.Struct("<Q")
 def segment_filename(index: int) -> str:
     """Name of segment ``index``'s container inside a directory snapshot."""
     return f"segment-{index:04d}.xkgsnap"
+
+
+def generation_dirname(generation: int) -> str:
+    """Name of generation ``generation``'s directory inside a snapshot root."""
+    return f"generation-{generation:04d}"
+
+
+def parse_generation_dirname(name: str) -> int | None:
+    """Inverse of :func:`generation_dirname`; ``None`` for other names."""
+    if not name.startswith("generation-"):
+        return None
+    digits = name[len("generation-"):]
+    if not digits.isdigit():
+        return None
+    return int(digits)
+
+
+def resolve_generation(path: Path) -> tuple[Path, Path, int]:
+    """``(root, active generation directory, generation number)`` of ``path``.
+
+    A directory snapshot that has been compacted at least once holds its
+    container files in ``generation-K`` subdirectories, with a ``CURRENT``
+    pointer file naming the live one.  A flat layout (as written by
+    :func:`save_snapshot`) has no pointer and *is* its own generation 0 —
+    the pre-generation v3 format loads unchanged.
+    """
+    path = Path(path)
+    current = path / CURRENT_NAME
+    if not current.exists():
+        return path, path, 0
+    try:
+        name = current.read_text(encoding="utf-8").strip()
+    except OSError as exc:
+        raise PersistenceError(
+            f"Unreadable {CURRENT_NAME} pointer in snapshot directory "
+            f"{path}: {exc}"
+        ) from exc
+    generation = parse_generation_dirname(name)
+    if generation is None:
+        raise PersistenceError(
+            f"Corrupt snapshot directory {path}: {CURRENT_NAME} names "
+            f"{name!r}, not a generation directory"
+        )
+    gen_dir = path / name
+    if not gen_dir.is_dir():
+        raise PersistenceError(
+            f"Corrupt snapshot directory {path}: {CURRENT_NAME} points at "
+            f"missing generation directory {gen_dir}"
+        )
+    return path, gen_dir, generation
+
+
+def swap_current(root: Path, generation: int) -> None:
+    """Atomically repoint ``root``'s ``CURRENT`` at ``generation``.
+
+    Write-new-then-rename: the pointer contents land in a temporary file
+    first and ``os.replace`` makes them visible in one step, so a crash
+    between the two leaves the previous generation active and the new
+    directory merely unreferenced.
+    """
+    root = Path(root)
+    tmp = root / f"{CURRENT_NAME}.tmp"
+    tmp.write_text(generation_dirname(generation) + "\n", encoding="utf-8")
+    os.replace(tmp, root / CURRENT_NAME)
 
 
 def _sig_key(sig: tuple[int, ...]) -> str:
@@ -195,6 +271,12 @@ def save_snapshot(
     """
     if not store.is_frozen:
         raise PersistenceError("Only frozen stores can be snapshotted")
+    if store.delta_size:
+        raise PersistenceError(
+            f"Cannot snapshot a store with {store.delta_size} uncompacted "
+            "live statements in its delta segment — compact first "
+            "(repro.storage.compaction.compact_store or engine.compact())"
+        )
     if version not in SUPPORTED_VERSIONS:
         raise PersistenceError(f"Cannot write snapshot version {version!r}")
     backend = store.backend
@@ -380,7 +462,13 @@ class _Container:
             self.buffer = self.path.read_bytes()
         try:
             self.base = memoryview(self.buffer)
-            self.header = _read_header(self.base)
+            try:
+                self.header = _read_header(self.base)
+            except PersistenceError as exc:
+                # Name the damaged file: directory snapshots open containers
+                # lazily (possibly in worker processes), long after the user
+                # pointed anything at this path.
+                raise PersistenceError(f"{exc}: {self.path}") from exc
         except Exception:
             self.discard()
             raise
@@ -741,11 +829,17 @@ def load_snapshot(path: str | Path, *, map_file: bool = True) -> TripleStore:
 
 
 def _load_snapshot_dir(path: Path, map_file: bool) -> TripleStore:
-    """Load a v3 directory snapshot: manifest now, segment files on touch."""
-    manifest_path = path / MANIFEST_NAME
+    """Load a v3 directory snapshot: manifest now, segment files on touch.
+
+    ``path`` is the snapshot *root*: either a flat layout (containers
+    directly inside it) or a generation layout (``CURRENT`` pointer naming
+    the active ``generation-K`` subdirectory, written by compaction).
+    """
+    root, gen_dir, generation = resolve_generation(path)
+    manifest_path = gen_dir / MANIFEST_NAME
     if not manifest_path.exists():
         raise PersistenceError(
-            f"Not a snapshot directory (no {MANIFEST_NAME}): {path}"
+            f"Not a snapshot directory (no {MANIFEST_NAME}): {gen_dir}"
         )
     manifest = _Container(manifest_path, map_file=map_file)
     try:
@@ -776,7 +870,7 @@ def _load_snapshot_dir(path: Path, map_file: bool) -> TripleStore:
         def make_loader(index: int, length: int, filename: str):
             def load() -> ColumnarBackend:
                 segment = open_segment_container(
-                    path, index, length, filename, map_file=map_file
+                    gen_dir, index, length, filename, map_file=map_file
                 )
                 try:
                     return segment.restore_columnar("", length, own_buffer=True)
@@ -797,7 +891,9 @@ def _load_snapshot_dir(path: Path, map_file: bool) -> TripleStore:
                 for index in range(len(sizes))
             ],
             buffer=manifest.buffer,
-            source_dir=str(path),
+            source_dir=str(gen_dir),
+            snapshot_root=str(root),
+            generation=generation,
         )
         return _assemble_store(manifest, backend)
     except Exception:
@@ -826,26 +922,26 @@ def open_segment_container(
     segment_path = directory / filename
     if not segment_path.exists():
         raise PersistenceError(
-            f"Directory snapshot is missing segment file {filename!r} "
-            f"(segment {index}): {directory}"
+            f"Directory snapshot is missing segment file {segment_path} "
+            f"(expected segment {index})"
         )
     container = _Container(segment_path, map_file=map_file)
     try:
         if container.kind != "segment":
             raise PersistenceError(
-                f"Corrupt directory snapshot: {filename!r} has kind "
+                f"Corrupt directory snapshot: {segment_path} has kind "
                 f"{container.kind!r}, expected a segment container"
             )
         if container.header.get("segment") != index:
             raise PersistenceError(
-                f"Corrupt directory snapshot: {filename!r} claims segment "
+                f"Corrupt directory snapshot: {segment_path} claims segment "
                 f"{container.header.get('segment')!r}, expected {index}"
             )
         if length is not None and container.header.get("triples") != length:
             raise PersistenceError(
-                f"Corrupt directory snapshot: segment {index} holds "
+                f"Corrupt directory snapshot: {segment_path} holds "
                 f"{container.header.get('triples')!r} triples, manifest "
-                f"declares {length}"
+                f"declares {length} for segment {index}"
             )
     except Exception:
         container.discard()
@@ -859,7 +955,11 @@ def is_snapshot(path: str | Path) -> bool:
     (format sniffing)."""
     path = Path(path)
     if path.is_dir():
-        path = path / MANIFEST_NAME
+        try:
+            _root, gen_dir, _generation = resolve_generation(path)
+        except PersistenceError:
+            return False
+        path = gen_dir / MANIFEST_NAME
     try:
         with path.open("rb") as handle:
             return handle.read(len(MAGIC)) == MAGIC

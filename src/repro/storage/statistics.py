@@ -50,17 +50,30 @@ class StoreStatistics(LazilyBuilt):
         # ``TriniT.open()`` with mining disabled from sweeping the whole
         # store; the build itself reads the backend's id columns and the
         # weight column directly, so no :class:`StoredTriple` records are
-        # materialised for it.
+        # materialised for it.  Built into fresh containers and assigned
+        # at the end: after ``invalidate()`` (live ingestion) a rebuild
+        # must not double-count into the old dicts, and concurrent readers
+        # keep a consistent pre-rebuild view until the swap.
         store = self.store
         slot_ids = store.backend.slot_ids
         weights = store.weights()
+        args: dict[int, set[tuple[int, int]]] = defaultdict(set)
+        pred_mass: dict[int, float] = defaultdict(float)
+        context: list[dict[int, set[tuple[int, int]]]] = [
+            defaultdict(set),
+            defaultdict(set),
+            defaultdict(set),
+        ]
         for tid in range(len(store)):
             s, p, o = slot_ids(tid)
-            self._args[p].add((s, o))
-            self._pred_mass[p] += weights[tid]
-            self._context[SUBJECT][s].add((p, o))
-            self._context[PREDICATE][p].add((s, o))
-            self._context[OBJECT][o].add((s, p))
+            args[p].add((s, o))
+            pred_mass[p] += weights[tid]
+            context[SUBJECT][s].add((p, o))
+            context[PREDICATE][p].add((s, o))
+            context[OBJECT][o].add((s, p))
+        self._args = args
+        self._pred_mass = pred_mass
+        self._context = context
 
     # -- predicates ---------------------------------------------------------
 

@@ -13,17 +13,31 @@ Physical index layout is delegated to a pluggable
 "dict" for the original hash-index layout); the store also exposes the
 id-level accessors (:meth:`spo_ids`, :meth:`weight`, :meth:`postings_ids`)
 the id-space execution core runs on.
+
+**Live ingestion.**  Freezing is no longer the end of the write path: an
+:meth:`~TripleStore.add` against a frozen store routes the observation
+into a mutable :class:`~repro.storage.delta.DeltaSegment` layered on top
+of the frozen backend.  New statements get dense ids above the frozen id
+space and are immediately visible to every lookup (the backend merges the
+delta's score-sorted postings into its own); duplicate evidence for a
+statement *already frozen* updates the record's count/confidence/
+provenance metadata but leaves the frozen sort weight untouched until the
+delta is folded in by compaction (:mod:`repro.storage.compaction`) — the
+documented eventual-consistency window that keeps frozen posting order
+(and therefore byte-identity with the serial reference) intact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Iterator, Sequence
 
 from repro.core.terms import Term
 from repro.core.triples import KG_PROVENANCE, Provenance, Triple, TriplePattern
 from repro.errors import StorageError
 from repro.storage.backend import StorageBackend, make_backend
+from repro.storage.delta import DeltaSegment
 from repro.storage.dictionary import TermDictionary
 
 #: How many distinct provenance records are retained per triple.  Answer
@@ -87,6 +101,8 @@ class TripleStore:
         self._frozen = False
         self._closed = False
         self._pattern_total_cache: dict[object, float] = {}
+        self._delta_records: list[StoredTriple] = []
+        self._delta: DeltaSegment | None = None
 
     @classmethod
     def _adopt_frozen(
@@ -119,6 +135,8 @@ class TripleStore:
         store._frozen = True
         store._closed = False
         store._pattern_total_cache = {}
+        store._delta_records = []
+        store._delta = None
         return store
 
     def _require_by_key(self) -> dict[tuple[int, int, int], int]:
@@ -126,7 +144,8 @@ class TripleStore:
         by_key = self._by_key
         if by_key is None:
             slot_ids = self._backend.slot_ids
-            by_key = {slot_ids(tid): tid for tid in range(len(self._triples))}
+            total = len(self._triples) + len(self._delta_records)
+            by_key = {slot_ids(tid): tid for tid in range(total)}
             self._by_key = by_key
         return by_key
 
@@ -144,15 +163,22 @@ class TripleStore:
         Re-adding an existing statement increments its observation count,
         raises its confidence to the max seen, and appends the provenance
         (up to :data:`MAX_PROVENANCES` distinct records).
+
+        Adding to a *frozen* store routes the observation into the mutable
+        delta segment: brand-new statements get dense ids above the frozen
+        id space and become visible to every lookup immediately, while
+        duplicate evidence for an already-frozen statement only updates
+        the record's metadata (the frozen sort weight stays fixed until
+        compaction folds the delta in).
         """
-        if self._frozen:
-            raise StorageError("Cannot add to a frozen store")
         if not 0.0 < confidence <= 1.0:
             raise StorageError(f"Confidence must be in (0, 1], got {confidence}")
         if count < 1:
             raise StorageError(f"Observation count must be >= 1, got {count}")
         if provenance is None:
             provenance = KG_PROVENANCE
+        if self._frozen:
+            return self._add_live(triple, provenance, confidence, count)
         key = (
             self.dictionary.encode(triple.s),
             self.dictionary.encode(triple.p),
@@ -171,6 +197,55 @@ class TripleStore:
         )
         self._by_key[key] = triple_id
         self._backend.insert(triple_id, key)
+        return triple_id
+
+    def _add_live(
+        self,
+        triple: Triple,
+        provenance: Provenance,
+        confidence: float,
+        count: int,
+    ) -> int:
+        """Post-freeze write path: absorb one observation into the delta."""
+        if self._closed:
+            raise StorageError("Store is closed")
+        # The dictionary is append-only (lazy snapshot dictionaries encode
+        # new terms after materialising), so encoding live terms is safe.
+        key = (
+            self.dictionary.encode(triple.s),
+            self.dictionary.encode(triple.p),
+            self.dictionary.encode(triple.o),
+        )
+        by_key = self._require_by_key()
+        base = len(self._triples)
+        existing = by_key.get(key)
+        if existing is not None:
+            record = self.record(existing)
+            record.count += count
+            record.confidence = max(record.confidence, confidence)
+            record.add_provenance(provenance)
+            if existing >= base:
+                # Delta statements re-sort live; frozen ones keep their
+                # frozen sort weight until compaction (documented above).
+                self._delta.update(existing, record.weight, record.count)
+            self._pattern_total_cache.clear()
+            return existing
+        delta = self._delta
+        if delta is None:
+            attach = getattr(self._backend, "attach_delta", None)
+            if attach is None:
+                raise StorageError(
+                    f"Backend {self.backend_name!r} cannot absorb live "
+                    f"additions (no delta support)"
+                )
+            delta = self._delta = DeltaSegment(base)
+            attach(delta)
+        triple_id = base + len(self._delta_records)
+        record = StoredTriple(triple, count, confidence, [provenance])
+        self._delta_records.append(record)
+        by_key[key] = triple_id
+        delta.add(triple_id, key, record.weight, record.count)
+        self._pattern_total_cache.clear()
         return triple_id
 
     def add_all(
@@ -217,6 +292,7 @@ class TripleStore:
         if self._closed:
             return
         self._closed = True
+        self._delta = None
         # Lazy record tables hold views over the snapshot mapping; release
         # them before the backend unmaps the buffer.
         release = getattr(self._triples, "release", None)
@@ -245,20 +321,34 @@ class TripleStore:
         return self._backend.name
 
     def __len__(self) -> int:
-        """Number of *distinct* triples."""
-        return len(self._triples)
+        """Number of *distinct* triples (frozen + live delta)."""
+        return len(self._triples) + len(self._delta_records)
+
+    @property
+    def delta_size(self) -> int:
+        """Distinct statements living in the mutable delta (0 when none)."""
+        return len(self._delta_records)
+
+    @property
+    def has_delta(self) -> bool:
+        return bool(self._delta_records)
 
     def __contains__(self, triple: Triple) -> bool:
         key = self._encode_key(triple)
         return key is not None and key in self._require_by_key()
 
     def records(self) -> Iterator[StoredTriple]:
-        """Iterate all stored records in id order."""
-        return iter(self._triples)
+        """Iterate all stored records in id order (frozen, then delta)."""
+        if not self._delta_records:
+            return iter(self._triples)
+        return chain(iter(self._triples), iter(self._delta_records))
 
     def record(self, triple_id: int) -> StoredTriple:
         if 0 <= triple_id < len(self._triples):
             return self._triples[triple_id]
+        local = triple_id - len(self._triples)
+        if 0 <= local < len(self._delta_records):
+            return self._delta_records[local]
         raise StorageError(f"Unknown triple id: {triple_id}")
 
     def triple(self, triple_id: int) -> Triple:
@@ -270,16 +360,26 @@ class TripleStore:
         if self._frozen:
             if 0 <= triple_id < len(self._weights):
                 return self._weights[triple_id]
+            local = triple_id - len(self._weights)
+            if 0 <= local < len(self._delta_records):
+                return self._delta.weight(triple_id)
             raise StorageError(f"Unknown triple id: {triple_id}")
         return self.record(triple_id).weight
 
     def weights(self) -> Sequence[float]:
-        """The frozen per-triple weight column (index parallel to triple ids)."""
+        """The per-triple *sort* weight column (index parallel to triple ids).
+
+        With a live delta the frozen column is extended by a dispatching
+        view: ids below the frozen size read the frozen column untouched,
+        ids above it read the delta's live weights.
+        """
         if self._closed:
             raise StorageError("Store is closed")
         if not self._frozen:
             raise StorageError("Weights are materialised at freeze time")
-        return self._weights
+        if not self._delta_records:
+            return self._weights
+        return _CombinedWeights(self._weights, len(self._triples), self._delta)
 
     def spo_ids(self, triple_id: int) -> tuple[int, int, int]:
         """The (s, p, o) term ids of one stored triple.
@@ -287,7 +387,7 @@ class TripleStore:
         Validates the id; hot loops that walk trusted posting lists read
         ``backend.slot_ids`` / :meth:`weights` directly instead.
         """
-        if not 0 <= triple_id < len(self._triples):
+        if not 0 <= triple_id < len(self):
             raise StorageError(f"Unknown triple id: {triple_id}")
         return self._backend.slot_ids(triple_id)
 
@@ -296,10 +396,19 @@ class TripleStore:
 
         A frozen store reads its weight column (identical values in the same
         id order, so the float sum is bit-identical) — no
-        :class:`StoredTriple` is materialised for it.
+        :class:`StoredTriple` is materialised for it.  Delta weights extend
+        the sum in id order, which keeps the float accumulation sequence —
+        and therefore the result bits — equal to a fresh build over the
+        union.
         """
         if self._frozen:
-            return sum(self._weights)
+            total = sum(self._weights)
+            delta = self._delta
+            if delta is not None:
+                base = len(self._triples)
+                for triple_id in range(base, base + len(self._delta_records)):
+                    total += delta.weight(triple_id)
+            return total
         return sum(record.weight for record in self._triples)
 
     def num_token_triples(self) -> int:
@@ -311,14 +420,14 @@ class TripleStore:
             slot_ids = self._backend.slot_ids
             return sum(
                 1
-                for tid in range(len(self._triples))
+                for tid in range(len(self))
                 if not token_ids.isdisjoint(slot_ids(tid))
             )
         return sum(1 for r in self._triples if r.triple.is_token_triple)
 
     def num_kg_triples(self) -> int:
         """Distinct triples whose every slot is canonical (KG part)."""
-        return len(self._triples) - self.num_token_triples()
+        return len(self) - self.num_token_triples()
 
     # -- lookup ------------------------------------------------------------
 
@@ -334,7 +443,7 @@ class TripleStore:
         if key is None:
             return None
         triple_id = self._require_by_key().get(key)
-        return None if triple_id is None else self._triples[triple_id]
+        return None if triple_id is None else self.record(triple_id)
 
     def sorted_ids(self, pattern: TriplePattern) -> Sequence[int]:
         """Triple ids matching the pattern's *constant slots*, best first.
@@ -384,11 +493,11 @@ class TripleStore:
         ids = self.sorted_ids(pattern)
         if self._has_repeated_variable(pattern):
             return [
-                self._triples[i]
+                self.record(i)
                 for i in ids
-                if pattern.bind(self._triples[i].triple) is not None
+                if pattern.bind(self.record(i).triple) is not None
             ]
-        return [self._triples[i] for i in ids]
+        return [self.record(i) for i in ids]
 
     def cardinality(self, pattern: TriplePattern) -> int:
         """Number of distinct triples matching ``pattern``'s constants.
@@ -426,7 +535,7 @@ class TripleStore:
         cached = self._pattern_total_cache.get(cache_key)
         if cached is not None:
             return cached
-        weights = self._weights
+        weights = self.weights() if self._frozen else self._weights
         total = sum(weights[i] for i in self.sorted_ids(pattern))
         self._pattern_total_cache[cache_key] = total
         return total
@@ -440,12 +549,15 @@ class TripleStore:
     def convert(self, backend: str | StorageBackend) -> "TripleStore":
         """A copy of this store on a different backend.
 
-        Records are re-added in id order, so triple ids, dictionary ids, and
-        posting orders are identical to the original — the conversion is
-        observationally transparent to query processing.
+        Records are re-added in id order (frozen records first, then any
+        live delta records), so triple ids, dictionary ids, and posting
+        orders are identical to a fresh build over the same statements —
+        the conversion is observationally transparent to query processing.
+        This is also the rebuild path compaction uses to fold a delta into
+        a fresh frozen store.
         """
         clone = TripleStore(self.name, backend=backend)
-        for record in self._triples:
+        for record in self.records():
             key = (
                 clone.dictionary.encode(record.triple.s),
                 clone.dictionary.encode(record.triple.p),
@@ -465,3 +577,34 @@ class TripleStore:
         if self._frozen:
             clone.freeze()
         return clone
+
+
+class _CombinedWeights:
+    """Frozen weight column extended by the live delta's weights.
+
+    Indexable by any current triple id: ids below the frozen size read the
+    frozen column (same objects, same bits), ids above it dispatch to the
+    delta.  Hot loops cache one instance per cursor open, so the dispatch
+    branch is paid only on delta ids.
+    """
+
+    __slots__ = ("_frozen", "_base", "_delta")
+
+    def __init__(self, frozen: Sequence[float], base: int, delta: DeltaSegment):
+        self._frozen = frozen
+        self._base = base
+        self._delta = delta
+
+    def __getitem__(self, triple_id: int) -> float:
+        if triple_id < self._base:
+            return self._frozen[triple_id]
+        return self._delta.weight(triple_id)
+
+    def __len__(self) -> int:
+        return self._base + len(self._delta)
+
+    def __iter__(self) -> Iterator[float]:
+        yield from self._frozen
+        delta = self._delta
+        for triple_id in range(self._base, self._base + len(delta)):
+            yield delta.weight(triple_id)

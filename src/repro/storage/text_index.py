@@ -95,10 +95,23 @@ class TokenMatcher(LazilyBuilt):
         # columns and decodes each distinct per-slot term exactly once —
         # no :class:`StoredTriple` records are materialised, so a lazily
         # loaded snapshot store pays for the text index only when a query
-        # actually expands tokens.
+        # actually expands tokens.  Built into fresh containers assigned
+        # at the end so an ``invalidate()`` rebuild (live ingestion) never
+        # double-appends and concurrent readers see a consistent index.
         store = self.store
         decode = store.dictionary.decode
         slot_ids = store.backend.slot_ids
+        by_norm: list[dict[str, Term]] = [{}, {}, {}]
+        by_key: list[dict[tuple[str, ...], list[Term]]] = [
+            defaultdict(list),
+            defaultdict(list),
+            defaultdict(list),
+        ]
+        by_stem: list[dict[str, set[tuple[str, ...]]]] = [
+            defaultdict(set),
+            defaultdict(set),
+            defaultdict(set),
+        ]
         seen: list[set[int]] = [set(), set(), set()]
         for tid in range(len(store)):
             for slot, term_id in enumerate(slot_ids(tid)):
@@ -115,18 +128,21 @@ class TokenMatcher(LazilyBuilt):
                     if isinstance(term, TextToken)
                     else " ".join(self._surface(term).lower().split())
                 )
-                self._by_norm[slot].setdefault(norm, term)
+                by_norm[slot].setdefault(norm, term)
                 key = self._key_for(term, slot)
                 if not key:
                     continue
-                self._by_key[slot][key].append(term)
+                by_key[slot][key].append(term)
                 for stem_token in set(key):
-                    self._by_stem[slot][stem_token].add(key)
+                    by_stem[slot][stem_token].add(key)
         # Deterministic candidate order within identical keys: phrases
         # before resources, then lexical.
-        for slot_keys in self._by_key:
+        for slot_keys in by_key:
             for terms in slot_keys.values():
                 terms.sort(key=lambda t: (t.kind != "token", t.lexical()))
+        self._by_norm = by_norm
+        self._by_key = by_key
+        self._by_stem = by_stem
 
     def phrases_in_slot(self, slot: int) -> list[TextToken]:
         """All distinct stored token phrases for a slot, lexically ordered."""

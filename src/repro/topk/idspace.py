@@ -274,6 +274,7 @@ class IdPostingCursor:
         "_template",
         "_primed",
         "_merged",
+        "_delta_seen",
     )
 
     def __init__(
@@ -297,6 +298,7 @@ class IdPostingCursor:
         self._template: list[int] | None = None
         self._primed: Sequence[int] | None = None
         self._merged = None
+        self._delta_seen = 0
 
     def prime(self) -> None:
         """Warm the posting list and scoring caches ahead of consumption.
@@ -366,6 +368,10 @@ class IdPostingCursor:
                 if self.ctx.stats is not None:
                     self.ctx.stats.postings_materialized += pulled
                     self.ctx.stats.posting_pulls += 1
+                    emitted = merged.delta_emitted
+                    if emitted != self._delta_seen:
+                        self.ctx.stats.delta_hits += emitted - self._delta_seen
+                        self._delta_seen = emitted
             tid = ids[self._position]
             if not needs_filter or plan.consistent(self._slot_ids(tid)):
                 return tid

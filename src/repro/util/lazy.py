@@ -31,6 +31,19 @@ class LazilyBuilt:
     def is_built(self) -> bool:
         return self._built
 
+    def invalidate(self) -> None:
+        """Forget the built state; the next touch rebuilds from scratch.
+
+        Used by live ingestion: derived structures (statistics, text
+        index) go stale when the store grows, and rebuilding lazily on the
+        next query keeps ingest itself cheap.  Implementations of
+        :meth:`_build` must construct into fresh containers and assign
+        them at the end — a rebuild that mutated the containers in place
+        would double-count, and concurrent readers could observe a prefix.
+        """
+        with self._build_lock:
+            self._built = False
+
     def _ensure(self) -> None:
         if self._built:
             return

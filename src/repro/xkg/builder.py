@@ -11,7 +11,7 @@ in answer scoring.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.terms import Resource, Term, TextToken
 from repro.core.triples import Provenance, Triple
@@ -20,6 +20,9 @@ from repro.openie.corpus import Document
 from repro.openie.ned import EntityLinker
 from repro.openie.reverb import Extraction, ReverbExtractor
 from repro.storage.store import TripleStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine uses storage)
+    from repro.core.engine import TriniT
 
 
 @dataclass
@@ -88,6 +91,38 @@ class XkgBuilder:
         report.arguments_unlinked += 1
         return TextToken(phrase)
 
+    def _extracted_statements(
+        self, document: Document, report: XkgBuildReport
+    ) -> Iterable[tuple[Triple, Provenance, float]]:
+        """Kept extractions from one document as storable statements."""
+        for sentence in document.sentences:
+            report.sentences += 1
+            try:
+                extractions = self.extractor.extract(sentence.text)
+            except Exception as exc:  # pragma: no cover - defensive
+                raise ExtractionError(
+                    f"Extraction failed on {document.doc_id}: {sentence.text!r}"
+                ) from exc
+            for extraction in extractions:
+                report.extractions += 1
+                if extraction.confidence < self.min_confidence:
+                    continue
+                subject = self._argument_term(
+                    extraction.subject, sentence.text, report
+                )
+                obj = self._argument_term(
+                    extraction.object, sentence.text, report
+                )
+                predicate = TextToken(extraction.relation)
+                provenance = Provenance(
+                    origin="openie",
+                    source=document.doc_id,
+                    sentence=sentence.text,
+                    extractor="reverb",
+                )
+                report.extractions_kept += 1
+                yield Triple(subject, predicate, obj), provenance, extraction.confidence
+
     def build(
         self,
         kg_triples: Sequence[Triple],
@@ -104,43 +139,52 @@ class XkgBuilder:
 
         for document in documents:
             report.documents += 1
-            for sentence in document.sentences:
-                report.sentences += 1
-                try:
-                    extractions = self.extractor.extract(sentence.text)
-                except Exception as exc:  # pragma: no cover - defensive
-                    raise ExtractionError(
-                        f"Extraction failed on {document.doc_id}: {sentence.text!r}"
-                    ) from exc
-                for extraction in extractions:
-                    report.extractions += 1
-                    if extraction.confidence < self.min_confidence:
-                        continue
-                    subject = self._argument_term(
-                        extraction.subject, sentence.text, report
-                    )
-                    obj = self._argument_term(
-                        extraction.object, sentence.text, report
-                    )
-                    predicate = TextToken(extraction.relation)
-                    provenance = Provenance(
-                        origin="openie",
-                        source=document.doc_id,
-                        sentence=sentence.text,
-                        extractor="reverb",
-                    )
-                    store.add(
-                        Triple(subject, predicate, obj),
-                        provenance,
-                        confidence=extraction.confidence,
-                    )
-                    report.extractions_kept += 1
+            for triple, provenance, confidence in self._extracted_statements(
+                document, report
+            ):
+                store.add(triple, provenance, confidence=confidence)
 
         report.distinct_triples = len(store)
         report.extension_triples = report.distinct_triples - report.kg_triples
         if freeze:
             store.freeze()
         return store, report
+
+    def extend(
+        self,
+        engine: "TriniT",
+        documents: Iterable[Document],
+        report: XkgBuildReport | None = None,
+    ) -> XkgBuildReport:
+        """Stream extractions from *documents* into a live engine.
+
+        The live-ingestion counterpart of :meth:`build`: instead of
+        constructing and freezing a store up front, every kept extraction
+        is fed through :meth:`TriniT.ingest`, landing in the engine's
+        mutable delta segment where the very next query already sees it.
+        The engine compacts in the background once its configured
+        threshold is crossed, so the corpus can keep flowing while
+        queries run.
+
+        Documents are consumed incrementally (one at a time), so the
+        iterable may be an unbounded feed.  Pass a *report* to accumulate
+        statistics across several calls; ``kg_triples`` is pinned to the
+        engine's pre-existing size on a fresh report so the extension
+        ratio stays meaningful.
+        """
+        if report is None:
+            report = XkgBuildReport()
+            report.kg_triples = len(engine.store)
+        before = len(engine.store)
+        for document in documents:
+            report.documents += 1
+            for triple, provenance, confidence in self._extracted_statements(
+                document, report
+            ):
+                engine.ingest([triple], provenance, confidence=confidence)
+        report.distinct_triples = len(engine.store)
+        report.extension_triples += len(engine.store) - before
+        return report
 
 
 def build_xkg(

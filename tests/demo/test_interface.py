@@ -95,3 +95,27 @@ class TestStatsScreen:
         session.more(1)
         second = session.render_stats_screen()
         assert first != second  # resumes counter advanced
+
+    def test_delta_and_generation_lines(self, session):
+        session.ingest("NewPerson bornIn Ulm", 0.8)
+        session.run("?x bornIn Ulm")
+        screen = session.render_stats_screen()
+        assert "delta hits" in screen
+        assert "live delta" in screen
+        assert "generation" in screen
+
+
+class TestIngest:
+    def test_ingest_visible_to_next_query(self, session):
+        message = session.ingest("NewPerson bornIn Ulm", 0.8)
+        assert "ingested" in message
+        assert "NewPerson" in message
+        assert "delta 1 statements" in message
+        screen = session.render_query_screen("?x bornIn Ulm")
+        assert "NewPerson" in screen
+
+    def test_ingest_rejects_variables(self, session):
+        from repro.errors import TrinitError
+
+        with pytest.raises(TrinitError, match="ground"):
+            session.ingest("?x bornIn Ulm")

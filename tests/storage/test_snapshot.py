@@ -120,15 +120,17 @@ class TestZeroCopy:
         assert postings.readonly
         assert isinstance(postings.obj, mmap.mmap)
 
-    def test_loaded_store_is_frozen_and_immutable(self, snapshot_path):
+    def test_loaded_store_is_frozen_but_absorbs_live_adds(self, snapshot_path):
         loaded = load_snapshot(snapshot_path)
         assert loaded.is_frozen
         assert loaded.backend_name == "columnar"
         assert loaded.backend.is_frozen
-        from repro.errors import StorageError
-
-        with pytest.raises(StorageError):
-            loaded.add(Triple(Resource("A"), Resource("p"), Resource("B")))
+        # Live ingestion: additions land in the mutable delta segment, the
+        # mapped frozen columns stay untouched.
+        before = len(loaded)
+        loaded.add(Triple(Resource("A"), Resource("p"), Resource("B")))
+        assert loaded.delta_size == 1
+        assert len(loaded) == before + 1
 
     def test_eager_load_matches_mapped_load(self, frozen_small_store, snapshot_path):
         mapped = load_snapshot(snapshot_path, map_file=True)

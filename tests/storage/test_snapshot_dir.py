@@ -182,8 +182,10 @@ class TestDamage:
     def test_corrupt_manifest_magic(self, snapshot_dir):
         manifest = snapshot_dir / MANIFEST_NAME
         manifest.write_bytes(b"garbage" + manifest.read_bytes()[7:])
-        with pytest.raises(PersistenceError, match="magic"):
+        with pytest.raises(PersistenceError, match="magic") as excinfo:
             load_snapshot(snapshot_dir)
+        # Diagnosability: the error must name the offending file.
+        assert str(manifest) in str(excinfo.value)
 
     def test_truncated_manifest(self, snapshot_dir):
         manifest = snapshot_dir / MANIFEST_NAME
@@ -193,27 +195,39 @@ class TestDamage:
 
     def test_missing_segment_file_surfaces_as_storage_error(self, snapshot_dir):
         loaded = load_snapshot(snapshot_dir)
-        (snapshot_dir / segment_filename(0)).unlink()
+        missing = snapshot_dir / segment_filename(0)
+        missing.unlink()
         # The manifest loads fine; the damage surfaces when segment 0 is
         # touched — PersistenceError is a StorageError, so storage-layer
         # callers need no new except clause.
-        with pytest.raises(StorageError, match="missing segment file"):
+        with pytest.raises(StorageError, match="missing segment file") as excinfo:
             loaded.backend.load_segments()
+        # The error names the missing file, not just the segment index.
+        assert str(missing) in str(excinfo.value)
 
     def test_swapped_segment_file_rejected(self, snapshot_dir):
         seg0 = snapshot_dir / segment_filename(0)
         seg1 = snapshot_dir / segment_filename(1)
         seg0.write_bytes(seg1.read_bytes())
         loaded = load_snapshot(snapshot_dir)
-        with pytest.raises(StorageError, match="claims segment"):
+        with pytest.raises(StorageError, match="claims segment") as excinfo:
             loaded.backend.load_segments()
+        # Expected vs actual identity, anchored to the offending path.
+        message = str(excinfo.value)
+        assert str(seg0) in message
+        assert "claims segment 1" in message
+        assert "expected 0" in message
 
     def test_manifest_in_segment_slot_rejected(self, snapshot_dir):
         seg0 = snapshot_dir / segment_filename(0)
         seg0.write_bytes((snapshot_dir / MANIFEST_NAME).read_bytes())
         loaded = load_snapshot(snapshot_dir)
-        with pytest.raises(StorageError, match="kind"):
+        with pytest.raises(StorageError, match="kind") as excinfo:
             loaded.backend.load_segments()
+        message = str(excinfo.value)
+        assert str(seg0) in message
+        assert "'manifest'" in message
+        assert "expected a segment container" in message
 
     def test_segment_file_opened_directly_is_redirected(self, snapshot_dir):
         with pytest.raises(PersistenceError, match="directory"):
@@ -226,3 +240,22 @@ class TestDamage:
         plain.mkdir()
         with pytest.raises(PersistenceError, match="snapshot directory"):
             load_store(plain)
+
+
+class TestGenerationPointerDamage:
+    """Damage to the ``CURRENT`` generation pointer (compacted layouts)."""
+
+    def test_current_naming_garbage_rejected(self, snapshot_dir):
+        (snapshot_dir / "CURRENT").write_text("not-a-generation\n")
+        assert not is_snapshot(snapshot_dir)
+        with pytest.raises(PersistenceError, match="CURRENT") as excinfo:
+            load_snapshot(snapshot_dir)
+        message = str(excinfo.value)
+        assert str(snapshot_dir) in message
+        assert "not-a-generation" in message
+
+    def test_current_pointing_at_missing_generation(self, snapshot_dir):
+        (snapshot_dir / "CURRENT").write_text("generation-0007\n")
+        with pytest.raises(PersistenceError, match="missing generation") as excinfo:
+            load_snapshot(snapshot_dir)
+        assert str(snapshot_dir / "generation-0007") in str(excinfo.value)

@@ -58,12 +58,15 @@ class TestLoadPhase:
         with pytest.raises(StorageError):
             store.add(Triple(AE, BORN, ULM), count=0)
 
-    def test_add_after_freeze_rejected(self):
+    def test_add_after_freeze_lands_in_delta(self):
         store = TripleStore()
         store.add(Triple(AE, BORN, ULM))
         store.freeze()
-        with pytest.raises(StorageError):
-            store.add(Triple(ULM, BORN, AE))
+        tid = store.add(Triple(ULM, BORN, AE))
+        assert tid == 1
+        assert store.delta_size == 1
+        assert len(store) == 2
+        assert store.record(tid).triple == Triple(ULM, BORN, AE)
 
     def test_double_freeze_rejected(self):
         store = TripleStore()

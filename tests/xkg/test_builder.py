@@ -92,3 +92,48 @@ class TestBuilderOptions:
         kg = KgGenerator(world).generate()
         store, _report = XkgBuilder().build(kg.triples, [], freeze=False)
         assert not store.is_frozen
+
+
+class TestExtend:
+    """The streaming consumer: extractions flow into a *live* engine."""
+
+    def test_extend_streams_into_live_engine(self):
+        from repro.core.engine import EngineConfig, TriniT
+
+        world = World.generate(WorldConfig(num_people=20, seed=5))
+        kg = KgGenerator(world).generate()
+        corpus = CorpusGenerator(
+            world, CorpusConfig(num_popularity_documents=12)
+        ).generate()
+        linker = EntityLinker(world)
+        builder = XkgBuilder(linker=linker)
+
+        # Batch oracle: everything built up front.
+        batch_store, batch_report = builder.build(kg.triples, corpus)
+
+        # Streaming: KG only, frozen, then documents fed to the engine.
+        engine = TriniT.from_triples(
+            kg.triples, config=EngineConfig(executor_kind="serial")
+        )
+        kg_size = len(engine.store)
+        report = XkgBuilder(linker=linker).extend(engine, corpus)
+        try:
+            assert report.kg_triples == kg_size
+            assert report.documents == batch_report.documents
+            assert report.extractions_kept == batch_report.extractions_kept
+            assert len(engine.store) == len(batch_store)
+            assert report.extension_triples == batch_report.extension_triples
+            # The ingested statements are queryable without a compaction.
+            assert engine.store.delta_size > 0
+            record = next(
+                r for r in engine.store.records() if r.triple.is_token_triple
+            )
+            assert any(p.is_extraction for p in record.provenances)
+            # A report threaded through a second call keeps accumulating.
+            grown = XkgBuilder(linker=linker).extend(
+                engine, corpus[:2], report=report
+            )
+            assert grown.documents == batch_report.documents + 2
+        finally:
+            engine.close()
+        batch_store.close()
