@@ -244,3 +244,157 @@ def test_traffic_replay_table(medium_harness, tmp_path):
         f"process executor only {speedups['process_vs_serial']:.2f}x the "
         f"serial answers/sec (floor {floor}x)"
     )
+
+
+def _replay_http(client, ops):
+    """The same op sequence over the wire; wire-form fingerprints."""
+    latencies, answers, fingerprints = [], 0, []
+    for op, payload, k in ops:
+        started = time.perf_counter()
+        if op == "ask":
+            got = client.query(payload, k=k)["answers"]
+        elif op == "stream":
+            first = client.stream(payload, n=k[0])
+            rest = client.resume(first.session, n=k[1])
+            got = first.answers + rest.answers
+        else:
+            got = [
+                answer
+                for query in payload
+                for answer in client.query(query, k=k)["answers"]
+            ]
+        latencies.append(time.perf_counter() - started)
+        answers += len(got)
+        fingerprints.append(got)
+    return latencies, answers, fingerprints
+
+
+def _replay_reference(engine, ops):
+    """Direct-engine wire-form fingerprints for the HTTP replay."""
+    from repro.serve.http import serialize_answer
+
+    fingerprints = []
+    for op, payload, k in ops:
+        if op == "ask":
+            got = [
+                serialize_answer(answer, rank)
+                for rank, answer in enumerate(engine.ask(payload, k=k), 1)
+            ]
+        elif op == "stream":
+            stream = engine.stream(payload)
+            raw = list(stream.next_k(k[0]))
+            raw.extend(stream.next_k(k[1]))
+            got = [
+                serialize_answer(answer, rank)
+                for rank, answer in enumerate(raw, 1)
+            ]
+        else:
+            got = [
+                serialize_answer(answer, rank)
+                for query in payload
+                for rank, answer in enumerate(engine.ask(query, k=k), 1)
+            ]
+        fingerprints.append(got)
+    return fingerprints
+
+
+def test_traffic_replay_server(medium_harness, tmp_path):
+    """``--server`` mode: the Zipf mix over HTTP/SSE instead of in-process.
+
+    Measures what the network front-end adds on top of the engine —
+    request framing, admission, SSE session resume — and what the result
+    cache gives back on a head-heavy mix; answers stay byte-identical to
+    the direct-engine replay (the serialization is the shared contract).
+    """
+    from repro.serve import QueryService, ServeClient, ServeConfig
+
+    store = medium_harness.xkg_store.convert("sharded")
+    snapshot = tmp_path / "traffic.snapd"
+    save_snapshot(store, snapshot)
+    triples = len(store)
+    store.close()
+
+    ops = _workload()
+    with TriniT.open(
+        snapshot, config=EngineConfig(parallelism=WORKERS)
+    ) as reference_engine:
+        reference = _replay_reference(reference_engine, ops)
+
+    engine = TriniT.open(snapshot, config=EngineConfig(parallelism=WORKERS))
+    with QueryService(engine, ServeConfig(port=0), owns_engine=True) as service:
+        client = ServeClient(service.host, service.port)
+        _replay_http(client, ops)  # warm: caches, pools, interned terms
+        started = time.perf_counter()
+        latencies, answers, fingerprints = _replay_http(client, ops)
+        total = time.perf_counter() - started
+        cache = client.metrics()["cache"]
+        kind = engine.executor_kind
+    assert fingerprints == reference, (
+        "HTTP answers diverged from the direct-engine replay"
+    )
+
+    server = {
+        "executor_kind": kind,
+        "p50_ms": _percentile(latencies, 0.50) * 1000,
+        "p95_ms": _percentile(latencies, 0.95) * 1000,
+        "p99_ms": _percentile(latencies, 0.99) * 1000,
+        "total_s": total,
+        "answers": answers,
+        "answers_per_sec": answers / total,
+        "cache_hit_ratio": cache["hit_ratio"],
+        "cache_hits": cache["hits"],
+        "cache_misses": cache["misses"],
+    }
+
+    try:
+        artifact = json.loads(ARTIFACT.read_text())
+        if not isinstance(artifact, dict):
+            raise ValueError
+    except (OSError, json.JSONDecodeError, ValueError):
+        artifact = {"bench": "traffic_replay"}
+    artifact["server"] = server
+    trajectory = _prior_trajectory()
+    trajectory.append(
+        {
+            "sha": _git_sha(),
+            "timestamp": datetime.now(timezone.utc).isoformat(),
+            "cpus": os.cpu_count(),
+            "server": {
+                key: server[key]
+                for key in ("p50_ms", "p95_ms", "p99_ms", "answers_per_sec",
+                            "cache_hit_ratio")
+            },
+        }
+    )
+    artifact["trajectory"] = trajectory
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    rows = [
+        f"store: {triples} triples; {len(ops)} ops over HTTP/SSE "
+        f"({kind} executor, {WORKERS} workers)",
+        "",
+        f"p50 {server['p50_ms']:.2f} ms   p95 {server['p95_ms']:.2f} ms   "
+        f"p99 {server['p99_ms']:.2f} ms",
+        f"answers/s {server['answers_per_sec']:.0f}   "
+        f"cache hit ratio {cache['hit_ratio']:.2f} "
+        f"({cache['hits']} hits / {cache['misses']} misses)",
+        "",
+        "answers byte-identical to the direct-engine replay",
+        f"persisted: {ARTIFACT.name} (server entry + trajectory)",
+    ]
+    print_artifact(
+        "Table (tab-traffic-replay --server): the Zipf mix over HTTP/SSE",
+        "\n".join(rows),
+    )
+    assert cache["hits"] > 0, "a Zipfian mix must produce repeat cache hits"
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    args = [__file__, "-q", "-s"]
+    if "--server" in sys.argv:
+        args += ["-k", "server"]
+    raise SystemExit(pytest.main(args))

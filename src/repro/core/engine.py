@@ -277,6 +277,7 @@ class TriniT:
         self._epoch = _EpochState()
         self._pins: dict[int, list] = {}
         self._compact_scheduled = False
+        self._swap_listeners: list = []
         self.generation = getattr(store.backend, "generation", 0) or 0
         self._closed = False
 
@@ -462,6 +463,22 @@ class TriniT:
             with self._epoch.cond:
                 self._compact_scheduled = False
 
+    def on_store_swap(self, callback) -> None:
+        """Register ``callback(engine)`` to run after each store adoption.
+
+        The quiet-point hook for everything that caches against a specific
+        store epoch (the query service's result cache, most prominently):
+        the callback fires right after :meth:`_adopt_store` finished
+        swapping — the new store, generation number and
+        :meth:`snapshot_identity` are already visible, the epoch barrier
+        has been released — so subscribers invalidate exactly once per
+        swap, never against a half-adopted engine.  Callbacks run on the
+        compacting thread outside the swap barrier (they may query the
+        engine); exceptions propagate to the compaction caller.  Listeners
+        are shared with :meth:`variant` clones.
+        """
+        self._swap_listeners.append(callback)
+
     def _adopt_store(self, store: TripleStore) -> None:
         """Swap the engine onto ``store`` once in-flight queries drain.
 
@@ -513,6 +530,8 @@ class TriniT:
                 else self.generation + 1
             )
             self._retire(old)
+        for callback in list(self._swap_listeners):
+            callback(self)
 
     def _retire(self, old: TripleStore) -> None:
         # Called under the epoch lock: close the outgoing store now, or —
@@ -592,6 +611,28 @@ class TriniT:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    def snapshot_identity(self) -> str:
+        """A token naming exactly the data this engine is serving.
+
+        Directory-backed stores yield ``<snapshot root>@gen<K>+delta<V>``
+        — the persistent address plus the active generation plus the
+        monotonic version of the live delta segment; purely in-memory
+        stores get a process-local ``mem:`` token with the same
+        generation/delta structure.  Two engine states with equal tokens
+        serve byte-identical answers, and any visible data change (a
+        live ingest, a compaction, a generation swap) changes the token —
+        which is what makes it a sound result-cache key component and a
+        precise ``/healthz`` data fingerprint.  The token is cheap to
+        compute (no store traversal).
+        """
+        store = self.store
+        backend = store.backend
+        root = getattr(backend, "snapshot_root", None) or getattr(
+            backend, "source_dir", None
+        )
+        base = str(root) if root else f"mem:{id(store):x}"
+        return f"{base}@gen{self.generation}+delta{store.delta_version}"
 
     def __enter__(self) -> "TriniT":
         return self
@@ -752,6 +793,7 @@ class TriniT:
         clone._ingest_lock = self._ingest_lock
         clone._epoch = self._epoch
         clone._pins = self._pins
+        clone._swap_listeners = self._swap_listeners
         clone._compact_scheduled = False
         clone.generation = self.generation
         clone.processor = TopKProcessor(

@@ -46,6 +46,7 @@ def _interactive(session: DemoSession, completer: AutoCompleter) -> int:
     print("                     postings pulled, sorted accesses, ...)")
     print("  :suggest           suggestions for the last query")
     print("  :complete <frag>   auto-complete a term fragment")
+    print("  :serve             how to expose this store over HTTP/SSE")
     print("  :quit")
     last_query_text = ""
     while True:
@@ -95,6 +96,12 @@ def _interactive(session: DemoSession, completer: AutoCompleter) -> int:
             elif line.startswith(":complete "):
                 for option in completer.complete(line[len(":complete "):]):
                     print(f"  {option}")
+            elif line == ":serve":
+                print("The demo shell is single-user; for network clients run")
+                print("the query service over a saved snapshot instead:")
+                print("  python -m repro.serve <snapshot.snapd> --port 8399")
+                print("(POST /query, GET /stream (SSE), POST /ingest,")
+                print(" GET /healthz, GET /metrics; see README 'Query service')")
             else:
                 last_query_text = line
                 print(session.render_query_screen(line))

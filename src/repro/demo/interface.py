@@ -210,6 +210,7 @@ class DemoSession:
             "",
             f"  live delta             {self.engine.store.delta_size}"
             f" statements (generation {self.engine.generation})",
+            f"  snapshot identity      {self.engine.snapshot_identity()}",
             "",
             f"  elapsed                {stats.elapsed_seconds * 1000:.1f} ms",
         ]

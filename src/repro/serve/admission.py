@@ -1,0 +1,200 @@
+"""Admission control: bounded concurrency + bounded queue over the engine.
+
+Every piece of engine work a request triggers (an eager ``ask``, one
+``next_k`` resume of a stream session, an ``ingest``) is blocking Python
+that runs on the service's executor threads.  Without a bound, a traffic
+burst piles arbitrarily many queued queries onto the pool — every one of
+them eventually runs to completion against an engine whose caller has
+long since timed out.  The admission controller is that bound:
+
+* at most ``max_concurrency`` requests hold an execution slot at once
+  (matched to the executor's thread count, so an admitted request starts
+  immediately);
+* at most ``queue_depth`` further requests may *wait* for a slot; a
+  request arriving beyond that is shed instantly with **429** — the
+  client should back off, nothing was queued on its behalf;
+* a request that cannot get a slot within its timeout, or whose engine
+  work exceeds it, is answered **503** — and, critically, a timed-out
+  *running* computation keeps its slot until the engine thread actually
+  finishes (Python threads cannot be cancelled), so the concurrency
+  bound holds even under timeout storms instead of quietly leaking
+  slots and deadlocking the pool.
+
+The controller is pure ``asyncio`` (used from the service's event loop);
+its counters feed the metrics surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import TrinitError
+
+
+class Overloaded(TrinitError):
+    """The admission controller shed this request.
+
+    ``status`` is the HTTP status the service maps the shed to: 429 for
+    queue-full (instant rejection), 503 for a timeout (the request
+    waited or ran, and its budget lapsed).
+    """
+
+    def __init__(self, message: str, status: int, reason: str):
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+
+
+class AdmissionController:
+    """Semaphore-based slot admission with a bounded wait queue.
+
+    Use as an async context manager around the engine work::
+
+        async with controller.slot():
+            result = await controller.run(loop, executor, fn)
+
+    (:meth:`run` handles both in one call — see below.)
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 8,
+        queue_depth: int = 16,
+        timeout: float | None = 30.0,
+    ):
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {timeout}")
+        self.max_concurrency = max_concurrency
+        self.queue_depth = queue_depth
+        self.timeout = timeout
+        self._semaphore = asyncio.Semaphore(max_concurrency)
+        self.waiting = 0
+        self.executing = 0
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_timeout = 0
+        self.orphaned = 0
+
+    async def acquire(self, timeout: float | None) -> None:
+        """Take an execution slot or raise :class:`Overloaded`."""
+        # The queue bound only applies to requests that would actually
+        # wait: a free slot admits immediately even with queue_depth=0.
+        if self._semaphore.locked() and self.waiting >= self.queue_depth:
+            self.shed_queue_full += 1
+            raise Overloaded(
+                f"admission queue full ({self.waiting} waiting, "
+                f"{self.executing} executing)",
+                status=429,
+                reason="queue_full",
+            )
+        self.waiting += 1
+        try:
+            if timeout is None:
+                await self._semaphore.acquire()
+            else:
+                try:
+                    await asyncio.wait_for(
+                        self._semaphore.acquire(), timeout
+                    )
+                except asyncio.TimeoutError:
+                    self.shed_timeout += 1
+                    raise Overloaded(
+                        f"no execution slot within {timeout:g}s",
+                        status=503,
+                        reason="timeout",
+                    ) from None
+        finally:
+            self.waiting -= 1
+        self.executing += 1
+        self.admitted += 1
+
+    def release(self) -> None:
+        self.executing -= 1
+        self._semaphore.release()
+
+    def release_when_done(self, loop, future) -> None:
+        """Hand a held slot to ``future``'s completion (timeout orphans).
+
+        A timed-out engine thread cannot be cancelled; whoever stops
+        waiting for it calls this instead of :meth:`release` so the slot
+        stays occupied — and the concurrency bound honest — until the
+        thread actually finishes.  The orphan's result/exception is
+        discarded.
+        """
+        self.orphaned += 1
+        self.shed_timeout += 1
+
+        def _finished(f):
+            if not f.cancelled():
+                f.exception()  # consume: the caller is gone
+            loop.call_soon(self.release)
+
+        future.add_done_callback(_finished)
+
+    async def run(self, loop, executor, fn, *, timeout: float | None = None):
+        """Admit, then run ``fn()`` on ``executor``, bounded by one budget.
+
+        ``timeout`` (default: the controller's) covers queue wait *and*
+        execution together — a request that spent its budget queueing is
+        not granted a fresh budget to run.  On execution timeout the
+        result is :class:`Overloaded` (503) for the caller, while the
+        still-running engine thread keeps its slot until it finishes
+        (``orphaned`` counts those observations); its eventual result is
+        discarded and its exception, if any, swallowed.
+        """
+        budget = self.timeout if timeout is None else timeout
+        loop_time = loop.time()
+        await self.acquire(budget)
+        held = True
+        try:
+            remaining = None
+            if budget is not None:
+                remaining = budget - (loop.time() - loop_time)
+                if remaining <= 0:
+                    self.shed_timeout += 1
+                    raise Overloaded(
+                        f"request budget {budget:g}s spent in the queue",
+                        status=503,
+                        reason="timeout",
+                    )
+            future = loop.run_in_executor(executor, fn)
+            try:
+                if remaining is None:
+                    return await future
+                return await asyncio.wait_for(
+                    asyncio.shield(future), remaining
+                )
+            except asyncio.TimeoutError:
+                # The engine thread is still running and cannot be
+                # cancelled: hand slot ownership to its completion
+                # callback so max_concurrency keeps counting it.
+                held = False
+                self.release_when_done(loop, future)
+                raise Overloaded(
+                    f"engine work exceeded the {budget:g}s budget "
+                    "(still completing in the background)",
+                    status=503,
+                    reason="timeout",
+                ) from None
+        finally:
+            if held:
+                self.release()
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for the metrics surface."""
+        return {
+            "max_concurrency": self.max_concurrency,
+            "queue_depth": self.queue_depth,
+            "executing": self.executing,
+            "waiting": self.waiting,
+            "admitted": self.admitted,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_timeout": self.shed_timeout,
+            "orphaned": self.orphaned,
+        }

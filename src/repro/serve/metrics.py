@@ -1,0 +1,284 @@
+"""The service's observability surface: counters, latency rings, QueryStats.
+
+Three ingredients, aggregated under one mutex and rendered two ways:
+
+* **server counters** — requests per (route, status), answers streamed,
+  statements ingested, SSE sessions created/resumed/evicted — plus the
+  counters the cache and the admission controller keep themselves;
+* **latency rings** — fixed-size rings of the most recent request
+  latencies per route family, from which p50/p95/p99 are computed on
+  scrape (a ring, not a histogram: the service targets interactive
+  workloads where "recent" percentiles are the interesting ones, and a
+  512-entry ring is bias-free for them without choosing bucket bounds);
+* **cumulative** :class:`~repro.core.results.QueryStats` — every
+  request's per-call stats delta is :meth:`~repro.core.results.QueryStats.
+  merge`-d into one running total, so the metrics endpoint exposes engine
+  work (sorted accesses, posting pulls, delta hits, …) aggregated across
+  every query the server ever answered.  The ``diff()`` half of the
+  algebra provides the *scrape window*: each ``/metrics`` scrape also
+  reports the stats accumulated since the previous scrape
+  (``query_stats_window``), which is what a poller actually plots.
+
+Rendering: :meth:`ServerMetrics.snapshot` returns the JSON document;
+:meth:`ServerMetrics.render_prometheus` the Prometheus/OpenMetrics text
+exposition of the same numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import fields
+
+from repro.core.results import QueryStats
+
+
+class LatencyRing:
+    """Fixed-size ring of recent latency observations with percentiles."""
+
+    def __init__(self, size: int = 512):
+        if size < 1:
+            raise ValueError(f"ring size must be >= 1, got {size}")
+        self.size = size
+        self._values: list[float] = []
+        self._next = 0
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if len(self._values) < self.size:
+            self._values.append(seconds)
+        else:
+            self._values[self._next] = seconds
+        self._next = (self._next + 1) % self.size
+        self.count += 1
+        self.total += seconds
+
+    def percentile(self, q: float) -> float | None:
+        """The q-quantile (0..1) over the ring, ``None`` when empty.
+
+        Nearest-rank on the sorted ring — the same estimator the traffic
+        bench uses, so server-side and bench-side percentiles agree.
+        """
+        if not self._values:
+            return None
+        ordered = sorted(self._values)
+        index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+        return ordered[index]
+
+    def summary(self) -> dict[str, float | int | None]:
+        scale = lambda v: v * 1000 if v is not None else None  # noqa: E731
+        return {
+            "count": self.count,
+            "p50_ms": scale(self.percentile(0.50)),
+            "p95_ms": scale(self.percentile(0.95)),
+            "p99_ms": scale(self.percentile(0.99)),
+            "mean_ms": (self.total / self.count * 1000) if self.count else None,
+        }
+
+
+class ServerMetrics:
+    """Aggregated service metrics; thread-safe, scrape-rendered."""
+
+    #: Route families with their own latency ring.
+    TIMED_ROUTES = ("query", "stream", "ingest")
+
+    def __init__(self, *, ring_size: int = 512, clock=time.time):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.started_at = clock()
+        self.requests: dict[tuple[str, int], int] = {}
+        self.rings = {route: LatencyRing(ring_size) for route in self.TIMED_ROUTES}
+        self.answers_streamed = 0
+        self.statements_ingested = 0
+        self.sessions_created = 0
+        self.sessions_resumed = 0
+        self.sessions_evicted = 0
+        self.query_stats = QueryStats()
+        self._scrape_mark = QueryStats()
+
+    # -- recording -----------------------------------------------------------
+
+    def observe_request(
+        self, route: str, status: int, seconds: float | None = None
+    ) -> None:
+        """Count one finished request; time it when its family has a ring."""
+        with self._lock:
+            key = (route, status)
+            self.requests[key] = self.requests.get(key, 0) + 1
+            # Only successful requests feed the ring: shed/failed requests
+            # return in microseconds and would drag the percentiles down.
+            ring = self.rings.get(route)
+            if ring is not None and seconds is not None and status == 200:
+                ring.observe(seconds)
+
+    def record_query_stats(self, delta: QueryStats) -> None:
+        """Merge one request's per-call stats into the running total."""
+        with self._lock:
+            self.query_stats = self.query_stats.merge(delta)
+
+    def count_answers(self, n: int) -> None:
+        with self._lock:
+            self.answers_streamed += n
+
+    def count_ingested(self, n: int) -> None:
+        with self._lock:
+            self.statements_ingested += n
+
+    def count_session(self, event: str) -> None:
+        with self._lock:
+            if event == "created":
+                self.sessions_created += 1
+            elif event == "resumed":
+                self.sessions_resumed += 1
+            elif event == "evicted":
+                self.sessions_evicted += 1
+            else:  # pragma: no cover - programming error
+                raise ValueError(f"Unknown session event {event!r}")
+
+    # -- rendering -----------------------------------------------------------
+
+    def snapshot(
+        self, cache_stats: dict | None = None, admission_stats: dict | None = None
+    ) -> dict:
+        """The JSON metrics document (also the base of the Prometheus one).
+
+        Advances the scrape window: ``query_stats_window`` holds the
+        stats accumulated since the previous :meth:`snapshot` call,
+        computed with :meth:`QueryStats.diff` against the last scrape's
+        cumulative values.
+        """
+        with self._lock:
+            window = self.query_stats.diff(self._scrape_mark)
+            self._scrape_mark = self.query_stats.copy()
+            stats_dict = lambda s: {  # noqa: E731
+                spec.name: getattr(s, spec.name) for spec in fields(QueryStats)
+            }
+            document = {
+                "uptime_seconds": self._clock() - self.started_at,
+                "requests": {
+                    f"{route}:{status}": count
+                    for (route, status), count in sorted(self.requests.items())
+                },
+                "latency": {
+                    route: ring.summary() for route, ring in self.rings.items()
+                },
+                "answers_streamed": self.answers_streamed,
+                "statements_ingested": self.statements_ingested,
+                "sessions": {
+                    "created": self.sessions_created,
+                    "resumed": self.sessions_resumed,
+                    "evicted": self.sessions_evicted,
+                },
+                "query_stats": stats_dict(self.query_stats),
+                "query_stats_window": stats_dict(window),
+            }
+        if cache_stats is not None:
+            document["cache"] = cache_stats
+        if admission_stats is not None:
+            document["admission"] = admission_stats
+        return document
+
+    def render_prometheus(
+        self, cache_stats: dict | None = None, admission_stats: dict | None = None
+    ) -> str:
+        """Prometheus text exposition (version 0.0.4) of the same numbers."""
+        document = self.snapshot(cache_stats, admission_stats)
+        lines: list[str] = []
+
+        def emit(name, kind, help_text, samples):
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in samples:
+                if value is None:
+                    continue
+                rendered = (
+                    "{"
+                    + ",".join(f'{k}="{v}"' for k, v in labels.items())
+                    + "}"
+                    if labels
+                    else ""
+                )
+                lines.append(f"{name}{rendered} {value:g}")
+
+        emit(
+            "trinit_uptime_seconds",
+            "gauge",
+            "Seconds since the query service started.",
+            [({}, document["uptime_seconds"])],
+        )
+        emit(
+            "trinit_requests_total",
+            "counter",
+            "Finished HTTP requests by route and status.",
+            [
+                ({"route": key.split(":")[0], "status": key.split(":")[1]}, count)
+                for key, count in document["requests"].items()
+            ],
+        )
+        emit(
+            "trinit_request_latency_seconds",
+            "summary",
+            "Recent request latency quantiles per route (ring-buffered).",
+            [
+                ({"route": route, "quantile": quantile}, (value / 1000))
+                for route, summary in document["latency"].items()
+                for quantile, value in (
+                    ("0.5", summary["p50_ms"]),
+                    ("0.95", summary["p95_ms"]),
+                    ("0.99", summary["p99_ms"]),
+                )
+                if value is not None
+            ],
+        )
+        emit(
+            "trinit_answers_streamed_total",
+            "counter",
+            "Answers handed to clients across /query and /stream.",
+            [({}, document["answers_streamed"])],
+        )
+        emit(
+            "trinit_statements_ingested_total",
+            "counter",
+            "Statements absorbed through POST /ingest.",
+            [({}, document["statements_ingested"])],
+        )
+        emit(
+            "trinit_sessions_total",
+            "counter",
+            "Stream session lifecycle events.",
+            [
+                ({"event": event}, count)
+                for event, count in document["sessions"].items()
+            ],
+        )
+        emit(
+            "trinit_query_stats_total",
+            "counter",
+            "Cumulative engine QueryStats across all served queries.",
+            [
+                ({"counter": name}, value)
+                for name, value in document["query_stats"].items()
+            ],
+        )
+        if "cache" in document:
+            emit(
+                "trinit_cache",
+                "gauge",
+                "Result cache state and accounting.",
+                [
+                    ({"counter": name}, value)
+                    for name, value in document["cache"].items()
+                ],
+            )
+        if "admission" in document:
+            emit(
+                "trinit_admission",
+                "gauge",
+                "Admission controller state and shed accounting.",
+                [
+                    ({"counter": name}, value)
+                    for name, value in document["admission"].items()
+                ],
+            )
+        return "\n".join(lines) + "\n"

@@ -333,6 +333,20 @@ class TripleStore:
     def has_delta(self) -> bool:
         return bool(self._delta_records)
 
+    @property
+    def delta_version(self) -> int:
+        """Monotonic version of the mutable delta segment (0 when none).
+
+        Every accepted live write — a new statement *or* fresh evidence
+        for a delta statement — bumps the version, so ``(generation,
+        delta_version)`` names the exact data a query sees.  Result caches
+        key on it: a changed version can change answers, an unchanged one
+        cannot.  Resets with the delta itself at compaction (the
+        generation number advances instead).
+        """
+        delta = self._delta
+        return delta.version if delta is not None else 0
+
     def __contains__(self, triple: Triple) -> bool:
         key = self._encode_key(triple)
         return key is not None and key in self._require_by_key()

@@ -152,3 +152,55 @@ class TestAnswerSet:
 
     def test_stats_default(self):
         assert isinstance(self._answer_set().stats, QueryStats)
+
+
+class TestQueryStatsAlgebra:
+    """merge()/diff() must stay a proper commutative-monoid algebra as
+    counters are added (delta_hits and posting_pulls are the newest);
+    the serve metrics surface leans on every one of these laws."""
+
+    def _sample(self, seed: int) -> QueryStats:
+        import dataclasses
+
+        values = {}
+        for offset, spec in enumerate(dataclasses.fields(QueryStats)):
+            raw = (seed * 7 + offset * 3) % 11
+            values[spec.name] = float(raw) / 4 if spec.name == "elapsed_seconds" else raw
+        return QueryStats(**values)
+
+    def test_every_field_participates(self):
+        import dataclasses
+
+        a, b = self._sample(1), self._sample(2)
+        merged = a.merge(b)
+        for spec in dataclasses.fields(QueryStats):
+            assert getattr(merged, spec.name) == pytest.approx(
+                getattr(a, spec.name) + getattr(b, spec.name)
+            ), spec.name
+        assert merged.delta_hits == a.delta_hits + b.delta_hits
+        assert merged.posting_pulls == a.posting_pulls + b.posting_pulls
+
+    def test_empty_is_the_merge_identity(self):
+        sample = self._sample(3)
+        assert sample.merge(QueryStats()) == sample
+        assert QueryStats().merge(sample) == sample
+
+    def test_self_diff_is_zero(self):
+        sample = self._sample(4)
+        assert sample.diff(sample) == QueryStats()
+
+    def test_merge_is_associative_and_variadic(self):
+        a, b, c = self._sample(1), self._sample(2), self._sample(3)
+        assert a.merge(b).merge(c) == a.merge(b.merge(c)) == a.merge(b, c)
+
+    def test_merge_diff_roundtrip(self):
+        before, delta = self._sample(5), self._sample(6)
+        after = before.merge(delta)
+        assert after.diff(before) == delta
+        assert before.merge(after.diff(before)) == after
+
+    def test_merge_leaves_operands_untouched(self):
+        a, b = self._sample(7), self._sample(8)
+        a_copy, b_copy = a.copy(), b.copy()
+        a.merge(b)
+        assert a == a_copy and b == b_copy

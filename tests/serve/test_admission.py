@@ -1,0 +1,167 @@
+"""Unit tests for the admission controller (pure asyncio, no HTTP)."""
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve.admission import AdmissionController, Overloaded
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAcquire:
+    def test_admits_up_to_concurrency(self):
+        async def scenario():
+            controller = AdmissionController(2, 0, timeout=None)
+            await controller.acquire(None)
+            await controller.acquire(None)
+            assert controller.executing == 2
+            controller.release()
+            controller.release()
+            assert controller.executing == 0
+
+        run(scenario())
+
+    def test_sheds_429_when_queue_full(self):
+        async def scenario():
+            controller = AdmissionController(1, 0, timeout=None)
+            await controller.acquire(None)  # slot taken, queue_depth=0
+            with pytest.raises(Overloaded) as info:
+                await controller.acquire(None)
+            assert info.value.status == 429
+            assert info.value.reason == "queue_full"
+            assert controller.shed_queue_full == 1
+            controller.release()
+
+        run(scenario())
+
+    def test_sheds_503_on_queue_timeout(self):
+        async def scenario():
+            controller = AdmissionController(1, 4, timeout=None)
+            await controller.acquire(None)
+            with pytest.raises(Overloaded) as info:
+                await controller.acquire(0.05)
+            assert info.value.status == 503
+            assert info.value.reason == "timeout"
+            assert controller.shed_timeout == 1
+            assert controller.waiting == 0  # bookkeeping restored
+            controller.release()
+
+        run(scenario())
+
+    def test_waiter_proceeds_when_slot_frees(self):
+        async def scenario():
+            controller = AdmissionController(1, 4, timeout=None)
+            await controller.acquire(None)
+
+            async def waiter():
+                await controller.acquire(1.0)
+                controller.release()
+                return "ran"
+
+            task = asyncio.ensure_future(waiter())
+            await asyncio.sleep(0.01)
+            assert controller.waiting == 1
+            controller.release()
+            assert await task == "ran"
+
+        run(scenario())
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0, 1)
+        with pytest.raises(ValueError):
+            AdmissionController(1, -1)
+        with pytest.raises(ValueError):
+            AdmissionController(1, 1, timeout=0)
+
+
+class TestRun:
+    def test_runs_on_executor_and_releases(self):
+        async def scenario():
+            controller = AdmissionController(2, 2, timeout=5.0)
+            loop = asyncio.get_running_loop()
+            with ThreadPoolExecutor(2) as pool:
+                result = await controller.run(loop, pool, lambda: 40 + 2)
+            assert result == 42
+            assert controller.executing == 0
+            assert controller.admitted == 1
+
+        run(scenario())
+
+    def test_propagates_work_exceptions(self):
+        async def scenario():
+            controller = AdmissionController(1, 1, timeout=5.0)
+            loop = asyncio.get_running_loop()
+
+            def boom():
+                raise RuntimeError("kaboom")
+
+            with ThreadPoolExecutor(1) as pool:
+                with pytest.raises(RuntimeError):
+                    await controller.run(loop, pool, boom)
+            assert controller.executing == 0
+
+        run(scenario())
+
+    def test_timeout_orphan_keeps_slot_until_thread_finishes(self):
+        """The concurrency bound must count timed-out-but-running work."""
+
+        release_worker = threading.Event()
+
+        async def scenario():
+            controller = AdmissionController(1, 0, timeout=None)
+            loop = asyncio.get_running_loop()
+            with ThreadPoolExecutor(1) as pool:
+                with pytest.raises(Overloaded) as info:
+                    await controller.run(
+                        loop, pool, release_worker.wait, timeout=0.05
+                    )
+                assert info.value.status == 503
+                assert controller.orphaned == 1
+                # The worker still runs: its slot is still held, so the
+                # next arrival sheds 429 instead of overcommitting.
+                assert controller.executing == 1
+                with pytest.raises(Overloaded) as second:
+                    await controller.acquire(None)
+                assert second.value.status == 429
+                release_worker.set()
+                deadline = time.monotonic() + 5.0
+                while controller.executing and time.monotonic() < deadline:
+                    await asyncio.sleep(0.01)
+                assert controller.executing == 0  # slot returned by callback
+
+        run(scenario())
+
+    def test_budget_spent_in_queue_is_not_granted_again(self):
+        async def scenario():
+            controller = AdmissionController(1, 2, timeout=None)
+            loop = asyncio.get_running_loop()
+            await controller.acquire(None)
+
+            async def late():
+                with pytest.raises(Overloaded) as info:
+                    await controller.run(
+                        loop, None, lambda: "never", timeout=0.05
+                    )
+                return info.value.status
+
+            task = asyncio.ensure_future(late())
+            status = await task
+            assert status == 503
+            controller.release()
+            assert controller.executing == 0
+
+        run(scenario())
+
+    def test_stats_document(self):
+        controller = AdmissionController(3, 7, timeout=1.0)
+        stats = controller.stats()
+        assert stats["max_concurrency"] == 3
+        assert stats["queue_depth"] == 7
+        assert stats["executing"] == 0

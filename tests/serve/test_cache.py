@@ -1,0 +1,99 @@
+"""Unit tests for the LRU+TTL result cache."""
+
+import pytest
+
+from repro.serve.cache import ResultCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4, None)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_past_bound_is_lru_order(self):
+        cache = ResultCache(2, None)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # touches a: b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency_and_value(self):
+        cache = ResultCache(2, None)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, a newest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+
+    def test_zero_entries_disables(self):
+        cache = ResultCache(0, None)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+        with pytest.raises(ValueError):
+            ResultCache(4, ttl=0)
+
+
+class TestTTL:
+    def test_expires_after_ttl(self):
+        clock = FakeClock()
+        cache = ResultCache(4, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.9)
+        assert cache.get("a") == 1
+        clock.advance(0.2)
+        assert cache.get("a") is None
+        assert cache.expirations == 1
+        assert cache.misses == 1
+
+    def test_ttl_none_never_expires(self):
+        clock = FakeClock()
+        cache = ResultCache(4, ttl=None, clock=clock)
+        cache.put("a", 1)
+        clock.advance(1e9)
+        assert cache.get("a") == 1
+
+
+class TestFlush:
+    def test_flush_drops_everything_and_counts(self):
+        cache = ResultCache(8, None)
+        for key in "abc":
+            cache.put(key, key)
+        assert cache.flush() == 3
+        assert len(cache) == 0
+        assert cache.flushes == 1 and cache.flushed_entries == 3
+        assert cache.get("a") is None
+
+    def test_stats_document(self):
+        cache = ResultCache(8, None)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zz")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_ratio"] == pytest.approx(0.5)
