@@ -117,6 +117,21 @@ def _git_sha():
     return out.stdout.strip() or None if out.returncode == 0 else None
 
 
+def _git_dirty():
+    """True when the benched tree has uncommitted changes."""
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    return bool(out.stdout.strip()) if out.returncode == 0 else False
+
+
 def _prior_trajectory():
     """Run entries accumulated by earlier bench runs (grown, never reset)."""
     try:
@@ -125,6 +140,29 @@ def _prior_trajectory():
         return []
     trajectory = prior.get("trajectory") if isinstance(prior, dict) else None
     return trajectory if isinstance(trajectory, list) else []
+
+
+def _extend_trajectory(trajectory, entry):
+    """Append ``entry`` unless it would duplicate a dirty-tree point.
+
+    The trajectory is one perf point per commit.  Re-running the bench
+    from an *uncommitted* tree whose HEAD already has an entry would
+    stack meaningless duplicates under the same sha — those runs refresh
+    the headline numbers but leave the trajectory alone.
+    """
+    sha = entry.get("sha")
+    if (
+        sha is not None
+        and any(
+            prior.get("sha") == sha
+            for prior in trajectory
+            if isinstance(prior, dict)
+        )
+        and _git_dirty()
+    ):
+        return trajectory
+    trajectory.append(entry)
+    return trajectory
 
 
 MODES = {
@@ -196,7 +234,8 @@ def test_traffic_replay_table(medium_harness, tmp_path):
     # appends one compact entry per run so the file accumulates a perf
     # history across commits instead of overwriting it.
     trajectory = _prior_trajectory()
-    trajectory.append(
+    _extend_trajectory(
+        trajectory,
         {
             "sha": _git_sha(),
             "timestamp": datetime.now(timezone.utc).isoformat(),
@@ -354,7 +393,8 @@ def test_traffic_replay_server(medium_harness, tmp_path):
         artifact = {"bench": "traffic_replay"}
     artifact["server"] = server
     trajectory = _prior_trajectory()
-    trajectory.append(
+    _extend_trajectory(
+        trajectory,
         {
             "sha": _git_sha(),
             "timestamp": datetime.now(timezone.utc).isoformat(),

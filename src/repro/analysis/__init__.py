@@ -1,0 +1,40 @@
+"""Static invariant checker for the repro codebase.
+
+The engine's hard contracts — lock-guarded shared state, executor
+lifecycles, byte-identical parallel execution, close()/release()
+sentinels, the :class:`~repro.core.results.QueryStats` observability
+surface — are enforced at runtime by the property suites.  This package
+is their static complement: a zero-dependency ``ast`` walk that catches
+whole classes of races and drift before a test ever runs.
+
+Run it with::
+
+    python -m repro.analysis [--format text|json] [--rule ID ...] [paths]
+
+Findings can be suppressed inline with ``# xkg: allow[rule-id] reason``
+(trailing on the offending line, or on a comment line directly above).
+A suppression without a reason is itself a finding.
+"""
+
+from repro.analysis.framework import (
+    Finding,
+    FileContext,
+    Project,
+    Rule,
+    all_rules,
+    analyze,
+    register,
+)
+
+# Importing the rules package registers every built-in rule.
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Project",
+    "Rule",
+    "all_rules",
+    "analyze",
+    "register",
+]

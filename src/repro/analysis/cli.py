@@ -1,0 +1,112 @@
+"""``python -m repro.analysis`` — run the invariant checker.
+
+Exit status: 0 when every finding is suppressed (or there are none),
+1 when unsuppressed findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.framework import all_rules, analyze
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static invariant checker (concurrency, lifecycle, "
+        "determinism, observability contracts).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        help="run only this rule (repeatable); default: all rules",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in text output",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            print(f"{rule_id}: {rule.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    errors: list[str] = []
+    try:
+        findings = analyze(
+            paths,
+            rule_ids=args.rules,
+            root=Path.cwd(),
+            on_error=lambda path, exc: errors.append(f"{path}: {exc}"),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "findings": [f.to_dict() for f in active],
+            "suppressed": [f.to_dict() for f in suppressed],
+            "errors": errors,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        for finding in active:
+            print(finding.render())
+        if args.show_suppressed:
+            for finding in suppressed:
+                print(finding.render())
+        print(
+            f"{len(active)} finding(s), {len(suppressed)} suppressed"
+            + (f", {len(errors)} file error(s)" if errors else "")
+        )
+
+    return 1 if active or errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Built-in rules.  Importing this package registers every rule."""
+
+from repro.analysis.rules import (  # noqa: F401
+    close_contract,
+    determinism,
+    executor_lifecycle,
+    lock_discipline,
+    stats_surface,
+)

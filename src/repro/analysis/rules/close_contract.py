@@ -1,0 +1,273 @@
+"""close-contract: use-after-close must fail loudly, not crash obscurely.
+
+A *closeable* class is one with a teardown method (``close``,
+``discard``, ``release``, ``stop``) that releases state by assigning
+``self`` attributes (``self._delta = None``, ``self._index = _CLOSED``,
+``buffer, self._buffer = self._buffer, None``).  After teardown those
+attributes no longer hold live data, so any other method that
+*dereferences* one — subscripts it, iterates it, calls through it —
+must be guarded.
+
+Accepted guards, per method:
+
+- an explicit closed check (any test mentioning ``self._closed`` /
+  ``self.closed``),
+- a ``None`` check mentioning the released attribute or a local bound
+  from it (``delta = self._delta`` … ``if delta is not None``),
+- a call to a ``self`` method that has an explicit closed check (the
+  ``self._check_lookup(...)`` pattern, one level deep),
+- a dereference of a *sentinel-released* attribute in the same method:
+  attributes assigned the ``_CLOSED`` sentinel raise ``StorageError``
+  on any access by design, so they guard everything after them,
+- explicit registration: a class attribute
+  ``_analysis_close_exempt = ("method", ...)`` for methods that are
+  *designed* to outlive close (e.g. materialised records staying
+  readable).
+
+Teardown methods themselves, ``__init__``/``__del__``/``__exit__``,
+and properties named ``closed`` are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    iter_methods,
+    register,
+    self_attr,
+)
+
+_TEARDOWN_NAMES = {"close", "discard", "release", "stop", "aclose"}
+_EXEMPT = _TEARDOWN_NAMES | {"__init__", "__new__", "__del__", "__exit__", "__aexit__", "closed"}
+_FLAG_ATTRS = {"_closed", "closed", "_stopped", "_released"}
+
+
+def _is_sentinel_value(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id.endswith("_CLOSED") or node.id == "_CLOSED"
+    if isinstance(node, ast.Attribute):
+        return node.attr.endswith("_CLOSED")
+    return False
+
+
+def _released_attrs(
+    method: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[set[str], set[str]]:
+    """(sentinel-released, plain-released) self attrs assigned in teardown."""
+    sentinel: set[str] = set()
+    plain: set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            targets: list[tuple[ast.AST, ast.AST | None]] = []
+            for target in node.targets:
+                if isinstance(target, ast.Tuple) and isinstance(
+                    node.value, ast.Tuple
+                ) and len(target.elts) == len(node.value.elts):
+                    targets.extend(zip(target.elts, node.value.elts))
+                elif isinstance(target, ast.Tuple):
+                    targets.extend((elt, None) for elt in target.elts)
+                else:
+                    targets.append((target, node.value))
+            for target, value in targets:
+                attr = self_attr(target)
+                if attr is None or attr in _FLAG_ATTRS:
+                    continue
+                if value is not None and _is_sentinel_value(value):
+                    sentinel.add(attr)
+                else:
+                    plain.add(attr)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            attr = self_attr(node.target)
+            if attr is not None and attr not in _FLAG_ATTRS:
+                plain.add(attr)
+    return sentinel, plain
+
+
+def _dereferenced_attrs(
+    ctx: FileContext, method: ast.FunctionDef | ast.AsyncFunctionDef
+) -> dict[str, ast.AST]:
+    """Released-candidate attrs this method dereferences: attr -> node.
+
+    A dereference is any use past a bare load: subscript, iteration
+    source, attribute access / method call through it, or being passed
+    to a consuming builtin.  A bare load (None check, truthiness test,
+    handing the object onward) is not a dereference.
+    """
+    derefs: dict[str, ast.AST] = {}
+    for node in ast.walk(method):
+        attr = self_attr(node)
+        if attr is None or not isinstance(node.ctx, ast.Load):  # type: ignore[attr-defined]
+            continue
+        parent = ctx.parent(node)
+        deref = False
+        if isinstance(parent, ast.Subscript) and parent.value is node:
+            deref = True
+        elif isinstance(parent, ast.Attribute) and parent.value is node:
+            deref = True
+        elif isinstance(parent, (ast.For, ast.comprehension)) and parent.iter is node:
+            deref = True
+        elif (
+            isinstance(parent, ast.Call)
+            and node in parent.args
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id
+            in {"len", "iter", "list", "tuple", "sum", "sorted", "enumerate", "bytes", "memoryview"}
+        ):
+            deref = True
+        if deref and attr not in derefs:
+            derefs[attr] = node
+    return derefs
+
+
+def _has_closed_check(method: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(method):
+        attr = self_attr(node)
+        if attr in {"_closed", "closed", "_stopped", "_released"}:
+            return True
+    return False
+
+
+def _has_none_check(
+    method: ast.FunctionDef | ast.AsyncFunctionDef, attr: str
+) -> bool:
+    """A ``... is (not) None`` or truthiness test over ``attr``/an alias."""
+    aliases: set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign) and self_attr(node.value) == attr:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    aliases.add(target.id)
+
+    def is_target(node: ast.AST) -> bool:
+        if self_attr(node) == attr:
+            return True
+        return isinstance(node, ast.Name) and node.id in aliases
+
+    def truthy_operands(test: ast.AST) -> Iterator[ast.AST]:
+        yield test
+        if isinstance(test, ast.BoolOp):
+            for value in test.values:
+                yield from truthy_operands(value)
+        elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            yield from truthy_operands(test.operand)
+
+    for node in ast.walk(method):
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+        ):
+            operands = [node.left, *node.comparators]
+            compares_none = any(
+                isinstance(op, ast.Constant) and op.value is None
+                for op in operands
+            )
+            if compares_none and any(is_target(op) for op in operands):
+                return True
+        if isinstance(node, (ast.If, ast.IfExp)) and any(
+            is_target(op) for op in truthy_operands(node.test)
+        ):
+            return True
+    return False
+
+
+@register
+class CloseContract(Rule):
+    id = "close-contract"
+    description = (
+        "methods of closeable classes that dereference released state "
+        "must guard on the closed sentinel or be explicitly registered"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for cls in ctx.classes():
+            findings.extend(self._check_class(ctx, cls))
+        return findings
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterable[Finding]:
+        methods = {m.name: m for m in iter_methods(cls)}
+        teardowns = [m for name, m in methods.items() if name in _TEARDOWN_NAMES]
+        if not teardowns:
+            return ()
+        sentinel: set[str] = set()
+        plain: set[str] = set()
+        for teardown in teardowns:
+            s, p = _released_attrs(teardown)
+            sentinel |= s
+            plain |= p
+        plain -= sentinel
+        if not plain and not sentinel:
+            return ()
+
+        exempt = set(_EXEMPT) | self._registered_exemptions(cls)
+        checked_methods = {
+            name for name, m in methods.items() if _has_closed_check(m)
+        }
+
+        findings: list[Finding] = []
+        for name, method in methods.items():
+            if name in exempt:
+                continue
+            derefs = _dereferenced_attrs(ctx, method)
+            hit = {attr: node for attr, node in derefs.items() if attr in plain}
+            if not hit:
+                continue
+            if name in checked_methods:
+                continue
+            if any(attr in sentinel for attr in derefs):
+                continue  # a sentinel access raises first by design
+            if self._calls_checked_method(method, checked_methods):
+                continue
+            for attr, node in sorted(hit.items()):
+                if _has_none_check(method, attr):
+                    continue
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"{cls.name}.{name} dereferences self.{attr}, which "
+                        f"{cls.name}'s teardown releases, without a closed "
+                        f"guard — use-after-close would crash instead of "
+                        f"raising the closed error",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _registered_exemptions(cls: ast.ClassDef) -> set[str]:
+        for node in cls.body:
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                value = node.value
+            else:
+                continue
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "_analysis_close_exempt"
+                and isinstance(value, (ast.Tuple, ast.List, ast.Set))
+            ):
+                return {
+                    elt.value
+                    for elt in value.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                }
+        return set()
+
+    @staticmethod
+    def _calls_checked_method(
+        method: ast.FunctionDef | ast.AsyncFunctionDef, checked: set[str]
+    ) -> bool:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                callee = self_attr(node.func)
+                if callee in checked:
+                    return True
+        return False

@@ -1,0 +1,182 @@
+"""executor-lifecycle: every pool constructed must be shut down.
+
+A ``ThreadPoolExecutor``/``ProcessPoolExecutor`` construction must be
+one of:
+
+- a ``with`` item (the context manager shuts it down),
+- assigned to a ``self`` attribute of a class that calls
+  ``.shutdown()`` on that attribute in a teardown path — a method named
+  ``close``/``stop``/``shutdown``/``__exit__``/``__aexit__``/``join``,
+  or a helper invoked as ``self.<helper>()`` from one of those,
+- assigned to a local that has a ``.shutdown()`` call (or a
+  ``try/finally`` with one) in the same function.
+
+The assignment may sit behind a conditional expression
+(``self._executor = ThreadPoolExecutor(...) if workers else None``).
+Swap-then-shutdown teardown (``executor, self._executor =
+self._executor, None`` then ``executor.shutdown()``) is recognised.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    iter_methods,
+    register,
+    self_attr,
+)
+
+_POOL_NAMES = {"ThreadPoolExecutor", "ProcessPoolExecutor"}
+_TEARDOWN_METHODS = {
+    "close",
+    "stop",
+    "shutdown",
+    "join",
+    "__exit__",
+    "__aexit__",
+    "__del__",
+}
+
+
+def _call_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _mentions_self_attr(node: ast.AST, attr: str) -> bool:
+    return any(self_attr(sub) == attr for sub in ast.walk(node))
+
+
+def _function_shuts_down_attr(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, attr: str
+) -> bool:
+    """Does ``func`` call ``.shutdown()`` on ``self.attr`` or an alias?"""
+    aliases = {"self." + attr}
+    # Locals bound from expressions mentioning self.attr count as
+    # aliases (covers `executor, self._executor = self._executor, None`).
+    local_aliases: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and _mentions_self_attr(node.value, attr):
+            for target in node.targets:
+                targets = target.elts if isinstance(target, ast.Tuple) else [target]
+                for item in targets:
+                    if isinstance(item, ast.Name):
+                        local_aliases.add(item.id)
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr != "shutdown":
+            continue
+        value = node.func.value
+        if self_attr(value) == attr:
+            return True
+        if isinstance(value, ast.Name) and value.id in local_aliases:
+            return True
+    return False
+
+
+def _class_shuts_down_attr(cls: ast.ClassDef, attr: str) -> bool:
+    methods = {method.name: method for method in iter_methods(cls)}
+    teardown = [m for name, m in methods.items() if name in _TEARDOWN_METHODS]
+    # Helpers invoked as self.<name>() from a teardown method are part
+    # of the teardown path too (one level deep).
+    for method in list(teardown):
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                callee = self_attr(node.func)
+                if callee in methods and methods[callee] not in teardown:
+                    teardown.append(methods[callee])
+    return any(_function_shuts_down_attr(method, attr) for method in teardown)
+
+
+@register
+class ExecutorLifecycle(Rule):
+    id = "executor-lifecycle"
+    description = (
+        "every ThreadPoolExecutor/ProcessPoolExecutor must be stored on "
+        "self with a reachable .shutdown() in a close()/stop() path, "
+        "used as a context manager, or shut down locally"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node) not in _POOL_NAMES:
+                continue
+            finding = self._check_construction(ctx, node)
+            if finding is not None:
+                findings.append(finding)
+        return findings
+
+    def _check_construction(
+        self, ctx: FileContext, call: ast.Call
+    ) -> Finding | None:
+        name = _call_name(call)
+        # Climb out of wrapping expressions (ternaries, boolean
+        # fallbacks, parens) to the statement that consumes the pool.
+        node: ast.AST = call
+        parent = ctx.parent(node)
+        while isinstance(parent, (ast.IfExp, ast.BoolOp)):
+            node, parent = parent, ctx.parent(parent)
+
+        if isinstance(parent, ast.withitem) and parent.context_expr is node:
+            return None  # context manager: shutdown on exit
+
+        if isinstance(parent, ast.Assign) and parent.value is node:
+            for target in parent.targets:
+                attr = self_attr(target)
+                if attr is not None:
+                    cls = ctx.enclosing(call, ast.ClassDef)
+                    if cls is not None and _class_shuts_down_attr(cls, attr):
+                        return None
+                    return self.finding(
+                        ctx,
+                        call,
+                        f"{name} stored on self.{attr} has no reachable "
+                        f".shutdown() in a close()/stop() teardown path",
+                    )
+                if isinstance(target, ast.Name):
+                    func = ctx.enclosing(
+                        call, ast.FunctionDef, ast.AsyncFunctionDef
+                    )
+                    if func is not None and _local_shutdown(func, target.id):
+                        return None
+                    return self.finding(
+                        ctx,
+                        call,
+                        f"{name} bound to local {target.id!r} is never "
+                        f"shut down in this function — use a with block "
+                        f"or call .shutdown()",
+                    )
+        return self.finding(
+            ctx,
+            call,
+            f"{name} constructed without being stored: use a with block "
+            f"or assign it to self and shut it down in close()/stop()",
+        )
+
+
+def _local_shutdown(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, local: str
+) -> bool:
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "shutdown"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == local
+        ):
+            return True
+    return False

@@ -1,0 +1,117 @@
+"""stats-surface-drift: every QueryStats counter stays observable.
+
+``QueryStats`` is surfaced in three places: the dataclass itself
+(``core/results.py``), the Prometheus families in ``serve/metrics.py``,
+and the demo shell's ``:stats`` renderer (``demo/interface.py``).  A
+counter added to the dataclass but missing from a surface silently
+vanishes from observability — exactly what happened classes of bugs
+hide behind.  This is a cross-file rule: it runs in ``finish`` over the
+whole project.
+
+A surface covers a field if it mentions it as an attribute
+(``stats.delta_hits``) or string literal, or if it iterates the
+dataclass generically via ``dataclasses.fields(QueryStats)`` — the
+generic form tracks new fields by construction and counts as full
+coverage.  Findings anchor at the field's declaration line in
+``core/results.py`` (that is where the fix — or the suppression — for
+an intentionally unsurfaced field belongs).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import FileContext, Finding, Project, Rule, register
+
+_DATACLASS_NAME = "QueryStats"
+_DATACLASS_FILE = "core/results.py"
+_SURFACES = ("serve/metrics.py", "demo/interface.py")
+
+
+def _stats_fields(ctx: FileContext) -> dict[str, int]:
+    """QueryStats field name -> declaration line."""
+    for cls in ctx.classes():
+        if cls.name != _DATACLASS_NAME:
+            continue
+        fields: dict[str, int] = {}
+        for node in cls.body:
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                name = node.target.id
+                if not name.startswith("_"):
+                    fields[name] = node.lineno
+        return fields
+    return {}
+
+
+def _uses_generic_fields(ctx: FileContext) -> bool:
+    """Does the file call ``fields(QueryStats)`` (however imported)?"""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "fields":
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Name) and arg.id == _DATACLASS_NAME:
+            return True
+        if isinstance(arg, ast.Attribute) and arg.attr == _DATACLASS_NAME:
+            return True
+    return False
+
+
+def _mentioned_names(ctx: FileContext) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+    return names
+
+
+@register
+class StatsSurfaceDrift(Rule):
+    id = "stats-surface-drift"
+    description = (
+        "every QueryStats field must appear in the Prometheus families "
+        "(serve/metrics.py) and the demo :stats renderer"
+    )
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        stats_ctx = project.find(_DATACLASS_FILE)
+        if stats_ctx is None:
+            return ()
+        fields = _stats_fields(stats_ctx)
+        if not fields:
+            return ()
+
+        findings: list[Finding] = []
+        for suffix in _SURFACES:
+            surface = project.find(suffix)
+            if surface is None:
+                continue  # surface not part of this run's file set
+            if _uses_generic_fields(surface):
+                continue  # fields(QueryStats) tracks new counters itself
+            mentioned = _mentioned_names(surface)
+            for name, line in sorted(fields.items(), key=lambda kv: kv[1]):
+                if name in mentioned:
+                    continue
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=stats_ctx.display_path,
+                        line=line,
+                        message=(
+                            f"QueryStats.{name} is not surfaced in "
+                            f"{surface.display_path} — new counters must "
+                            f"stay observable everywhere stats render"
+                        ),
+                    )
+                )
+        return findings

@@ -534,14 +534,17 @@ class TriniT:
             callback(self)
 
     def _retire(self, old: TripleStore) -> None:
-        # Called under the epoch lock: close the outgoing store now, or —
-        # when open streams still pin it — when the last pin is collected.
-        entry = self._pins.get(id(old))
-        if entry is None or entry[1] <= 0:
-            self._pins.pop(id(old), None)
-            old.close()
-        else:
-            entry[2] = True
+        # Close the outgoing store now, or — when open streams still pin
+        # it — when the last pin is collected.  Callers already hold the
+        # epoch lock; it is an RLock, so re-taking it here costs nothing
+        # and keeps the pin table guarded even for future callers.
+        with self._epoch.cond:
+            entry = self._pins.get(id(old))
+            if entry is None or entry[1] <= 0:
+                self._pins.pop(id(old), None)
+                old.close()
+            else:
+                entry[2] = True
 
     def _pin_store(self, store: TripleStore, owner: object) -> None:
         with self._epoch.cond:
@@ -789,11 +792,14 @@ class TriniT:
         clone._process_executor = self._process_executor
         clone.executor_kind = self.executor_kind
         # Live-ingestion state is shared with the parent: a compaction in
-        # either must drain and retire the same epoch and pin set.
-        clone._ingest_lock = self._ingest_lock
-        clone._epoch = self._epoch
-        clone._pins = self._pins
-        clone._swap_listeners = self._swap_listeners
+        # either must drain and retire the same epoch and pin set.  Copy
+        # the references under the epoch lock so the clone never observes
+        # a pin table from mid-swap.
+        with self._epoch.cond:
+            clone._ingest_lock = self._ingest_lock
+            clone._epoch = self._epoch
+            clone._pins = self._pins
+            clone._swap_listeners = self._swap_listeners
         clone._compact_scheduled = False
         clone.generation = self.generation
         clone.processor = TopKProcessor(

@@ -280,7 +280,7 @@ class AnswerStream:
     deltas reproduces the cumulative values).
     """
 
-    def __init__(self, driver: "TopKDriver"):
+    def __init__(self, driver: "TopKDriver") -> None:
         self._driver = driver
         self._emitted: list[Answer] = []
         self._requested = 0

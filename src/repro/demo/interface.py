@@ -197,6 +197,8 @@ class DemoSession:
             f"  stream resumes         {stats.resumes}",
             f"  rewritings             {stats.rewritings_processed} processed"
             f" / {stats.rewritings_enumerated} enumerated",
+            f"  relaxations            {stats.relaxations_invoked} invoked"
+            f" / {stats.relaxations_considered} considered",
             f"  cursors opened         {stats.cursors_opened}",
             f"  sorted accesses        {stats.sorted_accesses}",
             f"  candidates formed      {stats.candidates_formed}",

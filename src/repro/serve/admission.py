@@ -27,8 +27,14 @@ its counters feed the metrics surface.
 from __future__ import annotations
 
 import asyncio
+from typing import TYPE_CHECKING, Any, Callable, TypeVar
 
 from repro.errors import TrinitError
+
+if TYPE_CHECKING:
+    from concurrent.futures import Executor, Future
+
+_T = TypeVar("_T")
 
 
 class Overloaded(TrinitError):
@@ -39,7 +45,7 @@ class Overloaded(TrinitError):
     waited or ran, and its budget lapsed).
     """
 
-    def __init__(self, message: str, status: int, reason: str):
+    def __init__(self, message: str, status: int, reason: str) -> None:
         super().__init__(message)
         self.status = status
         self.reason = reason
@@ -61,7 +67,7 @@ class AdmissionController:
         max_concurrency: int = 8,
         queue_depth: int = 16,
         timeout: float | None = 30.0,
-    ):
+    ) -> None:
         if max_concurrency < 1:
             raise ValueError(
                 f"max_concurrency must be >= 1, got {max_concurrency}"
@@ -118,7 +124,9 @@ class AdmissionController:
         self.executing -= 1
         self._semaphore.release()
 
-    def release_when_done(self, loop, future) -> None:
+    def release_when_done(
+        self, loop: asyncio.AbstractEventLoop, future: "Future[Any]"
+    ) -> None:
         """Hand a held slot to ``future``'s completion (timeout orphans).
 
         A timed-out engine thread cannot be cancelled; whoever stops
@@ -130,14 +138,21 @@ class AdmissionController:
         self.orphaned += 1
         self.shed_timeout += 1
 
-        def _finished(f):
+        def _finished(f: "Future[Any]") -> None:
             if not f.cancelled():
                 f.exception()  # consume: the caller is gone
             loop.call_soon(self.release)
 
         future.add_done_callback(_finished)
 
-    async def run(self, loop, executor, fn, *, timeout: float | None = None):
+    async def run(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        executor: "Executor | None",
+        fn: Callable[[], _T],
+        *,
+        timeout: float | None = None,
+    ) -> _T:
         """Admit, then run ``fn()`` on ``executor``, bounded by one budget.
 
         ``timeout`` (default: the controller's) covers queue wait *and*

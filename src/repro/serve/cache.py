@@ -29,7 +29,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 #: Key type: (normalized query text, k, snapshot identity token).
 CacheKey = Hashable
@@ -57,8 +57,8 @@ class ResultCache:
         max_entries: int = 256,
         ttl: float | None = 300.0,
         *,
-        clock=time.monotonic,
-    ):
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if max_entries < 0:
             raise ValueError(f"max_entries must be >= 0, got {max_entries}")
         if ttl is not None and ttl <= 0:

@@ -30,10 +30,15 @@ instance.
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, NoReturn, Protocol, Sequence, runtime_checkable
 
 from repro.errors import StorageError
 from repro.storage.index import PostingIndex
+
+if TYPE_CHECKING:
+    from concurrent.futures import Executor
+
+    from repro.storage.delta import DeltaSegment
 
 
 @runtime_checkable
@@ -115,7 +120,9 @@ class StorageBackend(Protocol):
         """
         ...
 
-    def configure_prefetch(self, executor, batch_size: int | None) -> None:
+    def configure_prefetch(
+        self, executor: Executor | None, batch_size: int | None
+    ) -> None:
         """Set the shared executor / pull batch used by merged postings.
 
         A no-op for backends whose postings are already materialised;
@@ -156,25 +163,25 @@ class _ClosedData:
     (in-memory case) — with zero per-access cost before close.
     """
 
-    def _raise(self):
+    def _raise(self) -> NoReturn:
         raise StorageError("Storage backend is closed")
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: object) -> NoReturn:
         self._raise()
 
-    def __len__(self):
+    def __len__(self) -> NoReturn:
         self._raise()
 
-    def __iter__(self):
+    def __iter__(self) -> NoReturn:
         self._raise()
 
-    def get(self, *args):
+    def get(self, *args: object) -> NoReturn:
         self._raise()
 
-    def keys(self):
+    def keys(self) -> NoReturn:
         self._raise()
 
-    def values(self):
+    def values(self) -> NoReturn:
         self._raise()
 
 
@@ -186,20 +193,20 @@ class DictBackend:
 
     name = "dict"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._index = PostingIndex()
         self._keys: list[tuple[int, int, int]] = []
         self._weights: Sequence[float] = ()
         self._counts: Sequence[int] | None = None
         self._closed = False
-        self._delta = None
+        self._delta: DeltaSegment | None = None
 
     @property
-    def delta(self):
+    def delta(self) -> DeltaSegment | None:
         """The attached mutable delta segment, or ``None``."""
         return self._delta
 
-    def attach_delta(self, delta) -> None:
+    def attach_delta(self, delta: DeltaSegment) -> None:
         """Overlay a mutable delta on the frozen index (live ingestion)."""
         if not self.is_frozen:
             raise StorageError("Only a frozen backend can carry a delta")
@@ -281,7 +288,9 @@ class DictBackend:
     ) -> list[Sequence[int]]:
         return [self.postings(bound_slots, key)]
 
-    def configure_prefetch(self, executor, batch_size: int = 1) -> None:
+    def configure_prefetch(
+        self, executor: Executor | None, batch_size: int | None = 1
+    ) -> None:
         """Postings are fully materialised tuples; nothing to prefetch."""
 
     def distinct_keys(self, bound_slots: Sequence[bool]) -> list[tuple[int, ...]]:

@@ -105,7 +105,8 @@ class DeltaSegment:
     @property
     def version(self) -> int:
         """Mutation counter; bumped by every :meth:`add` / :meth:`update`."""
-        return self._version
+        with self._lock:
+            return self._version
 
     def __len__(self) -> int:
         return len(self._slots)
@@ -154,22 +155,25 @@ class DeltaSegment:
         return self._slots[self._local(gid)]
 
     def weight(self, gid: int) -> float:
-        return self._weights[self._local(gid)]
+        with self._lock:
+            return self._weights[self._local(gid)]
 
     def count(self, gid: int) -> int:
-        return self._counts[self._local(gid)]
+        with self._lock:
+            return self._counts[self._local(gid)]
 
     # -- lookup ------------------------------------------------------------
 
     def _weights_view(self) -> _DeltaWeights:
-        snapshot = self._weights_snapshot
-        if snapshot is None or snapshot[0] != self._version:
-            snapshot = (
-                self._version,
-                _DeltaWeights(self._base, tuple(self._weights)),
-            )
-            self._weights_snapshot = snapshot
-        return snapshot[1]
+        with self._lock:
+            snapshot = self._weights_snapshot
+            if snapshot is None or snapshot[0] != self._version:
+                snapshot = (
+                    self._version,
+                    _DeltaWeights(self._base, tuple(self._weights)),
+                )
+                self._weights_snapshot = snapshot
+            return snapshot[1]
 
     def posting_part(
         self, bound_slots: Sequence[bool], key: tuple[int, ...]

@@ -619,9 +619,13 @@ class ShardedBackend:
         """Indices of segments whose columns are materialised (lazy loads)."""
         if self._closed:
             raise StorageError("Storage backend is closed")
-        return [i for i, seg in enumerate(self._segments) if seg is not None]
+        with self._load_lock:
+            return [
+                i for i, seg in enumerate(self._segments) if seg is not None
+            ]
 
     def _segment(self, index: int) -> ColumnarBackend:
+        # xkg: allow[lock-discipline] double-checked locking: the unlocked first read only short-circuits after a segment is published; the locked re-read decides
         segment = self._segments[index]
         if segment is None:
             with self._load_lock:
@@ -635,7 +639,9 @@ class ShardedBackend:
         """Materialise every lazy segment — concurrently when given a pool."""
         if self._closed:
             raise StorageError("Storage backend is closed")
-        indices = range(len(self._segments))
+        with self._load_lock:
+            count = len(self._segments)
+        indices = range(count)
         if executor is None:
             for index in indices:
                 self._segment(index)
@@ -700,6 +706,7 @@ class ShardedBackend:
         segment_index = self._place(slot_ids)
         globals_ = self._globals[segment_index]
         local_id = len(globals_)
+        # xkg: allow[lock-discipline] builder phase: insert runs single-threaded before freeze() publishes the backend; lazy loads (the lock's domain) exist only on snapshot-loaded backends
         self._segments[segment_index].insert(local_id, slot_ids)
         globals_.append(triple_id)
         self._seg_of.append(segment_index)
@@ -718,6 +725,7 @@ class ShardedBackend:
             if len(counts) != n:
                 raise StorageError(f"{n} triples but {len(counts)} counts")
             self._counts = array(ID_TYPECODE, counts)
+        # xkg: allow[lock-discipline] builder phase: freeze runs single-threaded before the backend is shared; lazy loads (the lock's domain) exist only on snapshot-loaded backends
         for segment_index, segment in enumerate(self._segments):
             globals_ = self._globals[segment_index]
             local_weights = [self._weights[g] for g in globals_]
@@ -853,11 +861,9 @@ class ShardedBackend:
         """Approximate resident bytes across all segments + the id maps."""
         import sys
 
-        total = sum(
-            segment.memory_bytes()
-            for segment in self._segments
-            if segment is not None
-        )
+        with self._load_lock:
+            loaded = [seg for seg in self._segments if seg is not None]
+        total = sum(segment.memory_bytes() for segment in loaded)
         total += sum(
             column.nbytes if isinstance(column, memoryview) else sys.getsizeof(column)
             for column in (self._seg_of, self._local_of, self._weights, self._counts)

@@ -493,6 +493,11 @@ class _Container:
     # -- typed section access ---------------------------------------------
 
     def view(self, name: str) -> memoryview:
+        base = self.base
+        if base is None:
+            raise PersistenceError(
+                f"Snapshot container already discarded: {self.path}"
+            )
         entry = self.header["sections"].get(name)
         if (
             not isinstance(entry, list)
@@ -501,9 +506,9 @@ class _Container:
         ):
             raise PersistenceError(f"Snapshot is missing section {name!r}")
         offset, length = entry
-        if offset < 0 or length < 0 or offset + length > len(self.base):
+        if offset < 0 or length < 0 or offset + length > len(base):
             raise PersistenceError(f"Corrupt snapshot: section {name!r} truncated")
-        return self.base[offset : offset + length]
+        return base[offset : offset + length]
 
     def cast(self, name: str, typecode: str) -> memoryview:
         raw = self.view(name)
@@ -612,16 +617,18 @@ class _SnapshotRecords(Sequence):
         self._confidences = confidences
         self._prov_raw = prov_raw
         self._prov: list | None = None
+        self._n = n
         self._cache: list[StoredTriple | None] = [None] * n
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._cache)
+        return self._n
 
     @property
     def materialized(self) -> int:
         """How many records have been decoded so far (introspection)."""
-        return sum(1 for record in self._cache if record is not None)
+        with self._lock:
+            return sum(1 for record in self._cache if record is not None)
 
     def release(self) -> None:
         """Drop the mapped views (store close).  Cached records stay valid;
@@ -643,7 +650,7 @@ class _SnapshotRecords(Sequence):
                 raise PersistenceError(
                     f"Corrupt snapshot provenance table: {exc}"
                 ) from exc
-            if not isinstance(prov, list) or len(prov) != len(self._cache):
+            if not isinstance(prov, list) or len(prov) != self._n:
                 raise PersistenceError("Corrupt snapshot: provenance table truncated")
             self._prov = prov
         return prov
@@ -667,11 +674,12 @@ class _SnapshotRecords(Sequence):
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return [self[i] for i in range(*index.indices(len(self._cache)))]
+            return [self[i] for i in range(*index.indices(self._n))]
         if index < 0:
-            index += len(self._cache)
-        if not 0 <= index < len(self._cache):
+            index += self._n
+        if not 0 <= index < self._n:
             raise IndexError(f"Record index out of range: {index}")
+        # xkg: allow[lock-discipline] double-checked locking: slots are written once under the lock; a racy None read just falls through to the locked re-check
         record = self._cache[index]
         if record is None:
             with self._lock:

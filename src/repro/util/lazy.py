@@ -29,7 +29,8 @@ class LazilyBuilt:
 
     @property
     def is_built(self) -> bool:
-        return self._built
+        with self._build_lock:
+            return self._built
 
     def invalidate(self) -> None:
         """Forget the built state; the next touch rebuilds from scratch.
@@ -45,6 +46,7 @@ class LazilyBuilt:
             self._built = False
 
     def _ensure(self) -> None:
+        # xkg: allow[lock-discipline] double-checked locking: the unlocked read only skips work after a completed build; the locked re-check decides
         if self._built:
             return
         with self._build_lock:

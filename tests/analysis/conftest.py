@@ -1,0 +1,33 @@
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze
+
+
+@pytest.fixture
+def check(tmp_path):
+    """Write ``sources`` ({relpath: code}) to disk and run the checker.
+
+    Returns the full findings list (suppressed findings included, marked).
+    """
+
+    def run(sources, rule=None):
+        for rel, text in sources.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        rule_ids = [rule] if rule is not None else None
+        return analyze([tmp_path], rule_ids=rule_ids, root=tmp_path)
+
+    return run
+
+
+@pytest.fixture
+def active(check):
+    """Like ``check`` but returns only unsuppressed findings."""
+
+    def run(sources, rule=None):
+        return [f for f in check(sources, rule=rule) if not f.suppressed]
+
+    return run

@@ -1,0 +1,152 @@
+"""close-contract: dereferencing released state needs a closed guard."""
+
+VIOLATION = """
+    class Store:
+        def __init__(self, buf):
+            self._closed = False
+            self._buf = buf
+
+        def close(self):
+            self._closed = True
+            self._buf = None
+
+        def read(self, i):
+            return self._buf[i]
+"""
+
+CLEAN_TWIN = """
+    class Store:
+        def __init__(self, buf):
+            self._closed = False
+            self._buf = buf
+
+        def close(self):
+            self._closed = True
+            self._buf = None
+
+        def read(self, i):
+            if self._closed:
+                raise ValueError("closed")
+            return self._buf[i]
+"""
+
+
+def test_fires_without_guard(active):
+    findings = active({"store.py": VIOLATION}, rule="close-contract")
+    assert len(findings) == 1
+    assert "_buf" in findings[0].message
+    assert "read" in findings[0].message
+
+
+def test_quiet_with_closed_check(active):
+    assert active({"store.py": CLEAN_TWIN}, rule="close-contract") == []
+
+
+def test_sentinel_released_attrs_guard_themselves(active):
+    # Attributes swapped to the _CLOSED sentinel raise on access by
+    # design — dereferencing them needs no extra check.
+    assert (
+        active(
+            {
+                "store.py": """
+    class _ClosedData:
+        def __getitem__(self, key):
+            raise ValueError("closed")
+
+    _CLOSED = _ClosedData()
+
+    class Store:
+        def __init__(self, buf):
+            self._buf = buf
+
+        def close(self):
+            self._buf = _CLOSED
+
+        def read(self, i):
+            return self._buf[i]
+    """
+            },
+            rule="close-contract",
+        )
+        == []
+    )
+
+
+def test_none_check_on_alias_is_a_guard(active):
+    assert (
+        active(
+            {
+                "store.py": """
+    class Store:
+        def __init__(self, delta):
+            self._delta = delta
+
+        def close(self):
+            self._delta = None
+
+        def size(self):
+            delta = self._delta
+            if delta is None:
+                return 0
+            return len(self._delta)
+    """
+            },
+            rule="close-contract",
+        )
+        == []
+    )
+
+
+def test_checker_method_call_is_a_guard(active):
+    assert (
+        active(
+            {
+                "store.py": """
+    class Store:
+        def __init__(self, buf):
+            self._closed = False
+            self._buf = buf
+
+        def close(self):
+            self._closed = True
+            self._buf = None
+
+        def _check(self):
+            if self._closed:
+                raise ValueError("closed")
+
+        def read(self, i):
+            self._check()
+            return self._buf[i]
+    """
+            },
+            rule="close-contract",
+        )
+        == []
+    )
+
+
+def test_explicit_registration_exempts_method(active):
+    # Methods designed to outlive close (materialised records staying
+    # readable) register themselves instead of guarding.
+    assert (
+        active(
+            {
+                "store.py": """
+    class Store:
+        _analysis_close_exempt = ("read",)
+
+        def __init__(self, buf):
+            self._buf = buf
+
+        def close(self):
+            self._buf = None
+
+        def read(self, i):
+            return self._buf[i]
+    """
+            },
+            rule="close-contract",
+        )
+        == []
+    )

@@ -1,0 +1,161 @@
+"""executor-lifecycle: pools must reach a shutdown in a teardown path."""
+
+VIOLATION = """
+    from concurrent.futures import ThreadPoolExecutor
+
+    class Service:
+        def __init__(self):
+            self._executor = ThreadPoolExecutor(max_workers=4)
+
+        def close(self):
+            pass
+"""
+
+CLEAN_TWIN = """
+    from concurrent.futures import ThreadPoolExecutor
+
+    class Service:
+        def __init__(self):
+            self._executor = ThreadPoolExecutor(max_workers=4)
+
+        def close(self):
+            self._executor.shutdown(wait=True)
+"""
+
+
+def test_fires_without_shutdown(active):
+    findings = active({"svc.py": VIOLATION}, rule="executor-lifecycle")
+    assert len(findings) == 1
+    assert "_executor" in findings[0].message
+
+
+def test_quiet_on_clean_twin(active):
+    assert active({"svc.py": CLEAN_TWIN}, rule="executor-lifecycle") == []
+
+
+def test_conditional_construction_is_traced(active):
+    # `self._executor = ThreadPoolExecutor(...) if workers else None`
+    assert (
+        active(
+            {
+                "svc.py": """
+    from concurrent.futures import ThreadPoolExecutor
+
+    class Service:
+        def __init__(self, workers):
+            self._executor = (
+                ThreadPoolExecutor(max_workers=workers) if workers else None
+            )
+
+        def close(self):
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+    """
+            },
+            rule="executor-lifecycle",
+        )
+        == []
+    )
+
+
+def test_swap_then_shutdown_teardown(active):
+    assert (
+        active(
+            {
+                "svc.py": """
+    from concurrent.futures import ProcessPoolExecutor
+
+    class Service:
+        def __init__(self):
+            self._pool = ProcessPoolExecutor()
+
+        def stop(self):
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=False)
+    """
+            },
+            rule="executor-lifecycle",
+        )
+        == []
+    )
+
+
+def test_teardown_helper_one_level_deep(active):
+    assert (
+        active(
+            {
+                "svc.py": """
+    from concurrent.futures import ThreadPoolExecutor
+
+    class Service:
+        def __init__(self):
+            self._executor = ThreadPoolExecutor()
+
+        def _release(self):
+            self._executor.shutdown()
+
+        def close(self):
+            self._release()
+    """
+            },
+            rule="executor-lifecycle",
+        )
+        == []
+    )
+
+
+def test_with_block_is_fine(active):
+    assert (
+        active(
+            {
+                "job.py": """
+    from concurrent.futures import ThreadPoolExecutor
+
+    def run(tasks):
+        with ThreadPoolExecutor() as pool:
+            return list(pool.map(str, tasks))
+    """
+            },
+            rule="executor-lifecycle",
+        )
+        == []
+    )
+
+
+def test_local_without_shutdown_fires(active):
+    findings = active(
+        {
+            "job.py": """
+    from concurrent.futures import ThreadPoolExecutor
+
+    def run(tasks):
+        pool = ThreadPoolExecutor()
+        return list(pool.map(str, tasks))
+    """
+        },
+        rule="executor-lifecycle",
+    )
+    assert len(findings) == 1
+    assert "pool" in findings[0].message
+
+
+def test_local_with_shutdown_is_fine(active):
+    assert (
+        active(
+            {
+                "job.py": """
+    from concurrent.futures import ThreadPoolExecutor
+
+    def run(tasks):
+        pool = ThreadPoolExecutor()
+        try:
+            return list(pool.map(str, tasks))
+        finally:
+            pool.shutdown(wait=True)
+    """
+            },
+            rule="executor-lifecycle",
+        )
+        == []
+    )

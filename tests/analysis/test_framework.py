@@ -1,0 +1,179 @@
+"""Framework behaviour: suppressions, CLI exit codes, JSON schema."""
+
+import json
+import textwrap
+
+from repro.analysis import all_rules
+from repro.analysis.cli import main
+from repro.analysis.framework import META_RULE
+
+VIOLATION = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0
+
+        def bump(self):
+            with self._lock:
+                self._count += 1
+
+        def value(self):
+            return self._count
+"""
+
+
+def _write(tmp_path, rel, text):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+# -- suppressions ----------------------------------------------------------
+
+
+def test_trailing_suppression(check, tmp_path):
+    findings = check(
+        {
+            "counter.py": VIOLATION.replace(
+                "return self._count",
+                "return self._count  # xkg: allow[lock-discipline] "
+                "monitoring read; torn values are acceptable",
+            )
+        },
+        rule="lock-discipline",
+    )
+    assert [f.suppressed for f in findings] == [True]
+    assert "torn values" in findings[0].suppression_reason
+
+
+def test_standalone_suppression_targets_next_line(check):
+    findings = check(
+        {
+            "counter.py": VIOLATION.replace(
+                "            return self._count",
+                "            # xkg: allow[lock-discipline] monitoring read\n"
+                "            return self._count",
+            )
+        },
+        rule="lock-discipline",
+    )
+    assert [f.suppressed for f in findings] == [True]
+
+
+def test_suppression_without_reason_is_a_finding(check):
+    findings = check(
+        {
+            "counter.py": VIOLATION.replace(
+                "return self._count",
+                "return self._count  # xkg: allow[lock-discipline]",
+            )
+        }
+    )
+    rules = {f.rule for f in findings if not f.suppressed}
+    # The original finding stays active AND the reasonless comment is
+    # itself reported.
+    assert rules == {"lock-discipline", META_RULE}
+
+
+def test_suppression_naming_unknown_rule_is_a_finding(check):
+    findings = check(
+        {
+            "clean.py": """
+    # xkg: allow[no-such-rule] because reasons
+    x = 1
+    """
+        }
+    )
+    assert [f.rule for f in findings] == [META_RULE]
+    assert "no-such-rule" in findings[0].message
+
+
+def test_suppression_for_wrong_rule_does_not_apply(check):
+    findings = check(
+        {
+            "counter.py": VIOLATION.replace(
+                "return self._count",
+                "return self._count  # xkg: allow[determinism] wrong rule",
+            )
+        },
+        rule="lock-discipline",
+    )
+    assert [f.suppressed for f in findings] == [False]
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    dirty = _write(tmp_path, "dirty/counter.py", VIOLATION)
+    clean = _write(tmp_path, "clean/ok.py", "x = 1\n")
+    assert main([str(dirty.parent)]) == 1
+    capsys.readouterr()
+    assert main([str(clean.parent)]) == 0
+    capsys.readouterr()
+    assert main([str(tmp_path / "missing")]) == 2
+    assert main([str(clean.parent), "--rule", "bogus"]) == 2
+
+
+def test_cli_json_schema(tmp_path, capsys):
+    _write(tmp_path, "counter.py", VIOLATION)
+    _write(
+        tmp_path,
+        "suppressed.py",
+        VIOLATION.replace(
+            "return self._count",
+            "return self._count  # xkg: allow[lock-discipline] stats read",
+        ).replace("class Counter", "class Other"),
+    )
+    code = main([str(tmp_path), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["version"] == 1
+    assert set(payload) == {"version", "findings", "suppressed", "errors"}
+    assert payload["errors"] == []
+    assert len(payload["findings"]) == 1
+    finding = payload["findings"][0]
+    assert set(finding) == {"rule", "path", "line", "message"}
+    assert finding["rule"] == "lock-discipline"
+    assert finding["path"].endswith("counter.py")
+    assert isinstance(finding["line"], int)
+    suppressed = payload["suppressed"][0]
+    assert suppressed["suppressed"] is True
+    assert suppressed["reason"] == "stats read"
+
+
+def test_cli_rule_filter(tmp_path, capsys):
+    _write(tmp_path, "counter.py", VIOLATION)
+    assert main([str(tmp_path), "--rule", "determinism"]) == 0
+    capsys.readouterr()
+    assert main([str(tmp_path), "--rule", "lock-discipline"]) == 1
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in all_rules():
+        assert rule_id in out
+
+
+def test_syntax_errors_are_reported_not_fatal(tmp_path, capsys):
+    _write(tmp_path, "broken.py", "def broken(:\n")
+    _write(tmp_path, "ok.py", "x = 1\n")
+    code = main([str(tmp_path), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1  # file errors fail the run
+    assert len(payload["errors"]) == 1
+    assert "broken.py" in payload["errors"][0]
+
+
+def test_registry_has_the_documented_rules():
+    assert set(all_rules()) >= {
+        "lock-discipline",
+        "executor-lifecycle",
+        "determinism",
+        "close-contract",
+        "stats-surface-drift",
+    }

@@ -1,0 +1,219 @@
+"""lock-discipline: fires on unguarded touches, quiet on guarded twins."""
+
+VIOLATION = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0
+
+        def bump(self):
+            with self._lock:
+                self._count += 1
+
+        def value(self):
+            return self._count
+"""
+
+CLEAN_TWIN = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0
+
+        def bump(self):
+            with self._lock:
+                self._count += 1
+
+        def value(self):
+            with self._lock:
+                return self._count
+"""
+
+
+def test_fires_on_unguarded_read(active):
+    findings = active({"counter.py": VIOLATION}, rule="lock-discipline")
+    assert len(findings) == 1
+    assert findings[0].rule == "lock-discipline"
+    assert "_count" in findings[0].message
+    assert "value" in findings[0].message
+
+
+def test_quiet_on_clean_twin(active):
+    assert active({"counter.py": CLEAN_TWIN}, rule="lock-discipline") == []
+
+
+def test_subscript_store_counts_as_write(active):
+    findings = active(
+        {
+            "table.py": """
+    import threading
+
+    class Table:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._rows = {}
+
+        def put(self, key, value):
+            with self._lock:
+                self._rows[key] = value
+
+        def get(self, key):
+            return self._rows.get(key)
+    """
+        },
+        rule="lock-discipline",
+    )
+    assert len(findings) == 1
+    assert "_rows" in findings[0].message
+
+
+def test_condition_chain_and_local_alias_guards(active):
+    assert (
+        active(
+            {
+                "epoch.py": """
+    import threading
+
+    class _Epoch:
+        def __init__(self):
+            self.cond = threading.Condition()
+
+    class Engine:
+        def __init__(self):
+            self._epoch = _Epoch()
+            self._pins = {}
+
+        def pin(self, key):
+            with self._epoch.cond:
+                self._pins[key] = 1
+
+        def unpin(self, key):
+            epoch = self._epoch
+            with epoch.cond:
+                self._pins.pop(key, None)
+    """
+            },
+            rule="lock-discipline",
+        )
+        == []
+    )
+
+
+def test_contextmanager_call_guard(active):
+    assert (
+        active(
+            {
+                "guarded.py": """
+    import threading
+    from contextlib import contextmanager
+
+    class Engine:
+        def __init__(self):
+            self._lock = threading.RLock()
+            self._state = None
+
+        @contextmanager
+        def _query_guard(self):
+            with self._lock:
+                yield
+
+        def swap(self, state):
+            with self._lock:
+                self._state = state
+
+        def read(self):
+            with self._query_guard():
+                return self._state
+    """
+            },
+            rule="lock-discipline",
+        )
+        == []
+    )
+
+
+def test_nested_functions_are_skipped(active):
+    # A lock held lexically around a nested def is not held when the
+    # closure runs — the rule must not treat the closure body as guarded,
+    # nor flag it (deferred execution is out of scope).
+    assert (
+        active(
+            {
+                "deferred.py": """
+    import threading
+
+    class Spawner:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._jobs = []
+
+        def submit(self, job):
+            with self._lock:
+                self._jobs.append(job)
+                def later():
+                    return self._jobs
+                return later
+    """
+            },
+            rule="lock-discipline",
+        )
+        == []
+    )
+
+
+def test_init_and_close_are_exempt(active):
+    assert (
+        active(
+            {
+                "lifecycle.py": """
+    import threading
+
+    class Holder:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._data = {}
+
+        def put(self, key, value):
+            with self._lock:
+                self._data[key] = value
+
+        def close(self):
+            self._data = None
+    """
+            },
+            rule="lock-discipline",
+        )
+        == []
+    )
+
+
+def test_public_attributes_not_policed(active):
+    # Public attributes are API surface readable by external code; the
+    # rule polices private (underscore) state only.
+    assert (
+        active(
+            {
+                "pub.py": """
+    import threading
+
+    class Engine:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.store = None
+
+        def swap(self, store):
+            with self._lock:
+                self.store = store
+
+        def read(self):
+            return self.store
+    """
+            },
+            rule="lock-discipline",
+        )
+        == []
+    )

@@ -1,0 +1,40 @@
+"""Meta-test: the repo's own source must satisfy its invariant checker.
+
+This is the tier-1 anchor for the standing constraints — a PR that
+introduces an unguarded touch of lock-guarded state, leaks an executor,
+lets hash order into the execution core, bypasses a close sentinel, or
+drops a QueryStats counter from a surface fails here before any
+runtime test has a chance to flake.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import analyze
+
+SRC = Path(repro.__file__).resolve().parent
+MAX_SUPPRESSIONS = 10
+
+
+def _run():
+    errors = []
+    findings = analyze(
+        [SRC], root=SRC.parent, on_error=lambda p, e: errors.append((p, e))
+    )
+    assert errors == []
+    return findings
+
+
+def test_src_is_violation_free():
+    active = [f for f in _run() if not f.suppressed]
+    assert active == [], "\n" + "\n".join(f.render() for f in active)
+
+
+def test_suppression_budget():
+    suppressed = [f for f in _run() if f.suppressed]
+    assert len(suppressed) <= MAX_SUPPRESSIONS, (
+        f"{len(suppressed)} inline suppressions — over the {MAX_SUPPRESSIONS} "
+        f"budget; fix violations instead of allowing them"
+    )
+    for finding in suppressed:
+        assert finding.suppression_reason, finding.render()

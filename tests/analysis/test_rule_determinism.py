@@ -1,0 +1,106 @@
+"""determinism: hash order, wall clock, randomness, id() ordering."""
+
+VIOLATION = """
+    def drain(cursors):
+        out = []
+        for cursor in set(cursors):
+            out.append(cursor.head)
+        return out
+"""
+
+CLEAN_TWIN = """
+    def drain(cursors):
+        out = []
+        for cursor in sorted(set(cursors)):
+            out.append(cursor.head)
+        return out
+"""
+
+
+def test_fires_on_set_iteration(active):
+    findings = active({"topk/merge.py": VIOLATION}, rule="determinism")
+    assert len(findings) == 1
+    assert "hash order" in findings[0].message
+
+
+def test_quiet_on_sorted_twin(active):
+    assert active({"topk/merge.py": CLEAN_TWIN}, rule="determinism") == []
+
+
+def test_out_of_scope_modules_ignored(active):
+    # Determinism is scoped to the execution core; the same code in a
+    # non-core module is not the parallel-identity surface.
+    assert active({"core/helpers.py": VIOLATION}, rule="determinism") == []
+
+
+def test_set_local_escaping_via_list(active):
+    findings = active(
+        {
+            "storage/sharded.py": """
+    def keys(rows):
+        seen = set(rows)
+        return list(seen)
+    """
+        },
+        rule="determinism",
+    )
+    assert len(findings) == 1
+    assert "list()" in findings[0].message
+
+
+def test_wall_clock_fires_perf_counter_quiet(active):
+    findings = active(
+        {
+            "storage/delta.py": """
+    import time
+
+    def stamp():
+        return time.time()
+
+    def elapsed(start):
+        return time.perf_counter() - start
+    """
+        },
+        rule="determinism",
+    )
+    assert len(findings) == 1
+    assert "wall-clock" in findings[0].message
+
+
+def test_unseeded_random_fires_seeded_quiet(active):
+    findings = active(
+        {
+            "topk/sampler.py": """
+    import random
+
+    def jitter():
+        return random.random()
+
+    def rng():
+        return random.Random(42)
+    """
+        },
+        rule="determinism",
+    )
+    assert len(findings) == 1
+    assert "random" in findings[0].message
+
+
+def test_id_ordering_fires_identity_key_quiet(active):
+    findings = active(
+        {
+            "topk/order.py": """
+    def bad(cursors):
+        return sorted(cursors, key=lambda c: id(c))
+
+    def fine(cursors):
+        by_identity = {}
+        for cursor in cursors:
+            by_identity[id(cursor)] = cursor
+        return by_identity
+    """
+        },
+        rule="determinism",
+    )
+    assert len(findings) == 1
+    assert "ordering" in findings[0].message

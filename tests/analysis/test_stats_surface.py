@@ -1,0 +1,86 @@
+"""stats-surface-drift: QueryStats fields must reach every surface."""
+
+RESULTS = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class QueryStats:
+        sorted_accesses: int = 0
+        delta_hits: int = 0
+"""
+
+METRICS_GENERIC = """
+    from dataclasses import fields
+    from repro.core.results import QueryStats
+
+    def families(stats):
+        return {f.name: getattr(stats, f.name) for f in fields(QueryStats)}
+"""
+
+METRICS_MISSING = """
+    def families(stats):
+        return {"sorted_accesses": stats.sorted_accesses}
+"""
+
+INTERFACE_FULL = """
+    def render(stats):
+        return [stats.sorted_accesses, stats.delta_hits]
+"""
+
+
+def test_fires_when_surface_misses_a_field(active):
+    findings = active(
+        {
+            "core/results.py": RESULTS,
+            "serve/metrics.py": METRICS_MISSING,
+            "demo/interface.py": INTERFACE_FULL,
+        },
+        rule="stats-surface-drift",
+    )
+    assert len(findings) == 1
+    assert "delta_hits" in findings[0].message
+    assert "metrics" in findings[0].message
+    # Anchored at the field's declaration so the fix lands there.
+    assert findings[0].path.endswith("core/results.py")
+
+
+def test_quiet_when_every_field_is_surfaced(active):
+    assert (
+        active(
+            {
+                "core/results.py": RESULTS,
+                "serve/metrics.py": METRICS_GENERIC,
+                "demo/interface.py": INTERFACE_FULL,
+            },
+            rule="stats-surface-drift",
+        )
+        == []
+    )
+
+
+def test_generic_fields_iteration_counts_as_full_coverage(active):
+    assert (
+        active(
+            {
+                "core/results.py": RESULTS,
+                "serve/metrics.py": METRICS_GENERIC,
+                "demo/interface.py": """
+    from dataclasses import fields
+    from repro.core.results import QueryStats
+
+    def render(stats):
+        return [getattr(stats, f.name) for f in fields(QueryStats)]
+    """,
+            },
+            rule="stats-surface-drift",
+        )
+        == []
+    )
+
+
+def test_absent_surface_files_do_not_fire(active):
+    # Checking a subtree that holds only the dataclass must not invent
+    # drift against surfaces outside the run.
+    assert (
+        active({"core/results.py": RESULTS}, rule="stats-surface-drift") == []
+    )

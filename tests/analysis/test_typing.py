@@ -1,0 +1,29 @@
+"""mypy over the typed seams — runs wherever mypy is installed.
+
+The seam files and strictness knobs live in ``pyproject.toml``
+(``[tool.mypy]``); this test just drives them, so CI (which installs
+the dev extras) and local environments with mypy agree on one config.
+Environments without mypy skip — the CI `analysis` job is the
+enforcement point.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_typed_seams_pass_mypy():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -210,7 +210,14 @@ class TestIngestRoute:
             deadline = time.monotonic() + 15.0
             while time.monotonic() < deadline:
                 health = client.healthz()
-                if health["generation"] >= 1 and health["delta"]["size"] == 0:
+                # The flush listeners run just after the swap publishes
+                # the new generation, so poll for the flush itself too —
+                # reading metrics in that window is not a failure.
+                if (
+                    health["generation"] >= 1
+                    and health["delta"]["size"] == 0
+                    and client.metrics()["cache"]["flushes"] >= 1
+                ):
                     break
                 time.sleep(0.05)
             else:
