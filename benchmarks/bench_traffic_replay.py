@@ -7,8 +7,12 @@ query mix (a few heavy-hitter queries, a long tail) interleaving eager
 and reports *latency percentiles* and *answers/sec* for the three executor
 kinds over the same v3 directory snapshot:
 
-* **serial** — ``executor_kind="serial", merge_batch=1``: no pools,
-  item-at-a-time posting pulls (the byte-identical reference);
+* **serial** — ``executor_kind="serial", merge_batch=1, block_size=1``:
+  no pools, item-at-a-time posting pulls, per-item scoring (the
+  byte-identical reference);
+* **blocked** — the same single thread under the default adaptive config:
+  block posting decode, batched scoring, and the hot-block cache
+  (:mod:`repro.topk.kernels`) — the executor-free win;
 * **thread** — 4 workers, adaptive merge batching: prefetch overlaps the
   consumer but every head preparation still shares the GIL;
 * **process** — 4 worker processes serving posting heads from their own
@@ -17,6 +21,11 @@ kinds over the same v3 directory snapshot:
 
 Every mode's per-operation answers are fingerprint-compared to the serial
 reference — the speedup must come with byte-identical results.
+
+``--profile large`` (or ``TRAFFIC_PROFILE=large``) additionally replays
+against a generated ≥1M-triple KG snapshot instead of the medium eval
+harness — production-scale posting lists instead of the test corpus.  It
+is opt-in: generation plus replay takes minutes, not bench-smoke seconds.
 
 The replay is deterministic (fixed seed), so the persisted
 ``BENCH_traffic.json`` at the repo root is comparable across commits — the
@@ -60,19 +69,20 @@ QUERY_POOL = [
 ]
 
 
-def _workload():
+def _workload(pool=None):
     """The replayed op sequence: (op, payload, k) tuples, fixed seed."""
+    pool = QUERY_POOL if pool is None else pool
     rng = random.Random(SEED)
-    weights = [1.0 / (rank + 1) for rank in range(len(QUERY_POOL))]
+    weights = [1.0 / (rank + 1) for rank in range(len(pool))]
     ops = []
     for _ in range(OPS):
         roll = rng.random()
         if roll < 0.5:
-            ops.append(("ask", rng.choices(QUERY_POOL, weights)[0], 80))
+            ops.append(("ask", rng.choices(pool, weights)[0], 80))
         elif roll < 0.8:
-            ops.append(("stream", rng.choices(QUERY_POOL, weights)[0], (25, 50)))
+            ops.append(("stream", rng.choices(pool, weights)[0], (25, 50)))
         else:
-            batch = [rng.choices(QUERY_POOL, weights)[0] for _ in range(3)]
+            batch = [rng.choices(pool, weights)[0] for _ in range(3)]
             ops.append(("ask_many", batch, 40))
     return ops
 
@@ -145,16 +155,20 @@ def _prior_trajectory():
 def _extend_trajectory(trajectory, entry):
     """Append ``entry`` unless it would duplicate a dirty-tree point.
 
-    The trajectory is one perf point per commit.  Re-running the bench
-    from an *uncommitted* tree whose HEAD already has an entry would
-    stack meaningless duplicates under the same sha — those runs refresh
-    the headline numbers but leave the trajectory alone.
+    The trajectory is one perf point per commit *and profile* (the
+    server-mode entries carry no profile and form their own series).
+    Re-running the same profile from an *uncommitted* tree whose HEAD
+    already has an entry would stack meaningless duplicates under the
+    same sha — those runs refresh the headline numbers but leave the
+    trajectory alone.  A different profile at the same sha is a distinct
+    perf point and always appends.
     """
     sha = entry.get("sha")
+    profile = entry.get("profile")
     if (
         sha is not None
         and any(
-            prior.get("sha") == sha
+            prior.get("sha") == sha and prior.get("profile") == profile
             for prior in trajectory
             if isinstance(prior, dict)
         )
@@ -166,21 +180,60 @@ def _extend_trajectory(trajectory, entry):
 
 
 MODES = {
-    "serial": dict(executor_kind="serial", merge_batch=1),
+    "serial": dict(executor_kind="serial", merge_batch=1, block_size=1),
+    "blocked": dict(executor_kind="serial"),
     "thread": dict(executor_kind="thread", parallelism=WORKERS),
     "process": dict(executor_kind="process", parallelism=WORKERS),
 }
 
+#: Large-profile world: ~175k people yields just over 1M KG triples at the
+#: generator's default coverage mix (measured 1,021,301).
+LARGE_WORLD = dict(
+    num_people=175_000,
+    num_countries=90,
+    num_universities=1200,
+    num_institutes=600,
+    num_companies=1500,
+    num_fields=200,
+    num_prizes=150,
+    num_groups=2000,
+)
 
-def test_traffic_replay_table(medium_harness, tmp_path):
-    store = medium_harness.xkg_store.convert("sharded")
-    snapshot = tmp_path / "traffic.snapd"
-    save_snapshot(store, snapshot)
-    segments = store.backend.num_segments
-    triples = len(store)
-    store.close()
+#: The large profile replays over a raw generated KG (no corpus, no mined
+#: rules), so its pool sticks to KG-vocabulary predicates.
+LARGE_QUERY_POOL = [
+    "?x affiliation ?y",
+    "?p affiliation ?u . ?u locatedIn ?c",
+    "?x locatedIn ?y",
+    "?x bornIn ?y",
+    "?a hasStudent ?b",
+]
 
-    ops = _workload()
+
+def _profile() -> str:
+    return os.environ.get("TRAFFIC_PROFILE", "medium").strip().lower()
+
+
+def _trajectory_entry(profile, results, speedups):
+    """One compact per-run trajectory point (latency + throughput)."""
+    return {
+        "sha": _git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "cpus": os.cpu_count(),
+        "profile": profile,
+        "modes": {
+            name: {
+                key: row[key]
+                for key in ("p50_ms", "p95_ms", "p99_ms", "answers_per_sec")
+            }
+            for name, row in results.items()
+        },
+        "speedup": speedups,
+    }
+
+
+def _run_modes(snapshot, ops):
+    """Replay ``ops`` under every mode; per-mode rows, reference-checked."""
     results = {}
     reference = None
     for name, overrides in MODES.items():
@@ -205,11 +258,39 @@ def test_traffic_replay_table(medium_harness, tmp_path):
             "answers": answers,
             "answers_per_sec": answers / total,
         }
+    return results
+
+
+def _mode_table(results, serial_rate):
+    rows = [
+        "mode      p50(ms)   p95(ms)   p99(ms)   answers/s   vs serial",
+        "-------   -------   -------   -------   ---------   ---------",
+    ]
+    for name, row in results.items():
+        speedup = row["answers_per_sec"] / serial_rate
+        rows.append(
+            f"{name:<7}   {row['p50_ms']:>7.2f}   {row['p95_ms']:>7.2f}   "
+            f"{row['p99_ms']:>7.2f}   {row['answers_per_sec']:>9.0f}   "
+            f"{speedup:>8.2f}x"
+        )
+    return rows
+
+
+def test_traffic_replay_table(medium_harness, tmp_path):
+    store = medium_harness.xkg_store.convert("sharded")
+    snapshot = tmp_path / "traffic.snapd"
+    save_snapshot(store, snapshot)
+    segments = store.backend.num_segments
+    triples = len(store)
+    store.close()
+
+    ops = _workload()
+    results = _run_modes(snapshot, ops)
 
     serial_rate = results["serial"]["answers_per_sec"]
     speedups = {
         f"{name}_vs_serial": results[name]["answers_per_sec"] / serial_rate
-        for name in ("thread", "process")
+        for name in ("blocked", "thread", "process")
     }
 
     artifact = {
@@ -234,20 +315,7 @@ def test_traffic_replay_table(medium_harness, tmp_path):
     # appends one compact entry per run so the file accumulates a perf
     # history across commits instead of overwriting it.
     trajectory = _prior_trajectory()
-    _extend_trajectory(
-        trajectory,
-        {
-            "sha": _git_sha(),
-            "timestamp": datetime.now(timezone.utc).isoformat(),
-            "cpus": os.cpu_count(),
-            "modes": {
-                name: {
-                    key: row[key] for key in ("p50_ms", "p95_ms", "p99_ms")
-                }
-                for name, row in results.items()
-            },
-        }
-    )
+    _extend_trajectory(trajectory, _trajectory_entry("medium", results, speedups))
     artifact["trajectory"] = trajectory
     ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
 
@@ -255,21 +323,13 @@ def test_traffic_replay_table(medium_harness, tmp_path):
         f"store: {triples} triples, {segments} segments; {len(ops)} ops "
         f"(Zipf query mix, seed {SEED})",
         "",
-        "mode      p50(ms)   p95(ms)   p99(ms)   answers/s   vs serial",
-        "-------   -------   -------   -------   ---------   ---------",
     ]
-    for name, row in results.items():
-        speedup = row["answers_per_sec"] / serial_rate
-        rows.append(
-            f"{name:<7}   {row['p50_ms']:>7.2f}   {row['p95_ms']:>7.2f}   "
-            f"{row['p99_ms']:>7.2f}   {row['answers_per_sec']:>9.0f}   "
-            f"{speedup:>8.2f}x"
-        )
+    rows += _mode_table(results, serial_rate)
     rows += [
         "",
         f"effective kinds: "
         + ", ".join(f"{n}={r['executor_kind']}" for n, r in results.items()),
-        "answers byte-identical across all three executor kinds",
+        "answers byte-identical across all modes",
         f"persisted: {ARTIFACT.name}",
     ]
     print_artifact(
@@ -282,6 +342,90 @@ def test_traffic_replay_table(medium_harness, tmp_path):
     assert speedups["process_vs_serial"] >= floor, (
         f"process executor only {speedups['process_vs_serial']:.2f}x the "
         f"serial answers/sec (floor {floor}x)"
+    )
+    blocked_floor = float(os.environ.get("TRAFFIC_BLOCKED_FLOOR", "1.2"))
+    assert speedups["blocked_vs_serial"] >= blocked_floor, (
+        f"block kernels only {speedups['blocked_vs_serial']:.2f}x the "
+        f"per-item serial answers/sec (floor {blocked_floor}x)"
+    )
+
+
+def test_traffic_replay_large(tmp_path):
+    """``--profile large``: the executor comparison at production scale.
+
+    Generates a ≥1M-triple KG (direct :mod:`repro.kg` world + generator,
+    no corpus/mining — the KG alone carries the scale), snapshots it
+    sharded, and replays the Zipf mix over KG-vocabulary queries.  Opt-in
+    via ``TRAFFIC_PROFILE=large`` — the build takes minutes by design.
+    """
+    import pytest
+
+    if _profile() != "large":
+        pytest.skip("opt-in: set TRAFFIC_PROFILE=large (or --profile large)")
+    from repro.kg.generator import KgGenerator
+    from repro.kg.world import World, WorldConfig
+
+    built = time.perf_counter()
+    world = World.generate(WorldConfig(**LARGE_WORLD))
+    kg = KgGenerator(world).generate()
+    store = kg.store("traffic-large", backend="sharded")
+    triples = len(store)
+    assert triples >= 1_000_000, f"large profile too small: {triples} triples"
+    snapshot = tmp_path / "traffic-large.snapd"
+    save_snapshot(store, snapshot)
+    segments = store.backend.num_segments
+    store.close()
+    build_s = time.perf_counter() - built
+
+    ops = _workload(LARGE_QUERY_POOL)
+    results = _run_modes(snapshot, ops)
+    serial_rate = results["serial"]["answers_per_sec"]
+    speedups = {
+        f"{name}_vs_serial": results[name]["answers_per_sec"] / serial_rate
+        for name in ("blocked", "thread", "process")
+    }
+
+    try:
+        artifact = json.loads(ARTIFACT.read_text())
+        if not isinstance(artifact, dict):
+            raise ValueError
+    except (OSError, json.JSONDecodeError, ValueError):
+        artifact = {"bench": "traffic_replay"}
+    artifact["large"] = {
+        "store": {
+            "triples": triples,
+            "segments": segments,
+            "profile": "large",
+            "people": LARGE_WORLD["num_people"],
+            "build_s": build_s,
+        },
+        "workload": {"ops": len(ops), "seed": SEED, "query_pool": LARGE_QUERY_POOL},
+        "workers": WORKERS,
+        "cpus": os.cpu_count(),
+        "modes": results,
+        "speedup": speedups,
+        "identical_answers": True,
+    }
+    trajectory = _prior_trajectory()
+    _extend_trajectory(trajectory, _trajectory_entry("large", results, speedups))
+    artifact["trajectory"] = trajectory
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    rows = [
+        f"store: {triples} triples, {segments} segments "
+        f"(built in {build_s:.0f}s); {len(ops)} ops (Zipf mix, seed {SEED})",
+        "",
+    ]
+    rows += _mode_table(results, serial_rate)
+    rows += [
+        "",
+        "answers byte-identical across all modes",
+        f"persisted: {ARTIFACT.name} (large entry + trajectory)",
+    ]
+    print_artifact(
+        "Table (tab-traffic-replay --profile large): 1M-triple executor "
+        "comparison",
+        "\n".join(rows),
     )
 
 
@@ -437,4 +581,9 @@ if __name__ == "__main__":
     args = [__file__, "-q", "-s"]
     if "--server" in sys.argv:
         args += ["-k", "server"]
+    if "--profile" in sys.argv:
+        profile = sys.argv[sys.argv.index("--profile") + 1]
+        os.environ["TRAFFIC_PROFILE"] = profile
+        if profile.strip().lower() == "large":
+            args += ["-k", "large"]
     raise SystemExit(pytest.main(args))

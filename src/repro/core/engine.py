@@ -57,6 +57,7 @@ from repro.storage.procpool import process_context
 from repro.storage.statistics import StoreStatistics
 from repro.storage.store import TripleStore
 from repro.storage.text_index import TokenMatcher
+from repro.topk.kernels import HotBlockCache
 from repro.topk.processor import ProcessorConfig, TopKProcessor
 
 
@@ -108,6 +109,15 @@ class EngineConfig:
         ``ADAPTIVE_MAX_BATCH``).  ``1`` degenerates to item-at-a-time
         pulls — the serial reference the property suite pins parallel
         execution against.
+    block_size:
+        Posting-block granularity of the id-space execution kernels: how
+        many posting heads the cursors decode, filter and score per
+        :func:`repro.topk.kernels.score_block` call.  ``None`` (default)
+        adapts — cursors over merged segment postings score exactly what
+        each batched pull materialised (so ``merge_batch`` governs both),
+        monolithic posting views use the kernels' default block.  ``1``
+        selects the original per-item scoring path, the byte-identical
+        reference the property suite pins the block kernels against.
     compaction_threshold:
         Live-ingestion compaction trigger: once :meth:`TriniT.ingest` has
         grown the store's mutable delta segment past this many statements,
@@ -138,6 +148,7 @@ class EngineConfig:
         default_factory=lambda: os.environ.get("TRINIT_EXECUTOR_KIND", "thread")
     )
     merge_batch: int | None = None
+    block_size: int | None = None
     compaction_threshold: int | None = None
     mine_arg_overlap: bool = True
     mine_chains: bool = True
@@ -249,6 +260,14 @@ class TriniT:
                 else self._executor,
                 self.config.merge_batch,
             )
+        store.configure_blocks(self.config.block_size)
+        # One bounded hot-block cache per engine, shared across queries and
+        # snapshot generations (keys carry the snapshot identity, so stale
+        # generations simply stop being hit; swaps clear it outright).
+        self._block_cache = HotBlockCache()
+        configure_cache = getattr(store.backend, "configure_block_cache", None)
+        if configure_cache is not None:
+            configure_cache(self._block_cache)
         self.statistics = StoreStatistics(store)
         self.matcher = TokenMatcher(store)
         self.scorer = PatternScorer(store, self.config.scoring)
@@ -512,6 +531,10 @@ class TriniT:
                 else self._executor,
                 self.config.merge_batch,
             )
+        store.configure_blocks(self.config.block_size)
+        configure_cache = getattr(store.backend, "configure_block_cache", None)
+        if configure_cache is not None:
+            configure_cache(self._block_cache)
         epoch = self._epoch
         with epoch.cond:
             while epoch.active:
@@ -530,6 +553,10 @@ class TriniT:
                 else self.generation + 1
             )
             self._retire(old)
+        # Quiet point: in-flight queries drained at the barrier above, so
+        # no cursor is mid-consume against a cached block of the retired
+        # store — drop every cached block in one sweep.
+        self._block_cache.clear()
         for callback in list(self._swap_listeners):
             callback(self)
 
@@ -610,6 +637,7 @@ class TriniT:
             for store in pinned:
                 store.close()
             self.store.close()
+            self._block_cache.clear()
 
     @property
     def closed(self) -> bool:
@@ -791,6 +819,7 @@ class TriniT:
         clone._executor = self._executor
         clone._process_executor = self._process_executor
         clone.executor_kind = self.executor_kind
+        clone._block_cache = self._block_cache
         # Live-ingestion state is shared with the parent: a compaction in
         # either must drain and retire the same epoch and pin set.  Copy
         # the references under the epoch lock so the clone never observes

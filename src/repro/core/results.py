@@ -149,6 +149,12 @@ class QueryStats:
     store's mutable delta segment (live ingestion) rather than a frozen
     segment — the observable share of a query answered by not-yet-
     compacted data.
+
+    ``blocks_decoded`` and ``block_cache_hits`` are the block-kernel
+    counters (:mod:`repro.topk.kernels`): how many posting blocks the
+    query's cursors decoded and scored in one kernel call each, and how
+    many prepared head blocks were served from the engine's hot-block
+    cache instead of being re-translated from segment postings.
     """
 
     sorted_accesses: int = 0
@@ -165,6 +171,8 @@ class QueryStats:
     postings_materialized: int = 0
     posting_pulls: int = 0
     delta_hits: int = 0
+    blocks_decoded: int = 0
+    block_cache_hits: int = 0
 
     def copy(self) -> "QueryStats":
         return replace(self)

@@ -106,9 +106,18 @@ class GeneratedKg:
         total = kept + dropped
         return kept / total if total else 0.0
 
-    def store(self, name: str | None = None, freeze: bool = True) -> TripleStore:
-        """Load the KG into a fresh triple store."""
-        store = TripleStore(name or self.config.kg_name)
+    def store(
+        self,
+        name: str | None = None,
+        freeze: bool = True,
+        backend: str | None = None,
+    ) -> TripleStore:
+        """Load the KG into a fresh triple store.
+
+        ``backend`` picks the storage backend directly (``"sharded"`` for
+        benchmark-scale KGs skips the build-then-convert copy).
+        """
+        store = TripleStore(name or self.config.kg_name, backend=backend)
         for triple in self.triples:
             store.add(triple, self.provenance)
         return store.freeze() if freeze else store

@@ -123,6 +123,12 @@ class World:
         self.facts: list[WorldFact] = []
         self._by_relation: dict[str, list[WorldFact]] = defaultdict(list)
         self._pairs: dict[str, set[tuple[str, str]]] = defaultdict(set)
+        # Per-subject / per-object adjacency, so objects_of / subjects_of
+        # stay O(degree) instead of scanning a relation's whole pair set —
+        # generation probes these inside the per-person loop, which made
+        # lookups over growing relations (marriedTo) quadratic at scale.
+        self._objects: dict[tuple[str, str], list[str]] = defaultdict(list)
+        self._subjects: dict[tuple[str, str], list[str]] = defaultdict(list)
         self.people: list[WorldEntity] = []
         self.cities: list[WorldEntity] = []
         self.countries: list[WorldEntity] = []
@@ -149,10 +155,10 @@ class World:
         return self._pairs.get(relation, set())
 
     def objects_of(self, relation: str, subject: str) -> list[str]:
-        return sorted(o for s, o in self._pairs.get(relation, ()) if s == subject)
+        return sorted(self._objects.get((relation, subject), ()))
 
     def subjects_of(self, relation: str, obj: str) -> list[str]:
-        return sorted(s for s, o in self._pairs.get(relation, ()) if o == obj)
+        return sorted(self._subjects.get((relation, obj), ()))
 
     def holds(self, relation: str, subject: str, obj: str) -> bool:
         return (subject, obj) in self._pairs.get(relation, set())
@@ -173,6 +179,8 @@ class World:
         self.facts.append(fact)
         self._by_relation[relation].append(fact)
         self._pairs[relation].add((subject, obj))
+        self._objects[relation, subject].append(obj)
+        self._subjects[relation, obj].append(subject)
 
     @classmethod
     def generate(cls, config: WorldConfig | None = None) -> "World":

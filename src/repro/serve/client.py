@@ -2,16 +2,19 @@
 
 Used by the integration tests and the traffic bench's ``--server`` mode;
 also a worked example of the wire protocol for real clients.  Built on
-``http.client`` only (one connection per request — the server answers
-``Connection: close``); SSE responses are read to EOF and parsed into
-their events.
+``http.client`` only.  The client keeps one persistent connection and
+reuses it while the server answers ``Connection: keep-alive``; when a
+kept-alive socket turns out stale (the server's idle timeout or request
+budget closed it between requests), the request is retried exactly once
+on a fresh connection.  SSE responses are EOF-framed — the server closes
+after the event stream, so the connection is dropped there.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from http.client import HTTPConnection
+from http.client import HTTPConnection, HTTPException
 
 from repro.errors import TrinitError
 
@@ -89,24 +92,58 @@ class ServeClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._connection: HTTPConnection | None = None
+
+    def close(self) -> None:
+        """Drop the kept-alive connection (idempotent)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- plumbing ------------------------------------------------------------
 
     def _request(self, method: str, path: str, body: dict | None = None):
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            headers = {}
-            encoded = None
-            if body is not None:
-                encoded = json.dumps(body).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=encoded, headers=headers)
-            response = connection.getresponse()
-            status = response.status
-            content_type = response.getheader("Content-Type", "")
-            raw = response.read()
-        finally:
-            connection.close()
+        headers = {}
+        encoded = None
+        if body is not None:
+            encoded = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            reused = self._connection is not None
+            connection = self._connection or HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._connection = None
+            try:
+                connection.request(method, path, body=encoded, headers=headers)
+                response = connection.getresponse()
+                status = response.status
+                content_type = response.getheader("Content-Type", "")
+                keep = (
+                    response.getheader("Connection", "").strip().lower()
+                    == "keep-alive"
+                )
+                raw = response.read()
+            except (ConnectionError, HTTPException, OSError):
+                # A stale kept-alive socket (closed server-side between
+                # requests) fails on write or on the status line; retry
+                # exactly once on a fresh connection.  A fresh
+                # connection's failure is real — propagate it.
+                connection.close()
+                if reused and attempt == 0:
+                    continue
+                raise
+            if keep:
+                self._connection = connection
+            else:
+                connection.close()
+            break
         if "json" in content_type:
             payload = json.loads(raw.decode("utf-8")) if raw else None
         else:

@@ -4,8 +4,9 @@
 surface.  It is deliberately built on ``asyncio.start_server`` with
 hand-rolled HTTP/1.1 request parsing and Server-Sent-Events framing —
 the project has zero runtime dependencies and a query server does not
-need a framework: five routes, one content type, connections closed per
-response.
+need a framework: five routes, one content type, HTTP/1.1 keep-alive
+with a bounded per-connection request budget and idle timeout (SSE
+responses are EOF-framed and always close).
 
 Routes
 ------
@@ -112,6 +113,14 @@ class ServeConfig:
     drain_grace:
         Shutdown drain bound in seconds: how long ``stop()`` waits for
         in-flight requests to finish before closing anyway.
+    keepalive_requests:
+        Requests served per connection before the server answers
+        ``Connection: close`` (bounds how long one client can hold a
+        connection slot); ``1`` disables reuse entirely.
+    keepalive_idle:
+        Seconds an idle kept-alive connection may wait for its next
+        request before the server closes it.  Idle connections are not
+        in-flight: draining never waits on them.
     """
 
     host: str = "127.0.0.1"
@@ -125,6 +134,8 @@ class ServeConfig:
     session_ttl: float = 600.0
     max_sessions: int = 256
     drain_grace: float = 5.0
+    keepalive_requests: int = 100
+    keepalive_idle: float = 5.0
 
 
 def serialize_answer(answer: Answer, rank: int) -> dict:
@@ -159,6 +170,18 @@ class _Request:
     params: dict[str, str]
     headers: dict[str, str]
     body: bytes
+    version: str = "HTTP/1.1"
+    #: Whether the response may keep the connection open — the handshake
+    #: of client wish (``Connection`` header, HTTP version default) and
+    #: server policy (per-connection budget, drain state); the SSE
+    #: handler forces it off (event streams are terminated by EOF).
+    keep_alive: bool = False
+
+    def wants_keepalive(self) -> bool:
+        token = self.headers.get("connection", "").strip().lower()
+        if self.version == "HTTP/1.0":
+            return token == "keep-alive"
+        return token != "close"
 
 
 class _Session:
@@ -227,6 +250,7 @@ class QueryService:
         )
         engine.on_store_swap(self._store_swapped)
         self._sessions: dict[str, _Session] = {}
+        self._connections: set = set()
         self._inflight = 0
         self._draining = False
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -346,6 +370,14 @@ class QueryService:
         deadline = loop.time() + grace
         while self._inflight and loop.time() < deadline:
             await asyncio.sleep(0.02)
+        # Kept-alive connections waiting idle for a next request are not
+        # in-flight; close them under their readers so their handler
+        # loops exit before the event loop does.
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
         # Sessions go last: each holds the AnswerStream whose weakref
         # finalizer unpins its store generation — dropping them here is
         # what lets close() retire pinned pre-compaction stores.
@@ -376,22 +408,65 @@ class QueryService:
     # -- connection handling -------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
-        self._inflight += 1
+        # HTTP/1.1 keep-alive: serve up to ``keepalive_requests`` requests
+        # over one connection.  Each request is counted in-flight only
+        # while it is being dispatched — a kept-alive connection waiting
+        # idle for its next request never blocks the shutdown drain
+        # (the drain closes idle connections under their readers instead).
+        self._connections.add(writer)
+        try:
+            served = 0
+            while await self._serve_one(reader, writer, served):
+                served += 1
+        finally:
+            self._connections.discard(writer)
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+            except (OSError, RuntimeError):
+                pass
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    async def _serve_one(self, reader, writer, served: int) -> bool:
+        """Read and answer one request; True to keep the connection."""
         started = time.perf_counter()
         route, status = "unknown", 500
+        keep = False
         try:
             try:
-                request = await self._read_request(reader)
+                if served == 0:
+                    request = await self._read_request(reader)
+                else:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader),
+                        self.config.keepalive_idle,
+                    )
+            except asyncio.TimeoutError:  # idle keep-alive expired
+                route, status = "empty", 0
+                return False
             except _BadRequest as exc:
                 route = "bad"
-                status = await self._respond(
-                    writer, 400, {"error": str(exc)}
-                )
-                return
+                status = await self._respond(writer, 400, {"error": str(exc)})
+                return False
             if request is None:  # client closed without a request
                 route, status = "empty", 0
-                return
-            route, status = await self._dispatch(request, writer)
+                return False
+            started = time.perf_counter()
+            request.keep_alive = (
+                served + 1 < self.config.keepalive_requests
+                and not self._draining
+                and request.wants_keepalive()
+            )
+            self._inflight += 1
+            try:
+                route, status = await self._dispatch(request, writer)
+            finally:
+                self._inflight -= 1
+            keep = request.keep_alive
         except (ConnectionError, asyncio.IncompleteReadError):
             status = 0  # client went away; nothing to answer
         except Exception as exc:  # noqa: BLE001 - last-resort 500
@@ -402,21 +477,11 @@ class QueryService:
             except (ConnectionError, RuntimeError):
                 pass
         finally:
-            self._inflight -= 1
             if route not in ("empty",) and status:
                 self.metrics.observe_request(
                     route, status, time.perf_counter() - started
                 )
-            try:
-                if writer.can_write_eof():
-                    writer.write_eof()
-            except (OSError, RuntimeError):
-                pass
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+        return keep
 
     async def _read_request(self, reader) -> _Request | None:
         try:
@@ -432,7 +497,7 @@ class QueryService:
         parts = line.decode("latin-1").strip().split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
             raise _BadRequest(f"Malformed request line: {line!r}")
-        method, target, _version = parts
+        method, target, version = parts
         headers: dict[str, str] = {}
         header_bytes = 0
         while True:
@@ -468,7 +533,9 @@ class QueryService:
             key: values[-1]
             for key, values in parse_qs(split.query, keep_blank_values=True).items()
         }
-        return _Request(method, unquote(split.path), params, headers, body)
+        return _Request(
+            method, unquote(split.path), params, headers, body, version
+        )
 
     # -- responses -----------------------------------------------------------
 
@@ -480,6 +547,7 @@ class QueryService:
         *,
         content_type: str = "application/json",
         extra_headers: tuple[tuple[str, str], ...] = (),
+        keep_alive: bool = False,
     ) -> int:
         if isinstance(payload, bytes):
             body = payload
@@ -491,7 +559,7 @@ class QueryService:
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
             f"Content-Type: {content_type}; charset=utf-8",
             f"Content-Length: {len(body)}",
-            "Connection: close",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
         head.extend(f"{name}: {value}" for name, value in extra_headers)
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
@@ -523,14 +591,21 @@ class QueryService:
             ("GET", "/metrics"): ("metrics", self._handle_metrics),
         }
         entry = route_map.get((request.method, request.path))
+        keep = request.keep_alive
         if entry is None:
             known_path = any(path == request.path for _m, path in route_map)
             if known_path:
                 return "bad", await self._respond(
-                    writer, 405, {"error": f"Method not allowed: {request.method}"}
+                    writer,
+                    405,
+                    {"error": f"Method not allowed: {request.method}"},
+                    keep_alive=keep,
                 )
             return "bad", await self._respond(
-                writer, 404, {"error": f"No such route: {request.path}"}
+                writer,
+                404,
+                {"error": f"No such route: {request.path}"},
+                keep_alive=keep,
             )
         route, handler = entry
         if self._draining and route not in ("healthz", "metrics"):
@@ -541,16 +616,26 @@ class QueryService:
             return route, await handler(request, writer)
         except Overloaded as exc:
             return route, await self._respond(
-                writer, exc.status, {"error": str(exc), "reason": exc.reason}
+                writer,
+                exc.status,
+                {"error": str(exc), "reason": exc.reason},
+                keep_alive=keep,
             )
         except _BadRequest as exc:
-            return route, await self._respond(writer, 400, {"error": str(exc)})
+            return route, await self._respond(
+                writer, 400, {"error": str(exc)}, keep_alive=keep
+            )
         except TrinitError as exc:
             # Parse/query errors are the client's fault; a closed store
             # under a live stream means the service is going away.
             status = 503 if isinstance(exc, StorageError) else 400
+            if status == 503:
+                request.keep_alive = False
             return route, await self._respond(
-                writer, status, {"error": f"{type(exc).__name__}: {exc}"}
+                writer,
+                status,
+                {"error": f"{type(exc).__name__}: {exc}"},
+                keep_alive=request.keep_alive,
             )
 
     def _json_body(self, request: _Request) -> dict:
@@ -593,7 +678,9 @@ class QueryService:
         if cached is not None:
             payload = dict(cached)
             payload["cached"] = True
-            return await self._respond(writer, 200, payload)
+            return await self._respond(
+                writer, 200, payload, keep_alive=request.keep_alive
+            )
         loop = asyncio.get_running_loop()
         answers = await self.admission.run(
             loop, self._executor, lambda: engine.ask(query, k)
@@ -612,7 +699,9 @@ class QueryService:
             "stats": _stats_dict(answers.stats),
         }
         self.cache.put(key, payload)
-        return await self._respond(writer, 200, payload)
+        return await self._respond(
+            writer, 200, payload, keep_alive=request.keep_alive
+        )
 
     # -- GET /stream ---------------------------------------------------------
 
@@ -628,7 +717,10 @@ class QueryService:
             session = self._sessions.get(sid)
             if session is None:
                 return await self._respond(
-                    writer, 404, {"error": f"Unknown or expired session {sid!r}"}
+                    writer,
+                    404,
+                    {"error": f"Unknown or expired session {sid!r}"},
+                    keep_alive=request.keep_alive,
                 )
             self.metrics.count_session("resumed")
         else:
@@ -647,6 +739,9 @@ class QueryService:
             self.metrics.count_session("created")
             self._cap_sessions()
 
+        # SSE responses are framed by connection close, not Content-Length
+        # — the event stream always ends the connection.
+        request.keep_alive = False
         async with session.lock:
             session.last_used = loop.time()
             await self._stream_batch(session, n, writer, loop)
@@ -815,6 +910,7 @@ class QueryService:
                 "generation": engine.generation,
                 "snapshot": engine.snapshot_identity(),
             },
+            keep_alive=request.keep_alive,
         )
 
     @staticmethod
@@ -858,6 +954,7 @@ class QueryService:
                 "sessions": len(self._sessions),
                 "inflight": self._inflight,
             },
+            keep_alive=request.keep_alive,
         )
 
     # -- GET /metrics --------------------------------------------------------
@@ -868,11 +965,15 @@ class QueryService:
         admission_stats["sessions"] = len(self._sessions)
         if request.params.get("format") == "json":
             return await self._respond(
-                writer, 200, self.metrics.snapshot(cache_stats, admission_stats)
+                writer,
+                200,
+                self.metrics.snapshot(cache_stats, admission_stats),
+                keep_alive=request.keep_alive,
             )
         return await self._respond(
             writer,
             200,
             self.metrics.render_prometheus(cache_stats, admission_stats),
             content_type="text/plain; version=0.0.4",
+            keep_alive=request.keep_alive,
         )

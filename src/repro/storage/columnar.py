@@ -245,6 +245,45 @@ class ColumnarBackend:
             base, len(self._s), self._weights, self._delta, bound_slots, key
         )
 
+    def posting_block(
+        self,
+        bound_slots: Sequence[bool],
+        key: tuple[int, ...],
+        lo: int,
+        hi: int,
+    ) -> Sequence[int]:
+        """Zero-copy block ``[lo, hi)`` of one *frozen* posting list.
+
+        The block-decode entry point of the execution kernels
+        (:mod:`repro.topk.kernels`): a memoryview slice straight off the
+        permutation array — for an mmap-restored backend that is a window
+        onto the mapped snapshot pages, no intermediate tuples or copies.
+        Serves the frozen columns only; a live delta overlay is merged by
+        :meth:`postings`, never block-decoded here (delta heads are always
+        prepared thread-side from the mutable segment).  Raises
+        :class:`StorageError` once the backend is closed — a cached
+        consumer holding a stale handle gets a clean error, not a crash
+        against released views.
+        """
+        if self._closed:
+            raise StorageError("Storage backend is closed")
+        if not self._frozen:
+            raise StorageError("Backend must be frozen before lookup")
+        sig = signature_of(bound_slots)
+        if sig and len(key) != len(sig):
+            raise StorageError(
+                f"Key arity {len(key)} does not match signature {sig}"
+            )
+        if not sig:
+            base: Sequence[int] = self._scan_view  # type: ignore[assignment]
+        else:
+            span = self._offsets[sig].get(key)
+            if span is None:
+                return _EMPTY
+            start, stop = span
+            base = self._perm_views[sig][start:stop]
+        return base[lo:hi]
+
     def segment_count(self) -> int:
         return 1
 

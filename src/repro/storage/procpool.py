@@ -75,21 +75,25 @@ def prepare_heads(
     key: tuple[int, ...],
     lo: int,
     hi: int,
-) -> list[tuple[float, int]]:
-    """Prepare one segment's ``[lo, hi)`` posting range as pre-keyed heads.
+):
+    """Prepare one segment's ``[lo, hi)`` posting range as a head block.
 
-    The process-pool counterpart of ``_SegmentStream.prepare_range``: the
+    The process-pool counterpart of ``_SegmentStream.prepare_block``: the
     worker re-runs the segment-local lookup against its own mapping (a dict
-    probe into the frozen offset table — no scan) and translates the
-    requested slice of local posting ids into ``(-weight, global_id)``
-    merge keys.  Both sides slice the same frozen posting list, so the
-    heads are identical to an inline preparation in the engine process.
+    probe into the frozen offset table — no scan), block-decodes the
+    requested slice zero-copy (``posting_block``), and translates it into
+    pre-keyed merge heads — two parallel ``(-weight, global id)`` columns
+    (:func:`repro.topk.kernels.prepare_head_block`).  Both sides slice the
+    same frozen posting list, so the block is identical to an inline
+    preparation in the engine process, and the two flat columns pickle
+    tighter than a list of per-head tuples.
     """
+    from repro.topk.kernels import prepare_head_block
+
     backend = _backend_for(directory)
-    postings = backend._segment(segment_index).postings(bound_slots, key)
+    postings = backend._segment(segment_index).posting_block(
+        bound_slots, key, lo, hi
+    )
     globals_ = backend._globals[segment_index]
     weights = backend._weights
-    return [
-        (-weights[gid], gid)
-        for gid in map(globals_.__getitem__, postings[lo:hi])
-    ]
+    return prepare_head_block(postings, globals_, weights, 0, len(postings))

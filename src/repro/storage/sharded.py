@@ -13,10 +13,16 @@ score-sorted lists: segment heads are compared by (weight desc, global id
 asc) — exactly the global sort key the single-segment backends freeze with —
 so the merged stream is element-identical to a columnar posting list, while
 only the consumed prefix is ever materialised.  The merge pulls each
-segment's heads in *batches* (one tight list comprehension translates local
-ids to pre-keyed global heads), and :meth:`configure_prefetch` can point it
-at a shared executor so the next batch of every segment is prepared
-concurrently while the consumer drains the current one.  Batch sizing is
+segment's heads as pre-keyed **blocks** — two parallel ``(-weight, global
+id)`` columns built by C-speed gathers (:func:`repro.topk.kernels.
+prepare_head_block`) instead of per-head tuple lists — and
+:meth:`configure_prefetch` can point it at a shared executor so the next
+block of every segment is prepared concurrently while the consumer drains
+the current one.  :meth:`configure_block_cache` additionally attaches the
+engine-owned :class:`~repro.topk.kernels.HotBlockCache`, so the front
+blocks Zipfian traffic hammers are decoded once and served from memory
+(delta blocks are never cached — the mutable segment changes under live
+ingestion).  Batch sizing is
 either fixed or **adaptive** (``batch=None``): each merge starts small and
 doubles its per-segment pull as the consumer keeps draining, so one-head
 rewriting probes stay cheap while deep drains converge to amortised bulk
@@ -54,6 +60,20 @@ from repro.storage.procpool import prepare_heads
 
 _EMPTY: tuple[int, ...] = ()
 
+#: Lazily-imported kernel module (repro.topk.kernels imports nothing from
+#: the storage layer, but importing it at module top level here would run
+#: repro.topk's package init mid-way through the storage imports).
+_kernels = None
+
+
+def _kernel_module():
+    global _kernels
+    if _kernels is None:
+        from repro.topk import kernels
+
+        _kernels = kernels
+    return _kernels
+
 #: Segment count used when the backend is built by registry name.
 DEFAULT_SEGMENTS = 4
 
@@ -83,18 +103,20 @@ REMOTE_MIN_BATCH = 64
 class _SegmentStream:
     """One segment's contribution to a merge: postings plus the id map.
 
-    ``prepare_range`` translates the ``[lo, hi)`` local posting ids into
-    pre-keyed global heads ``(-weight, global_id)`` in one pass — the unit
-    of work an executor runs ahead of the consumer.  Ranges are *claimed*
-    (``position`` advanced, the range parked in ``inflight``) before the
-    work is placed, on the consuming thread, so at most one range per
-    stream is ever outstanding and no lock is needed; whoever delivers the
-    claimed range — prefetch worker or inline fallback — produces the same
-    heads.
+    ``prepare_block`` translates the ``[lo, hi)`` local posting ids into a
+    pre-keyed head block — parallel ``(-weight, global id)`` columns — in
+    one pass of C-speed gathers; that block is the unit of work an
+    executor runs ahead of the consumer, and the unit the hot-block cache
+    stores.  ``kw``/``kg`` hold the current block, ``index`` the consumed
+    prefix.  Ranges are *claimed* (``position`` advanced, the range parked
+    in ``inflight``) before the work is placed, on the consuming thread,
+    so at most one range per stream is ever outstanding and no lock is
+    needed; whoever delivers the claimed range — prefetch worker, cache,
+    or inline fallback — produces the same block.
     """
 
-    __slots__ = ("postings", "globals_", "segment_index", "position", "keys",
-                 "index", "future", "inflight", "weights", "is_delta")
+    __slots__ = ("postings", "globals_", "segment_index", "position", "kw",
+                 "kg", "index", "future", "inflight", "weights", "is_delta")
 
     def __init__(
         self,
@@ -107,7 +129,9 @@ class _SegmentStream:
         self.globals_ = globals_
         self.segment_index = 0
         self.position = 0
-        self.keys: list[tuple[float, int]] = []
+        # Current head block: -weight merge keys and global ids, parallel.
+        self.kw: Sequence[float] = ()
+        self.kg: Sequence[int] = ()
         self.index = 0
         self.future = None
         self.inflight: tuple[int, int] | None = None
@@ -124,14 +148,12 @@ class _SegmentStream:
         self.inflight = (lo, hi)
         return lo, hi
 
-    def prepare_range(self, weights, lo: int, hi: int) -> list[tuple[float, int]]:
+    def prepare_block(self, weights, lo: int, hi: int):
         if self.weights is not None:
             weights = self.weights
-        globals_ = self.globals_
-        return [
-            (-weights[gid], gid)
-            for gid in map(globals_.__getitem__, self.postings[lo:hi])
-        ]
+        return _kernel_module().prepare_head_block(
+            self.postings, self.globals_, weights, lo, hi
+        )
 
 
 class _RemoteSpec:
@@ -148,6 +170,27 @@ class _RemoteSpec:
         self.directory = directory
         self.bound_slots = bound_slots
         self.key = key
+
+
+class _CachedBlock:
+    """Future-like wrapper around a cache-served head block.
+
+    Lets a cache hit flow through the same ``stream.future`` slot as an
+    executor submission: :meth:`cancel` refuses (the block is already
+    here), :meth:`result` hands it over.  ``_refill`` recognises the type
+    to count the hit.
+    """
+
+    __slots__ = ("_block",)
+
+    def __init__(self, block):
+        self._block = block
+
+    def cancel(self) -> bool:
+        return False
+
+    def result(self):
+        return self._block
 
 
 class MergedPostings:
@@ -185,7 +228,8 @@ class MergedPostings:
 
     __slots__ = ("_items", "_streams", "_weights", "_length", "_heap",
                  "_executor", "_batch", "_adaptive", "_remote",
-                 "_has_delta", "_delta_emitted")
+                 "_has_delta", "_delta_emitted", "_cache", "_cache_base",
+                 "_cache_hits")
 
     def __init__(
         self,
@@ -198,6 +242,8 @@ class MergedPostings:
         remote: "_RemoteSpec | None" = None,
         segment_indices: Sequence[int] | None = None,
         delta=None,
+        cache=None,
+        cache_base: tuple | None = None,
     ):
         self._items = array(ID_TYPECODE)
         self._streams = [_SegmentStream(p, g) for p, g in parts]
@@ -220,6 +266,11 @@ class MergedPostings:
         self._adaptive = batch is None
         self._batch = ADAPTIVE_INITIAL_BATCH if batch is None else max(1, batch)
         self._remote = remote if executor is not None else None
+        # Hot-block cache: engine-owned, shared across merges; keyed by the
+        # lookup address (cache_base) plus segment index and block range.
+        self._cache = cache if cache_base is not None else None
+        self._cache_base = cache_base
+        self._cache_hits = 0
         if executor is not None and remote is None:
             for stream in self._streams:
                 stream.future = self._submit(stream)
@@ -250,7 +301,21 @@ class MergedPostings:
         """How many materialised items came from the mutable delta."""
         return self._delta_emitted
 
+    @property
+    def cache_hits(self) -> int:
+        """How many head blocks this merge served from the hot-block cache
+        (the source of ``QueryStats.block_cache_hits``)."""
+        return self._cache_hits
+
     # -- merge machinery ---------------------------------------------------
+
+    def _cache_key(self, stream: _SegmentStream, lo: int, hi: int) -> tuple:
+        return (self._cache_base, stream.segment_index, lo, hi)
+
+    def _cacheable(self, stream: _SegmentStream) -> bool:
+        # Frozen segment blocks only: the mutable delta changes under live
+        # ingestion, and its streams are rebuilt per lookup anyway.
+        return self._cache is not None and not stream.is_delta
 
     def _submit(self, stream: _SegmentStream):
         """Claim the stream's next batch and queue it on the executor.
@@ -266,6 +331,16 @@ class MergedPostings:
         if executor is None:
             # A sibling _submit in the same loop already saw the shutdown.
             return None
+        if self._cacheable(stream):
+            lo = stream.position
+            hi = min(lo + self._batch, len(stream.postings))
+            if lo < hi:
+                block = self._cache.get(self._cache_key(stream, lo, hi))
+                if block is not None:
+                    # Already decoded once — claim the range and park the
+                    # block where the executor's future would have gone.
+                    stream.claim(self._batch)
+                    return _CachedBlock(block)
         remote = self._remote
         if remote is not None and stream.is_delta:
             # The delta lives in this process's memory — workers can't map
@@ -292,7 +367,7 @@ class MergedPostings:
                     lo,
                     hi,
                 )
-            return executor.submit(stream.prepare_range, self._weights, lo, hi)
+            return executor.submit(stream.prepare_block, self._weights, lo, hi)
         except RuntimeError:
             self._executor = None
             return None
@@ -313,24 +388,43 @@ class MergedPostings:
         used on heap initialisation so a consumer that reads one head
         (rewriting enumeration probing ``ids[0]``) doesn't pay for a full
         batch per segment.
+
+        Every delivery path converges here, so this is also where the
+        hot-block cache is consulted (inline path) and fed: a block
+        decoded by a worker or inline is stored under its ``(lookup,
+        segment, range)`` key, and a :class:`_CachedBlock` collected from
+        the future slot counts as a hit.
         """
         future, stream.future = stream.future, None
-        keys = None
+        block = None
         if future is not None and not future.cancel():
             try:
-                keys = future.result()
+                block = future.result()
             except CancelledError:
-                keys = None
+                block = None
             except Exception:
                 self._executor = None
-                keys = None
-        if keys is None:
+                block = None
+            if block is not None and type(future) is _CachedBlock:
+                self._cache_hits += 1
+        if block is None:
             if stream.inflight is None:
                 stream.claim(limit or self._batch)
             lo, hi = stream.inflight
-            keys = stream.prepare_range(self._weights, lo, hi)
+            cacheable = self._cacheable(stream)
+            if cacheable:
+                block = self._cache.get(self._cache_key(stream, lo, hi))
+                if block is not None:
+                    self._cache_hits += 1
+            if block is None:
+                block = stream.prepare_block(self._weights, lo, hi)
+                if cacheable:
+                    self._cache.put(self._cache_key(stream, lo, hi), block)
+        elif self._cacheable(stream) and type(future) is not _CachedBlock:
+            lo, hi = stream.inflight
+            self._cache.put(self._cache_key(stream, lo, hi), block)
         stream.inflight = None
-        stream.keys = keys
+        stream.kw, stream.kg = block
         stream.index = 0
         if (
             self._executor is not None
@@ -339,9 +433,9 @@ class MergedPostings:
             stream.future = self._submit(stream)
 
     def _push(self, heap, stream_id: int, limit: int | None = None) -> None:
-        """Push the stream's next head, refilling its batch when drained."""
+        """Push the stream's next head, refilling its block when drained."""
         stream = self._streams[stream_id]
-        if stream.index >= len(stream.keys):
+        if stream.index >= len(stream.kw):
             if (
                 stream.future is None
                 and stream.inflight is None
@@ -349,11 +443,11 @@ class MergedPostings:
             ):
                 return
             self._refill(stream, limit)
-            if not stream.keys:
+            if not len(stream.kw):
                 return
-        neg_weight, gid = stream.keys[stream.index]
-        stream.index += 1
-        heapq.heappush(heap, (neg_weight, gid, stream_id))
+        index = stream.index
+        stream.index = index + 1
+        heapq.heappush(heap, (stream.kw[index], stream.kg[index], stream_id))
 
     def pull(self, n: int) -> int:
         """Materialise up to ``n`` further items; return how many were added.
@@ -390,11 +484,13 @@ class MergedPostings:
             stream = streams[stream_id]
             if has_delta and stream.is_delta:
                 delta_emitted += 1
-            if stream.index < len(stream.keys):
+            index = stream.index
+            if index < len(stream.kw):
                 # Fast path: the stream's next head is already prepared.
-                neg_weight, gid = stream.keys[stream.index]
-                stream.index += 1
-                heapq.heapreplace(heap, (neg_weight, gid, stream_id))
+                stream.index = index + 1
+                heapq.heapreplace(
+                    heap, (stream.kw[index], stream.kg[index], stream_id)
+                )
             else:
                 heapq.heappop(heap)
                 # The winner's next head must re-enter the heap to keep the
@@ -470,6 +566,7 @@ class ShardedBackend:
         self._snapshot_root: str | None = None
         self._generation = 0
         self._delta = None
+        self._block_cache = None
 
     @classmethod
     def _restore(
@@ -513,6 +610,7 @@ class ShardedBackend:
         backend._snapshot_root = snapshot_root if snapshot_root else source_dir
         backend._generation = generation
         backend._delta = None
+        backend._block_cache = None
         return backend
 
     @property
@@ -686,6 +784,41 @@ class ShardedBackend:
         self._remote = remote
         self._merge_batch = batch_size
 
+    def configure_block_cache(self, cache) -> None:
+        """Attach (or detach, with ``None``) a hot-block cache.
+
+        The cache is engine-owned (one :class:`~repro.topk.kernels.
+        HotBlockCache` per engine, shared by every lookup) and invalidated
+        by the engine at the store-swap quiet point — this backend only
+        consults it.  Cache keys carry the backend's persistent identity
+        (snapshot root + generation; a process-local token for in-memory
+        builds), the lookup's (bound-slot mask, key), the segment index and
+        the block range — everything that determines a prepared block's
+        content — so value-identical blocks are the only thing a hit can
+        return and emitted merge order is unaffected.
+        """
+        self._block_cache = cache
+
+    def posting_block(
+        self,
+        segment_index: int,
+        bound_slots: Sequence[bool],
+        key: tuple[int, ...],
+        lo: int,
+        hi: int,
+    ) -> Sequence[int]:
+        """Zero-copy block ``[lo, hi)`` of one segment's frozen posting
+        list — the segment-addressed face of :meth:`ColumnarBackend.
+        posting_block` (local posting ids; translate via the segment's
+        global id map)."""
+        if self._closed:
+            raise StorageError("Storage backend is closed")
+        if not self._frozen:
+            raise StorageError("Backend must be frozen before lookup")
+        return self._segment(segment_index).posting_block(
+            bound_slots, key, lo, hi
+        )
+
     # -- build phase ------------------------------------------------------------
 
     def _place(self, slot_ids: tuple[int, int, int]) -> int:
@@ -776,6 +909,14 @@ class ShardedBackend:
             remote = _RemoteSpec(
                 self._source_dir, tuple(bound_slots), tuple(key)
             )
+        cache = self._block_cache
+        cache_base = None
+        if cache is not None:
+            root = self._snapshot_root or self._source_dir
+            identity = root if root is not None else ("mem", id(self))
+            cache_base = (
+                identity, self._generation, tuple(bound_slots), tuple(key)
+            )
         return MergedPostings(
             parts,
             self._weights,
@@ -785,6 +926,8 @@ class ShardedBackend:
             remote=remote,
             segment_indices=indices,
             delta=delta_part,
+            cache=cache,
+            cache_base=cache_base,
         )
 
     def segment_postings(

@@ -91,6 +91,13 @@ class TripleStore:
         selects the default (columnar).
     """
 
+    #: Preferred posting-block granularity for the id-space execution
+    #: kernels (``EngineConfig.block_size``).  A class attribute so stores
+    #: assembled via ``__new__`` (snapshot restore, ``_adopt_frozen``)
+    #: inherit the adaptive default without extra wiring; the engine
+    #: overrides it per instance through :meth:`configure_blocks`.
+    _block_size: int | None = None
+
     def __init__(self, name: str = "XKG", backend: str | StorageBackend | None = None):
         self.name = name
         self.dictionary = TermDictionary()
@@ -394,6 +401,25 @@ class TripleStore:
         if not self._delta_records:
             return self._weights
         return _CombinedWeights(self._weights, len(self._triples), self._delta)
+
+    @property
+    def block_size(self) -> int | None:
+        """Posting-block granularity for block-at-a-time execution.
+
+        ``None`` (the default) adapts: cursors over merged segment postings
+        score exactly what each batched pull materialised, monolithic
+        posting views use the kernels' default block.  ``1`` selects the
+        per-item reference path (the property suite's oracle).
+        """
+        return self._block_size
+
+    def configure_blocks(self, block_size: int | None) -> None:
+        """Set the preferred posting-block size (``None`` = adaptive)."""
+        if block_size is not None and block_size < 1:
+            raise StorageError(
+                f"Block size must be >= 1 or None, got {block_size}"
+            )
+        self._block_size = block_size
 
     def spo_ids(self, triple_id: int) -> tuple[int, int, int]:
         """The (s, p, o) term ids of one stored triple.

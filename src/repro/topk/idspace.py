@@ -35,6 +35,7 @@ from repro.relax.rules import RelaxationRule, RuleApplication
 from repro.scoring.language_model import PatternScorer
 from repro.storage.store import TripleStore
 from repro.storage.text_index import TokenMatch
+from repro.topk import kernels
 from repro.util.heap import DistinctTopKTracker
 
 #: Sentinel id for "this slot is not bound".  Term ids are non-negative.
@@ -153,6 +154,26 @@ class PatternPlan:
                 out[slot] = value
         return True
 
+    def consistent_block(self, tids: Sequence[int], slot_ids) -> list[int]:
+        """Block variant of :meth:`consistent`: one call filters a whole
+        decoded posting block to the repeated-variable-consistent ids,
+        preserving order (:func:`repro.topk.kernels.
+        filter_consistent_block`)."""
+        return kernels.filter_consistent_block(
+            tids, slot_ids, self.repeat_pairs
+        )
+
+    def bind_block(
+        self, tids: Sequence[int], slot_ids, template: Sequence[int]
+    ) -> list[tuple[int, ...]]:
+        """Block variant of :meth:`bind_into` for an already
+        consistency-filtered block: full-width binding tuples over
+        ``template`` (conflicts cannot arise — a single pattern binds into
+        an otherwise-unbound template)."""
+        return kernels.bind_block(
+            tids, slot_ids, self.var_positions, template
+        )
+
 
 class IdMatchInfo:
     """Id-space provenance of one pattern match (decoded lazily)."""
@@ -252,8 +273,19 @@ class IdExecutionContext:
 class IdPostingCursor:
     """Sorted access over one pattern's posting list, entirely in id-space.
 
-    The head score is cached per position, so the rank join's per-iteration
-    ``peek()`` sweep costs one attribute read instead of a scoring call.
+    Consumption is **block-at-a-time** by default: the cursor decodes a
+    whole posting block, filters repeated-variable mismatches over the
+    block, and scores it in one :func:`repro.topk.kernels.score_block`
+    call — ``peek`` then reads a precomputed score and ``pop``
+    materialises an :class:`IdMatch` only for heads the rank join actually
+    consumes.  Block granularity follows ``TripleStore.block_size``
+    (``EngineConfig.block_size``): ``None`` adapts — merged segment
+    postings score exactly what each batched pull materialised, monolithic
+    views use :data:`~repro.topk.kernels.DEFAULT_SCORE_BLOCK` — while
+    ``1`` selects the original per-item path, retained as the
+    byte-identical reference the property suite pins the block path
+    against.  Emitted matches and scores are identical in both modes; only
+    the ``blocks_decoded`` counter differs.
     """
 
     __slots__ = (
@@ -275,6 +307,12 @@ class IdPostingCursor:
         "_primed",
         "_merged",
         "_delta_seen",
+        "_cache_seen",
+        "_use_blocks",
+        "_block_limit",
+        "_block_tids",
+        "_block_scores",
+        "_block_pos",
     )
 
     def __init__(
@@ -299,6 +337,12 @@ class IdPostingCursor:
         self._primed: Sequence[int] | None = None
         self._merged = None
         self._delta_seen = 0
+        self._cache_seen = 0
+        self._use_blocks = True
+        self._block_limit: int | None = None
+        self._block_tids: Sequence[int] = ()
+        self._block_scores: Sequence[float] = ()
+        self._block_pos = 0
 
     def prime(self) -> None:
         """Warm the posting list and scoring caches ahead of consumption.
@@ -335,6 +379,9 @@ class IdPostingCursor:
             # validation (the public store.weight/spo_ids validate).
             self._weights = store.weights()
             self._slot_ids = store.backend.slot_ids
+            limit = store.block_size
+            self._block_limit = limit
+            self._use_blocks = limit != 1
             if self.ctx.stats is not None:
                 self.ctx.stats.cursors_opened += 1
                 if self._merged is not None:
@@ -379,7 +426,74 @@ class IdPostingCursor:
             self._head_score = None
         return None
 
+    def _refill_block(self) -> bool:
+        """Decode, filter and score the next non-empty posting block.
+
+        Advances ``_position`` in block strides, pulling merged batches
+        exactly as the per-item path would (same pull sizes, same stats),
+        and leaves the surviving ids with their scores staged for
+        :meth:`peek`/:meth:`pop`.  Returns False once the list is spent.
+        """
+        ids = self._ids
+        merged = self._merged
+        plan = self.plan
+        slot_ids = self._slot_ids
+        stats = self.ctx.stats
+        needs_filter = plan.has_repeated_variable
+        n = len(ids)
+        while self._position < n:
+            position = self._position
+            if merged is not None:
+                if position >= merged.materialized:
+                    pulled = merged.pull(merged.batch_size)
+                    if stats is not None:
+                        stats.postings_materialized += pulled
+                        stats.posting_pulls += 1
+                        emitted = merged.delta_emitted
+                        if emitted != self._delta_seen:
+                            stats.delta_hits += emitted - self._delta_seen
+                            self._delta_seen = emitted
+                        hits = merged.cache_hits
+                        if hits != self._cache_seen:
+                            stats.block_cache_hits += hits - self._cache_seen
+                            self._cache_seen = hits
+                # Score only what is already merged: slicing past the
+                # materialized frontier would force an eager full fill.
+                stop = merged.materialized
+                if self._block_limit is not None:
+                    stop = min(stop, position + self._block_limit)
+            else:
+                limit = self._block_limit
+                if limit is None:
+                    limit = kernels.DEFAULT_SCORE_BLOCK
+                stop = min(n, position + limit)
+            raw = ids[position:stop]
+            self._position = stop
+            tids = plan.consistent_block(raw, slot_ids) if needs_filter else raw
+            if not len(tids):
+                continue
+            scores = kernels.score_block(
+                kernels.gather_weights(self._weights, tids),
+                self._lam,
+                self._mass,
+                self._cmass,
+                self.multiplier,
+            )
+            if stats is not None:
+                stats.blocks_decoded += 1
+            self._block_tids = tids
+            self._block_scores = scores
+            self._block_pos = 0
+            return True
+        return False
+
     def peek(self) -> float | None:
+        self._open()
+        if self._use_blocks:
+            if self._block_pos >= len(self._block_scores):
+                if not self._refill_block():
+                    return None
+            return self._block_scores[self._block_pos]
         tid = self._current()
         if tid is None:
             return None
@@ -395,9 +509,13 @@ class IdPostingCursor:
         score = self.peek()
         if score is None:
             return None
-        tid = self._ids[self._position]
-        self._position += 1
-        self._head_score = None
+        if self._use_blocks:
+            tid = self._block_tids[self._block_pos]
+            self._block_pos += 1
+        else:
+            tid = self._ids[self._position]
+            self._position += 1
+            self._head_score = None
         if self.ctx.stats is not None:
             self.ctx.stats.sorted_accesses += 1
         if self._template is None:

@@ -9,10 +9,32 @@ from __future__ import annotations
 
 import hashlib
 import random
+from bisect import bisect
 from collections.abc import Iterable, Sequence
 from typing import TypeVar
 
 T = TypeVar("T")
+
+#: One growing cumulative Zipf weight table per skew, shared across every
+#: :class:`SeededRng` (the table depends only on the skew, not on any
+#: generator's state, and the length-``n`` table is a bit-exact prefix of
+#: any longer one — cumulative sums accumulate left to right).  Without
+#: this, each :meth:`SeededRng.zipf_index` call rebuilt an O(n) weight
+#: list — quadratic across a generation run (preferential-attachment call
+#: sites draw over an ever-growing population), which is what kept the
+#: synthetic world from scaling to benchmark sizes.
+_ZIPF_CUM_WEIGHTS: dict[float, list[float]] = {}
+
+
+def _zipf_cum_weights(n: int, skew: float) -> list[float]:
+    """The cumulative Zipf table for ``skew``, extended to at least ``n``."""
+    table = _ZIPF_CUM_WEIGHTS.setdefault(skew, [])
+    if len(table) < n:
+        running = table[-1] if table else 0.0
+        for rank in range(len(table), n):
+            running += 1.0 / (rank + 1) ** skew
+            table.append(running)
+    return table
 
 
 def stable_hash(*parts: object) -> int:
@@ -89,11 +111,19 @@ class SeededRng:
         uses this so a few entities are mentioned very often (giving their
         facts high observation frequency, the tf-like effect in scoring)
         while the long tail appears rarely.
+
+        Draws are bit-identical to the original
+        ``choices(range(n), weights=...)`` formulation: ``choices`` does
+        exactly this — accumulate the weights, scale one ``random()`` draw
+        by the float total, bisect — so sampling against the cached
+        cumulative table changes the cost (O(log n) after the first call
+        for a given ``(n, skew)``), never the sampled stream.
         """
         if n <= 0:
             raise ValueError("zipf_index requires n >= 1")
-        weights = [1.0 / (rank + 1) ** skew for rank in range(n)]
-        return self._rng.choices(range(n), weights=weights, k=1)[0]
+        cum_weights = _zipf_cum_weights(n, skew)
+        total = cum_weights[n - 1] + 0.0
+        return bisect(cum_weights, self._rng.random() * total, 0, n - 1)
 
     def subset(self, population: Iterable[T], keep_probability: float) -> list[T]:
         """Independently keep each element with probability ``keep_probability``."""

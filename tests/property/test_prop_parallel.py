@@ -7,10 +7,14 @@ never *what* a query answers.  The property pins that: for random stores
 and random queries, an engine with 4 workers under any ``executor_kind``
 (serial / thread / process), any storage backend (dict / columnar /
 sharded) and any merge batch policy (fixed sizes or adaptive ``None``)
+and any posting-block policy (fixed block sizes or adaptive ``None``)
 produces bindings, scores and order bit-identical to the degenerate serial
-reference (``executor_kind="serial"``, ``merge_batch=1`` — item-at-a-time
-pulls on the consuming thread), across eager ``ask``, random stream splits
-and ``ask_many`` batches.
+reference (``executor_kind="serial"``, ``merge_batch=1``, ``block_size=1``
+— item-at-a-time pulls *and* per-item scoring on the consuming thread),
+across eager ``ask``, random stream splits and ``ask_many`` batches.  The
+block dimension pins the execution kernels (:mod:`repro.topk.kernels`):
+block decode, batched scoring and the hot-block cache may only change how
+many heads are staged per step, never a single emitted bit.
 
 In-memory stores have no snapshot directory, so ``executor_kind="process"``
 exercises the documented graceful fallback to threads here; the
@@ -81,16 +85,27 @@ def signature(answers):
     backend=st.sampled_from(["dict", "columnar", "sharded"]),
     kind=st.sampled_from(["serial", "thread", "process"]),
     batch=st.sampled_from([None, 1, 2, 7]),
+    block=st.sampled_from([None, 1, 3, 16]),
     split=st.integers(min_value=1, max_value=6),
 )
 def test_parallel_byte_identical_to_serial(
-    rows, texts, k, backend, kind, batch, split
+    rows, texts, k, backend, kind, batch, block, split
 ):
     serial = _build(
-        rows, backend, executor_kind="serial", parallelism=1, merge_batch=1
+        rows,
+        backend,
+        executor_kind="serial",
+        parallelism=1,
+        merge_batch=1,
+        block_size=1,
     )
     parallel = _build(
-        rows, backend, executor_kind=kind, parallelism=4, merge_batch=batch
+        rows,
+        backend,
+        executor_kind=kind,
+        parallelism=4,
+        merge_batch=batch,
+        block_size=block,
     )
     try:
         for text in texts:
@@ -124,10 +139,11 @@ def test_parallel_byte_identical_to_serial(
     backend=st.sampled_from(["dict", "columnar", "sharded"]),
     kind=st.sampled_from(["serial", "thread", "process"]),
     batch=st.sampled_from([None, 1, 2, 7]),
+    block=st.sampled_from([None, 1, 3, 16]),
     cut=st.integers(min_value=0, max_value=40),
 )
 def test_live_ingestion_byte_identical_to_fresh_build(
-    rows, texts, k, backend, kind, batch, cut
+    rows, texts, k, backend, kind, batch, block, cut
 ):
     """(frozen + delta) == fresh build, and still after compaction.
 
@@ -155,6 +171,7 @@ def test_live_ingestion_byte_identical_to_fresh_build(
         executor_kind="serial",
         parallelism=1,
         merge_batch=1,
+        block_size=1,
         **no_mining,
     )
     live = _build(
@@ -163,6 +180,7 @@ def test_live_ingestion_byte_identical_to_fresh_build(
         executor_kind=kind,
         parallelism=4,
         merge_batch=batch,
+        block_size=block,
         **no_mining,
     )
     try:

@@ -98,6 +98,29 @@ def test_shutdown_waits_for_inflight_requests(snapshot_dir):
         ServeClient(service.host, service.port, timeout=2.0).healthz()
 
 
+def test_drain_closes_idle_keepalive_connections(snapshot_dir):
+    # A kept-alive connection idling between requests is NOT in-flight:
+    # shutdown must not wait out its idle window, it closes the socket
+    # under the reader so the drain completes immediately.
+    engine = open_engine(snapshot_dir)
+    service = QueryService(
+        engine,
+        ServeConfig(port=0, drain_grace=10.0, keepalive_idle=60.0),
+        owns_engine=True,
+    ).start()
+    client = ServeClient(service.host, service.port)
+    assert client.healthz()["status"] == "ok"
+    assert client._connection is not None  # parked, idle, kept alive
+    started = time.monotonic()
+    service.close()
+    # Neither the 60s idle window nor the 10s grace was waited out.
+    assert time.monotonic() - started < 5.0
+    assert engine.closed
+    with pytest.raises((ConnectionError, OSError)):
+        client.healthz()  # retry-once still fails: the server is gone
+    client.close()
+
+
 def test_close_is_idempotent_and_stop_without_start_is_noop(engine):
     service = QueryService(engine, ServeConfig(port=0))
     service.stop()  # never started: no-op

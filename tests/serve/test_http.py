@@ -392,3 +392,105 @@ class TestProtocolEdges:
         assert 'trinit_requests_total{route="query",status="200"}' in text
         assert "trinit_cache{" in text
         assert "trinit_admission{" in text
+
+
+class TestKeepAlive:
+    def _get(self, connection, path):
+        connection.request("GET", path)
+        response = connection.getresponse()
+        header = response.getheader("Connection", "")
+        response.read()
+        return response.status, header.strip().lower()
+
+    def test_connection_reused_across_requests(self, service):
+        import http.client as http_client
+
+        connection = http_client.HTTPConnection(
+            service.host, service.port, timeout=10
+        )
+        try:
+            sock = None
+            for _ in range(5):
+                status, header = self._get(connection, "/healthz")
+                assert status == 200
+                assert header == "keep-alive"
+                if sock is None:
+                    sock = connection.sock
+                else:  # same socket the whole way: no reconnects
+                    assert connection.sock is sock
+        finally:
+            connection.close()
+
+    def test_request_budget_closes_connection(self, engine):
+        import http.client as http_client
+
+        config = ServeConfig(port=0, keepalive_requests=2)
+        with QueryService(engine, config, owns_engine=False) as service:
+            connection = http_client.HTTPConnection(
+                service.host, service.port, timeout=10
+            )
+            try:
+                _status, header = self._get(connection, "/healthz")
+                assert header == "keep-alive"
+                _status, header = self._get(connection, "/healthz")
+                assert header == "close"  # budget spent — server says so
+            finally:
+                connection.close()
+
+    def test_idle_timeout_closes_connection(self, engine):
+        import http.client as http_client
+
+        config = ServeConfig(port=0, keepalive_idle=0.2)
+        with QueryService(engine, config, owns_engine=False) as service:
+            connection = http_client.HTTPConnection(
+                service.host, service.port, timeout=10
+            )
+            try:
+                _status, header = self._get(connection, "/healthz")
+                assert header == "keep-alive"
+                time.sleep(0.7)  # past the idle bound: server closed it
+                with pytest.raises(
+                    (ConnectionError, http_client.HTTPException, OSError)
+                ):
+                    self._get(connection, "/healthz")
+            finally:
+                connection.close()
+
+    def test_http10_defaults_to_close(self, service):
+        import socket
+
+        with socket.create_connection(
+            (service.host, service.port), timeout=10
+        ) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.0\r\n\r\n")
+            raw = b""
+            while b"\r\n\r\n" not in raw:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                raw += chunk
+            head = raw.split(b"\r\n\r\n", 1)[0].decode("latin-1").lower()
+            assert "connection: close" in head
+
+    def test_client_reuses_and_recovers_stale_socket(self, engine):
+        config = ServeConfig(port=0, keepalive_idle=0.2)
+        with QueryService(engine, config, owns_engine=False) as service:
+            with ServeClient(service.host, service.port) as client:
+                client.healthz()
+                kept = client._connection
+                assert kept is not None  # connection parked for reuse
+                client.healthz()
+                assert client._connection is kept  # and actually reused
+                time.sleep(0.7)  # server's idle reaper closes the socket
+                health = client.healthz()  # invalidate + retry once
+                assert health["status"] == "ok"
+
+    def test_sse_response_drops_the_connection(self, client):
+        client.healthz()
+        assert client._connection is not None
+        batch = client.stream(NARROW_QUERY, n=3)
+        assert len(batch.answers) == 3
+        # SSE is EOF-framed: the server closed, nothing parked for reuse.
+        assert client._connection is None
+        resumed = client.resume(batch.session, n=2)
+        assert [a["rank"] for a in resumed.answers] == [4, 5]

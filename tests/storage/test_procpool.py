@@ -68,14 +68,29 @@ def test_process_context_available():
 def test_prepare_heads_matches_inline(snapshot_dir):
     backend = load_snapshot(snapshot_dir).backend
     for index in range(backend.num_segments):
-        remote = prepare_heads(str(snapshot_dir), index, SCAN, (), 0, 40)
+        remote_kw, remote_kg = prepare_heads(
+            str(snapshot_dir), index, SCAN, (), 0, 40
+        )
         local = backend._segment(index).postings(SCAN, ())
         globals_ = backend._globals[index]
         inline = [
             (-backend._weights[gid], gid)
             for gid in map(globals_.__getitem__, local[:40])
         ]
-        assert remote == inline
+        assert list(zip(remote_kw, remote_kg)) == inline
+
+
+def test_prepare_heads_matches_segment_stream_block(snapshot_dir):
+    """Remote and inline block preparation produce the identical block."""
+    from repro.storage.sharded import _SegmentStream
+
+    backend = load_snapshot(snapshot_dir).backend
+    postings = backend._segment(0).postings(SCAN, ())
+    stream = _SegmentStream(postings, backend._globals[0])
+    inline = stream.prepare_block(backend._weights, 3, 50)
+    remote = prepare_heads(str(snapshot_dir), 0, SCAN, (), 3, 50)
+    assert tuple(inline[0]) == tuple(remote[0])
+    assert tuple(inline[1]) == tuple(remote[1])
 
 
 def test_worker_cache_reuses_backend(snapshot_dir):
